@@ -1,0 +1,67 @@
+//! Micro-benchmark of the JXP meeting step: full (Algorithm 2) vs
+//! light-weight (§4.1) merging — the microscopic view behind Table 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jxp_core::{meeting, CombineMode, JxpConfig, JxpPeer, MergeMode};
+use jxp_webgraph::generators::{CategorizedGraph, CategorizedParams};
+use jxp_webgraph::{PageId, Subgraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn peers(merge: MergeMode, pages_per_peer: usize) -> (JxpPeer, JxpPeer) {
+    let cg = CategorizedGraph::generate(
+        &CategorizedParams {
+            num_categories: 2,
+            nodes_per_category: pages_per_peer * 2,
+            intra_out_per_node: 4,
+            cross_fraction: 0.1,
+        },
+        &mut StdRng::seed_from_u64(2),
+    );
+    let n = cg.graph.num_nodes() as u64;
+    let cfg = JxpConfig {
+        merge,
+        combine: CombineMode::Average,
+        ..JxpConfig::default()
+    };
+    // Overlapping fragments, as in the real network.
+    let half = pages_per_peer as u32;
+    let a = Subgraph::from_pages(&cg.graph, (0..half + half / 4).map(PageId));
+    let b = Subgraph::from_pages(&cg.graph, (half - half / 4..2 * half).map(PageId));
+    (
+        JxpPeer::new(a, n, cfg.clone()),
+        JxpPeer::new(b, n, cfg),
+    )
+}
+
+fn bench_meeting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("meeting_step");
+    for pages in [200usize, 1000] {
+        for (name, merge) in [("full", MergeMode::Full), ("light", MergeMode::LightWeight)] {
+            g.bench_with_input(
+                BenchmarkId::new(name, pages),
+                &(merge, pages),
+                |bench, &(merge, pages)| {
+                    let (a, b) = peers(merge, pages);
+                    bench.iter_batched(
+                        || (a.clone(), b.clone()),
+                        |(mut a, mut b)| black_box(meeting::meet(&mut a, &mut b)),
+                        criterion::BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_payload(c: &mut Criterion) {
+    let (a, _) = peers(MergeMode::LightWeight, 1000);
+    c.bench_function("payload_assemble_1250", |b| {
+        b.iter(|| black_box(a.payload()));
+    });
+}
+
+criterion_group!(benches, bench_meeting, bench_payload);
+criterion_main!(benches);

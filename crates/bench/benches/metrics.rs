@@ -1,0 +1,48 @@
+//! Micro-benchmarks of the evaluation machinery itself: the §6.2 metrics
+//! run once per sampled point of every convergence experiment, so their
+//! cost bounds how densely the experiments can sample.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jxp_pagerank::{metrics, Ranking};
+use jxp_webgraph::PageId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_ranking(n: u32, seed: u64) -> Ranking {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Ranking::from_scores((0..n).map(|p| (PageId(p), rng.gen::<f64>())))
+}
+
+fn bench_footrule(c: &mut Criterion) {
+    let mut g = c.benchmark_group("footrule_distance");
+    for n in [1_000u32, 10_000, 50_000] {
+        let a = random_ranking(n, 1);
+        let b = random_ranking(n, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(a, b), |bench, (a, b)| {
+            bench.iter(|| black_box(metrics::footrule_distance(a, b, 1000)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_linear_error(c: &mut Criterion) {
+    let a = random_ranking(50_000, 3);
+    let b = random_ranking(50_000, 4);
+    c.bench_function("linear_score_error_50k_top1000", |bench| {
+        bench.iter(|| black_box(metrics::linear_score_error(&a, &b, 1000)));
+    });
+}
+
+fn bench_ranking_build(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let pairs: Vec<(PageId, f64)> = (0..50_000u32)
+        .map(|p| (PageId(p), rng.gen::<f64>()))
+        .collect();
+    c.bench_function("ranking_from_scores_50k", |bench| {
+        bench.iter(|| black_box(Ranking::from_scores(pairs.iter().copied())));
+    });
+}
+
+criterion_group!(benches, bench_footrule, bench_linear_error, bench_ranking_build);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the PageRank engines: the centralized power
+//! iteration (ground truth) and the JXP extended-graph local computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jxp_core::local_pr::{extended_pagerank, LocalTopology};
+use jxp_core::JxpConfig;
+use jxp_pagerank::{pagerank, PageRankConfig};
+use jxp_webgraph::generators::{CategorizedGraph, CategorizedParams};
+use jxp_webgraph::{PageId, Subgraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn graph(nodes_per_cat: usize) -> CategorizedGraph {
+    CategorizedGraph::generate(
+        &CategorizedParams {
+            num_categories: 10,
+            nodes_per_category: nodes_per_cat,
+            intra_out_per_node: 4,
+            cross_fraction: 0.1,
+        },
+        &mut StdRng::seed_from_u64(1),
+    )
+}
+
+fn bench_centralized(c: &mut Criterion) {
+    let mut g = c.benchmark_group("centralized_pagerank");
+    for npc in [100usize, 500, 2000] {
+        let cg = graph(npc);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(cg.graph.num_nodes()),
+            &cg,
+            |b, cg| {
+                b.iter(|| black_box(pagerank(&cg.graph, &PageRankConfig::default())));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_local_extended(c: &mut Criterion) {
+    let cg = graph(500);
+    let n = cg.graph.num_nodes();
+    let fragment = Subgraph::from_pages(&cg.graph, (0..500).map(PageId));
+    let topo = LocalTopology::build(&fragment);
+    let inflow = vec![1e-4; 500];
+    let init = vec![1.0 / n as f64; 500];
+    let cfg = JxpConfig::default();
+    c.bench_function("jxp_local_pagerank_500", |b| {
+        b.iter(|| {
+            black_box(extended_pagerank(
+                &topo,
+                n as f64,
+                &inflow,
+                &init,
+                0.9,
+                &cfg,
+            ))
+        });
+    });
+    c.bench_function("jxp_topology_build_500", |b| {
+        b.iter(|| black_box(LocalTopology::build(&fragment)));
+    });
+}
+
+criterion_group!(benches, bench_centralized, bench_local_extended);
+criterion_main!(benches);

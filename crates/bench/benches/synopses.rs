@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the set synopses (§4.3 fundamentals): MIPs
+//! construction and estimation, Bloom filters, FM sketches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jxp_synopses::mips::{MipsPermutations, MipsVector};
+use jxp_synopses::{BloomFilter, FmSketch};
+use std::hint::black_box;
+
+fn bench_mips(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mips");
+    for dims in [64usize, 256] {
+        let perms = MipsPermutations::generate(dims, 7);
+        g.bench_with_input(
+            BenchmarkId::new("build_2000_elems", dims),
+            &perms,
+            |b, perms| {
+                b.iter(|| black_box(MipsVector::from_elements(perms, 0..2000u64)));
+            },
+        );
+        let a = MipsVector::from_elements(&perms, 0..2000u64);
+        let bv = MipsVector::from_elements(&perms, 1000..3000u64);
+        g.bench_with_input(
+            BenchmarkId::new("containment", dims),
+            &(a, bv),
+            |b, (x, y)| {
+                b.iter(|| black_box(x.containment_of(y)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    c.bench_function("bloom_insert_2000", |b| {
+        b.iter(|| {
+            let mut f = BloomFilter::with_capacity(2000, 0.01);
+            for x in 0..2000u64 {
+                f.insert(x);
+            }
+            black_box(f)
+        });
+    });
+}
+
+fn bench_fm(c: &mut Criterion) {
+    c.bench_function("fm_sketch_insert_2000", |b| {
+        b.iter(|| {
+            let mut s = FmSketch::new(256);
+            for x in 0..2000u64 {
+                s.insert(x);
+            }
+            black_box(s.estimate())
+        });
+    });
+}
+
+criterion_group!(benches, bench_mips, bench_bloom, bench_fm);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Ablations beyond the paper's figures: which design choices matter?
+//!
+//! 1. **Mode grid** — all four (merge × combine) combinations on one
+//!    dataset, isolating the contribution of each §4 optimization.
+//! 2. **N sensitivity** — JXP assumes the global page count `N` is
+//!    "known or can be estimated with decent accuracy" (§3); this ablation
+//!    quantifies "decent": peers run with N misestimated by ±50% and with
+//!    the gossip-based FM estimate, vs the exact count.
+//! 3. **MIPs dimensionality** — how small can the §4.3 synopses be before
+//!    the pre-meetings strategy stops helping?
+
+use jxp_bench::{
+    build_network, load_dataset, run_convergence, samples_to_csv, ExperimentCtx,
+};
+use jxp_core::selection::{PreMeetingsConfig, SelectionStrategy};
+use jxp_core::{CombineMode, JxpConfig, MergeMode};
+use jxp_p2pnet::{Network, NetworkConfig};
+use jxp_webgraph::generators::amazon_2005;
+use std::fmt::Write as _;
+
+fn main() {
+    let ctx = ExperimentCtx::from_env(1200);
+    println!(
+        "== Ablations (scale {}, {} meetings, top-{}) ==",
+        ctx.scale, ctx.meetings, ctx.top_k
+    );
+    let ds = load_dataset(&amazon_2005(), ctx.scale);
+
+    // --- 1. merge × combine grid -------------------------------------
+    println!("\n[1] merge × combine grid (final footrule / linear error):");
+    let mut csv = String::from("merge,combine,footrule,linear_error\n");
+    for merge in [MergeMode::Full, MergeMode::LightWeight] {
+        for combine in [CombineMode::Average, CombineMode::TakeMax] {
+            let cfg = JxpConfig {
+                merge,
+                combine,
+                ..JxpConfig::default()
+            };
+            let mut net = build_network(&ds, cfg, SelectionStrategy::Random, 31);
+            let samples =
+                run_convergence(&mut net, &ds, ctx.meetings, ctx.meetings.max(1), ctx.top_k);
+            let last = samples.last().unwrap();
+            println!(
+                "  {:<12} + {:<8} → footrule {:.4}, error {:.3e}",
+                format!("{merge:?}"),
+                format!("{combine:?}"),
+                last.footrule,
+                last.linear_error
+            );
+            let _ = writeln!(
+                csv,
+                "{merge:?},{combine:?},{:.6},{:.3e}",
+                last.footrule, last.linear_error
+            );
+        }
+    }
+    ctx.write_csv("ablation_grid.csv", &csv);
+
+    // --- 2. N sensitivity ---------------------------------------------
+    println!("\n[2] sensitivity to the global page count N:");
+    let n_true = ds.cg.graph.num_nodes() as u64;
+    let mut csv = String::from("n_mode,footrule,linear_error\n");
+    let mut run_with = |label: &str, config: NetworkConfig, n: u64| {
+        let mut net = Network::new(ds.fragments.clone(), n, config, 33);
+        let samples = run_convergence(&mut net, &ds, ctx.meetings, ctx.meetings.max(1), ctx.top_k);
+        let last = samples.last().unwrap().clone();
+        println!(
+            "  {label:<22} → footrule {:.4}, error {:.3e}",
+            last.footrule, last.linear_error
+        );
+        let _ = writeln!(csv, "{label},{:.6},{:.3e}", last.footrule, last.linear_error);
+        last
+    };
+    let base_cfg = || NetworkConfig::default();
+    let exact = run_with("exact N", base_cfg(), n_true);
+    run_with("N overestimated 2x", base_cfg(), n_true * 2);
+    run_with("N underestimated 2x", base_cfg(), (n_true / 2).max(1));
+    let gossip_cfg = NetworkConfig {
+        estimate_n: true,
+        ..Default::default()
+    };
+    let gossip = run_with("gossip-estimated N", gossip_cfg, 0);
+    ctx.write_csv("ablation_n.csv", &csv);
+    assert!(
+        gossip.footrule < exact.footrule + 0.15,
+        "gossip N estimation should be competitive with exact N"
+    );
+
+    // --- 3. MIPs dimensionality ---------------------------------------
+    println!("\n[3] pre-meetings quality vs MIPs vector size:");
+    let mut csv = String::from("mips_dims,footrule,linear_error,total_mb\n");
+    for dims in [8usize, 32, 128] {
+        let config = NetworkConfig {
+            strategy: SelectionStrategy::PreMeetings(PreMeetingsConfig::default()),
+            mips_dims: dims,
+            ..Default::default()
+        };
+        let mut net = Network::new(ds.fragments.clone(), n_true, config, 35);
+        let samples = run_convergence(&mut net, &ds, ctx.meetings, ctx.meetings.max(1), ctx.top_k);
+        let last = samples.last().unwrap();
+        println!(
+            "  {dims:>4} permutations → footrule {:.4}, error {:.3e}, {:.1} MB",
+            last.footrule,
+            last.linear_error,
+            last.total_bytes as f64 / 1e6
+        );
+        let _ = writeln!(
+            csv,
+            "{dims},{:.6},{:.3e},{:.2}",
+            last.footrule,
+            last.linear_error,
+            last.total_bytes as f64 / 1e6
+        );
+    }
+    ctx.write_csv("ablation_mips.csv", &csv);
+    let _ = samples_to_csv; // (referenced by other binaries)
+}

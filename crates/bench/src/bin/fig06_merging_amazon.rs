@@ -1,0 +1,13 @@
+//! Figure 6: full vs light-weight merging on the Amazon collection.
+//!
+//! The paper's claim: "the results are almost unaffected if the graphs are
+//! not merged" — the light-weight procedure of §4.1 tracks the accuracy of
+//! the full Algorithm 2 merge while being far cheaper (Table 1 covers the
+//! cost side).
+
+use jxp_bench::drivers::merging_comparison;
+use jxp_bench::ExperimentCtx;
+
+fn main() {
+    merging_comparison(&ExperimentCtx::from_env(1800), "amazon");
+}

@@ -1,0 +1,9 @@
+//! Figure 7: full vs light-weight merging on the Web crawl.
+//! See `fig06_merging_amazon` — same comparison, denser dataset.
+
+use jxp_bench::drivers::merging_comparison;
+use jxp_bench::ExperimentCtx;
+
+fn main() {
+    merging_comparison(&ExperimentCtx::from_env(1800), "web");
+}

@@ -1,0 +1,17 @@
+//! Figure 8: combining score lists — averaging vs taking the bigger score.
+//!
+//! §4.2: because JXP scores never overestimate the true PageRank
+//! (Theorem 5.3), taking the max of two peers' opinions is safe and uses
+//! the tighter bound, so "authority scores converge faster to the global
+//! PR values". Panels (a) Amazon and (b) Web crawl plot the linear score
+//! error for both combination rules under light-weight merging.
+
+use jxp_bench::drivers::combine_comparison;
+use jxp_bench::ExperimentCtx;
+
+fn main() {
+    let ctx = ExperimentCtx::from_env(1800);
+    combine_comparison(&ctx, "amazon");
+    println!();
+    combine_comparison(&ctx, "web");
+}

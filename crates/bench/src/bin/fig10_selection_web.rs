@@ -1,0 +1,12 @@
+//! Figure 10: peer-selection strategies on the Web crawl.
+//!
+//! Same comparison as Figure 9; the paper reports the meetings needed for
+//! footrule < 0.1 dropping from 2,480 to 1,650 with pre-meetings, and
+//! total transfer from 4.59 to 3.22 GB (~30%).
+
+use jxp_bench::drivers::selection_comparison;
+use jxp_bench::ExperimentCtx;
+
+fn main() {
+    selection_comparison(&ExperimentCtx::from_env(1800), "web");
+}

@@ -1,0 +1,15 @@
+//! Figure 11: message sizes per meeting on the Amazon collection.
+//!
+//! Quartiles (over peers) of the bytes a peer ships at its k-th meeting,
+//! with and without the pre-meetings phase. The paper: "JXP consumes
+//! rather little network bandwidth, as the message sizes are small. […]
+//! the pre-meetings phase causes only a small increase of the number of
+//! transmitted bytes, since it requires the exchange of the min-wise
+//! independent permutation vectors only."
+
+use jxp_bench::drivers::msgsize;
+use jxp_bench::ExperimentCtx;
+
+fn main() {
+    msgsize(&ExperimentCtx::from_env(1500), "amazon");
+}

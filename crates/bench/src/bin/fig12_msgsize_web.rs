@@ -1,0 +1,9 @@
+//! Figure 12: message sizes per meeting on the Web crawl.
+//! See `fig11_msgsize_amazon` — same measurement, denser dataset.
+
+use jxp_bench::drivers::msgsize;
+use jxp_bench::ExperimentCtx;
+
+fn main() {
+    msgsize(&ExperimentCtx::from_env(1500), "web");
+}

@@ -1,0 +1,50 @@
+//! Regenerate every table and figure of the paper in one go.
+//!
+//! Runs the sibling experiment binaries in paper order, inheriting the
+//! `JXP_SCALE` / `JXP_MEETINGS` / `JXP_TOPK` environment. Exits non-zero
+//! if any experiment fails its shape check.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig03_indegree",
+    "fig04_convergence_amazon",
+    "fig05_convergence_web",
+    "fig06_merging_amazon",
+    "fig07_merging_web",
+    "table1_cpu",
+    "fig08_combine",
+    "fig09_selection_amazon",
+    "fig10_selection_web",
+    "fig11_msgsize_amazon",
+    "fig12_msgsize_web",
+    "table2_search",
+    "baselines",
+    "dynamics",
+    "ablation",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n=============================================================");
+        println!("### {name}");
+        println!("=============================================================");
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            eprintln!("!!! {name} FAILED ({status})");
+            failures.push(*name);
+        }
+    }
+    println!("\n=============================================================");
+    if failures.is_empty() {
+        println!("All {} experiments completed with passing shape checks.", EXPERIMENTS.len());
+    } else {
+        println!("{} experiment(s) failed: {failures:?}", failures.len());
+        std::process::exit(1);
+    }
+}

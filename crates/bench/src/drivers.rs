@@ -1,0 +1,310 @@
+//! Shared experiment drivers used by the per-figure binaries (the Amazon
+//! and Web variants of each figure differ only in the dataset preset).
+
+use crate::{
+    build_network, bytes_to_reach, load_dataset, meetings_to_reach, print_samples,
+    run_convergence, samples_to_csv, ExperimentCtx,
+};
+use jxp_core::selection::{PreMeetingsConfig, SelectionStrategy};
+use jxp_core::{CombineMode, JxpConfig, MergeMode};
+use jxp_webgraph::generators::{amazon_2005, web_crawl_2005, DatasetPreset};
+use std::fmt::Write as _;
+
+/// Resolve a dataset preset by name ("amazon" / "web").
+pub fn preset_by_name(name: &str) -> DatasetPreset {
+    match name {
+        "amazon" => amazon_2005(),
+        "web" => web_crawl_2005(),
+        other => panic!("unknown dataset {other:?}"),
+    }
+}
+
+/// Figures 6/7: full vs light-weight merging (both with score averaging,
+/// random meetings).
+pub fn merging_comparison(ctx: &ExperimentCtx, dataset: &str) {
+    let fig = if dataset == "amazon" { 6 } else { 7 };
+    println!(
+        "== Figure {fig}: merge-mode comparison, {dataset} (scale {}, {} meetings, top-{}) ==",
+        ctx.scale, ctx.meetings, ctx.top_k
+    );
+    let ds = load_dataset(&preset_by_name(dataset), ctx.scale);
+    let mut curves = Vec::new();
+    for (label, merge) in [
+        ("with merging (full, Algorithm 2)", MergeMode::Full),
+        ("without merging (light-weight, §4.1)", MergeMode::LightWeight),
+    ] {
+        let cfg = JxpConfig {
+            merge,
+            combine: CombineMode::Average,
+            ..JxpConfig::default()
+        };
+        let mut net = build_network(&ds, cfg, SelectionStrategy::Random, 6);
+        let samples = run_convergence(&mut net, &ds, ctx.meetings, ctx.sample_every, ctx.top_k);
+        print_samples(label, &samples);
+        let suffix = if merge == MergeMode::Full { "full" } else { "light" };
+        ctx.write_csv(
+            &format!("fig0{fig}_{dataset}_{suffix}.csv"),
+            &samples_to_csv(&samples),
+        );
+        curves.push((label, samples));
+    }
+    ctx.write_figure(
+        &format!("fig0{fig}_{dataset}.svg"),
+        &format!("Figure {fig}: merging procedures ({dataset})"),
+        "Spearman footrule (top-k)",
+        &[
+            (curves[0].0, &curves[0].1),
+            (curves[1].0, &curves[1].1),
+        ],
+        |p| p.footrule,
+    );
+    let finals = [
+        curves[0].1.last().unwrap().clone(),
+        curves[1].1.last().unwrap().clone(),
+    ];
+    println!("\nShape check vs paper (Fig. {fig}): light-weight tracks full merging —");
+    println!(
+        "final footrule: full {:.4} vs light-weight {:.4}; final linear error: {:.3e} vs {:.3e}",
+        finals[0].footrule, finals[1].footrule, finals[0].linear_error, finals[1].linear_error
+    );
+    assert!(
+        (finals[1].footrule - finals[0].footrule).abs() < 0.1,
+        "light-weight merging diverged from full merging"
+    );
+}
+
+/// Figure 8: score-combination comparison (averaging + eq. 2 re-weighting
+/// vs take-the-bigger + eq. 3), light-weight merging, both datasets.
+pub fn combine_comparison(ctx: &ExperimentCtx, dataset: &str) {
+    println!(
+        "== Figure 8 ({dataset}): score combination (scale {}, {} meetings, top-{}) ==",
+        ctx.scale, ctx.meetings, ctx.top_k
+    );
+    let ds = load_dataset(&preset_by_name(dataset), ctx.scale);
+    let mut curves = Vec::new();
+    for (label, combine) in [
+        ("averaging (baseline, eq. 2)", CombineMode::Average),
+        ("taking bigger score (§4.2, eq. 3)", CombineMode::TakeMax),
+    ] {
+        let cfg = JxpConfig {
+            merge: MergeMode::LightWeight,
+            combine,
+            ..JxpConfig::default()
+        };
+        let mut net = build_network(&ds, cfg, SelectionStrategy::Random, 8);
+        let samples = run_convergence(&mut net, &ds, ctx.meetings, ctx.sample_every, ctx.top_k);
+        print_samples(label, &samples);
+        let suffix = if combine == CombineMode::Average { "avg" } else { "max" };
+        ctx.write_csv(
+            &format!("fig08_{dataset}_{suffix}.csv"),
+            &samples_to_csv(&samples),
+        );
+        curves.push((label, samples));
+    }
+    ctx.write_figure(
+        &format!("fig08_{dataset}.svg"),
+        &format!("Figure 8: score combination ({dataset})"),
+        "linear score error",
+        &[
+            (curves[0].0, &curves[0].1),
+            (curves[1].0, &curves[1].1),
+        ],
+        |p| p.linear_error,
+    );
+    let finals = [
+        curves[0].1.last().unwrap().clone(),
+        curves[1].1.last().unwrap().clone(),
+    ];
+    println!("\nShape check vs paper (Fig. 8): take-the-bigger converges faster —");
+    println!(
+        "final linear error: averaging {:.3e} vs take-max {:.3e}",
+        finals[0].linear_error, finals[1].linear_error
+    );
+    assert!(
+        finals[1].linear_error <= finals[0].linear_error * 1.1,
+        "take-max should not be materially worse than averaging"
+    );
+}
+
+/// Figures 9/10: peer selection with vs without the pre-meetings phase
+/// (optimized JXP: light-weight merging + take-max).
+pub fn selection_comparison(ctx: &ExperimentCtx, dataset: &str) {
+    let fig = if dataset == "amazon" { 9 } else { 10 };
+    println!(
+        "== Figure {fig}: peer selection, {dataset} (scale {}, {} meetings, top-{}) ==",
+        ctx.scale, ctx.meetings, ctx.top_k
+    );
+    let ds = load_dataset(&preset_by_name(dataset), ctx.scale);
+    let mut per_strategy = Vec::new();
+    const SEEDS: u64 = 3;
+    for (label, strategy) in [
+        ("without pre-meetings (random)", SelectionStrategy::Random),
+        (
+            "with pre-meetings (§4.3)",
+            SelectionStrategy::PreMeetings(PreMeetingsConfig::default()),
+        ),
+    ] {
+        // Average the curves over several simulator seeds (run in
+        // parallel): a single run's footrule fluctuations are larger than
+        // the strategy effect.
+        let runs = crate::run_parallel(
+            (0..SEEDS)
+                .map(|seed| {
+                    let ds = &ds;
+                    let strategy = strategy.clone();
+                    move || {
+                        let mut net =
+                            build_network(ds, JxpConfig::optimized(), strategy, 9 + seed);
+                        run_convergence(&mut net, ds, ctx.meetings, ctx.sample_every, ctx.top_k)
+                    }
+                })
+                .collect(),
+        );
+        let mut mean: Vec<crate::SamplePoint> = Vec::new();
+        for samples in runs {
+            if mean.is_empty() {
+                mean = samples;
+            } else {
+                for (m, s) in mean.iter_mut().zip(samples) {
+                    m.footrule += s.footrule;
+                    m.linear_error += s.linear_error;
+                    m.total_bytes += s.total_bytes;
+                }
+            }
+        }
+        for m in &mut mean {
+            m.footrule /= SEEDS as f64;
+            m.linear_error /= SEEDS as f64;
+            m.total_bytes /= SEEDS;
+        }
+        print_samples(&format!("{label}, mean of {SEEDS} runs"), &mean);
+        let suffix = match strategy {
+            SelectionStrategy::Random => "random",
+            SelectionStrategy::PreMeetings(_) => "premeet",
+        };
+        ctx.write_csv(
+            &format!("fig{fig:02}_{dataset}_{suffix}.csv"),
+            &samples_to_csv(&mean),
+        );
+        per_strategy.push((label, mean));
+    }
+    ctx.write_figure(
+        &format!("fig{fig:02}_{dataset}.svg"),
+        &format!("Figure {fig}: peer selection ({dataset}, mean of {SEEDS} runs)"),
+        "Spearman footrule (top-k)",
+        &[
+            (per_strategy[0].0, &per_strategy[0].1),
+            (per_strategy[1].0, &per_strategy[1].1),
+        ],
+        |p| p.footrule,
+    );
+    // The paper quotes fixed thresholds (0.2 / 0.1) that its curves cross
+    // late; our curves sit lower at reduced scale, so pick the analogous
+    // level dynamically — 15% above the worse of the two final values —
+    // which both runs cross near the end of their descent.
+    let threshold = per_strategy
+        .iter()
+        .map(|(_, s)| s.last().unwrap().footrule)
+        .fold(0.0f64, f64::max)
+        * 1.15;
+    println!("\nFootrule-threshold economics (paper §6.2), threshold {threshold:.4}:");
+    let mut summary = String::from("strategy,meetings_to_threshold,mbytes_to_threshold\n");
+    for (label, samples) in &per_strategy {
+        let m = meetings_to_reach(samples, threshold);
+        let b = bytes_to_reach(samples, threshold);
+        println!(
+            "  {label}: footrule < {threshold} after {} meetings, {} MB",
+            m.map_or("—".into(), |v| v.to_string()),
+            b.map_or("—".into(), |v| format!("{:.1}", v as f64 / 1e6)),
+        );
+        let _ = writeln!(
+            summary,
+            "{label},{},{}",
+            m.map_or(-1i64, |v| v as i64),
+            b.map_or(-1i64, |v| v as i64)
+        );
+    }
+    ctx.write_csv(&format!("fig{fig:02}_{dataset}_summary.csv"), &summary);
+    let rand_final = per_strategy[0].1.last().unwrap().footrule;
+    let pre_final = per_strategy[1].1.last().unwrap().footrule;
+    println!(
+        "\nShape check vs paper (Fig. {fig}): final footrule {pre_final:.4} (pre-meetings) vs {rand_final:.4} (random)."
+    );
+    println!("NOTE: the paper reports ~30% fewer meetings to threshold with pre-");
+    println!("meetings on its 2005 crawls; on our synthetic collections the two");
+    println!("strategies are statistically equivalent — random meetings already mix");
+    println!("near-optimally because synthetic crawl fragments overlap homogeneously.");
+    println!("See EXPERIMENTS.md for the analysis of this deviation.");
+    assert!(
+        pre_final < rand_final * 1.25,
+        "pre-meetings regressed far beyond noise: {pre_final} vs {rand_final}"
+    );
+}
+
+/// Figures 11/12: message-size quartiles per meeting, with and without the
+/// pre-meetings phase.
+pub fn msgsize(ctx: &ExperimentCtx, dataset: &str) {
+    let fig = if dataset == "amazon" { 11 } else { 12 };
+    println!(
+        "== Figure {fig}: message sizes, {dataset} (scale {}, {} meetings) ==",
+        ctx.scale, ctx.meetings
+    );
+    let ds = load_dataset(&preset_by_name(dataset), ctx.scale);
+    for (label, strategy) in [
+        ("without pre-meetings", SelectionStrategy::Random),
+        (
+            "with pre-meetings",
+            SelectionStrategy::PreMeetings(PreMeetingsConfig::default()),
+        ),
+    ] {
+        let mut net = build_network(&ds, JxpConfig::optimized(), strategy.clone(), 11);
+        net.run(ctx.meetings);
+        let log = net.bandwidth();
+        println!("\n  {label}: per-peer meeting number vs message KB (q1 / median / q3)");
+        println!("  {:>8} {:>10} {:>10} {:>10}", "meeting", "q1", "median", "q3");
+        let mut csv = String::from("meeting,q1_kb,median_kb,q3_kb\n");
+        let horizon = log.max_meetings_per_peer().min(50);
+        for k in 0..horizon {
+            if let Some((q1, med, q3)) = log.quartiles_at_meeting(k) {
+                let kb = |b: u64| b as f64 / 1024.0;
+                if k % 5 == 0 || k + 1 == horizon {
+                    println!(
+                        "  {:>8} {:>10.1} {:>10.1} {:>10.1}",
+                        k + 1,
+                        kb(q1),
+                        kb(med),
+                        kb(q3)
+                    );
+                }
+                let _ = writeln!(csv, "{},{:.2},{:.2},{:.2}", k + 1, kb(q1), kb(med), kb(q3));
+            }
+        }
+        let suffix = match strategy {
+            SelectionStrategy::Random => "random",
+            SelectionStrategy::PreMeetings(_) => "premeet",
+        };
+        ctx.write_csv(&format!("fig{fig}_{dataset}_{suffix}.csv"), &csv);
+        println!(
+            "  totals: {:.1} MB on the wire, of which {:.2} MB pre-meeting synopses",
+            log.total_bytes() as f64 / 1e6,
+            log.premeeting_bytes() as f64 / 1e6
+        );
+    }
+    println!("\nShape check vs paper (Fig. {fig}): message sizes are small (KB range)");
+    println!("and grow with the peer's meeting count as world knowledge accumulates;");
+    println!("the pre-meetings variant ships slightly larger messages (piggybacked MIPs).");
+}
+
+impl ExperimentCtx {
+    /// The footrule thresholds the paper quotes in §6.2 (0.2 for Amazon,
+    /// 0.1 for the Web crawl). At reduced scale the curves sit lower, so
+    /// scale the threshold along with top-k.
+    pub fn footrule_threshold(&self, dataset: &str) -> f32 {
+        let base = if dataset == "amazon" { 0.2 } else { 0.1 };
+        if self.scale >= 1.0 {
+            base
+        } else {
+            (base * (0.3 + 0.7 * self.scale as f32)).max(0.02)
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Minimal SVG line charts for the experiment figures.
+//!
+//! Every `figNN_*` binary writes its series both as CSV and as an SVG
+//! line chart under `results/`, so "regenerate Figure 4" produces an
+//! actual figure. Pure string assembly — no plotting dependency.
+
+use std::fmt::Write as _;
+
+/// One line of a chart.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 400.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 50.0;
+const COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.1e}")
+    } else {
+        format!("{v:.3}")
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_string()
+    }
+}
+
+/// Render a line chart to an SVG string.
+///
+/// # Panics
+/// Panics if no series contains any point.
+pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!all.is_empty(), "cannot plot an empty chart");
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Zero-baseline for y when everything is non-negative (error curves).
+    if y_min > 0.0 {
+        y_min = 0.0;
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+    let px = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * (WIDTH - MARGIN_L - MARGIN_R);
+    let py = |y: f64| HEIGHT - MARGIN_B - (y - y_min) / (y_max - y_min) * (HEIGHT - MARGIN_T - MARGIN_B);
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"#
+    );
+    let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="20" text-anchor="middle" font-size="15">{}</text>"#,
+        WIDTH / 2.0,
+        title
+    );
+    // Axes.
+    let _ = write!(
+        svg,
+        r#"<line x1="{l}" y1="{b}" x2="{r}" y2="{b}" stroke="black"/><line x1="{l}" y1="{t}" x2="{l}" y2="{b}" stroke="black"/>"#,
+        l = MARGIN_L,
+        r = WIDTH - MARGIN_R,
+        t = MARGIN_T,
+        b = HEIGHT - MARGIN_B
+    );
+    // Ticks: 5 per axis.
+    for i in 0..=4 {
+        let fx = x_min + (x_max - x_min) * i as f64 / 4.0;
+        let fy = y_min + (y_max - y_min) * i as f64 / 4.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{x}" y1="{b}" x2="{x}" y2="{b2}" stroke="black"/><text x="{x}" y="{ty}" text-anchor="middle">{lab}</text>"#,
+            x = px(fx),
+            b = HEIGHT - MARGIN_B,
+            b2 = HEIGHT - MARGIN_B + 5.0,
+            ty = HEIGHT - MARGIN_B + 20.0,
+            lab = fmt_tick(fx)
+        );
+        let _ = write!(
+            svg,
+            r#"<line x1="{l}" y1="{y}" x2="{l2}" y2="{y}" stroke="black"/><text x="{tx}" y="{y2}" text-anchor="end">{lab}</text>"#,
+            l = MARGIN_L,
+            l2 = MARGIN_L - 5.0,
+            y = py(fy),
+            tx = MARGIN_L - 8.0,
+            y2 = py(fy) + 4.0,
+            lab = fmt_tick(fy)
+        );
+    }
+    // Axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        (MARGIN_L + WIDTH - MARGIN_R) / 2.0,
+        HEIGHT - 10.0,
+        x_label
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+        HEIGHT / 2.0,
+        HEIGHT / 2.0,
+        y_label
+    );
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let mut path = String::new();
+        for &(x, y) in &s.points {
+            let _ = write!(path, "{:.1},{:.1} ", px(x), py(y));
+        }
+        let _ = write!(
+            svg,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+            path.trim_end()
+        );
+        // Legend entry.
+        let ly = MARGIN_T + 8.0 + i as f64 * 18.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{x1}" y1="{ly}" x2="{x2}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{tx}" y="{ty}">{label}</text>"#,
+            x1 = WIDTH - MARGIN_R - 170.0,
+            x2 = WIDTH - MARGIN_R - 145.0,
+            tx = WIDTH - MARGIN_R - 140.0,
+            ty = ly + 4.0,
+            label = s.label
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let s = vec![
+            Series::new("a", vec![(0.0, 1.0), (10.0, 0.5), (20.0, 0.2)]),
+            Series::new("b", vec![(0.0, 0.9), (10.0, 0.7), (20.0, 0.6)]),
+        ];
+        let svg = line_chart("Figure X", "meetings", "footrule", &s);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("Figure X"));
+        assert!(svg.contains("meetings"));
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_divide_by_zero() {
+        let s = vec![Series::new("flat", vec![(5.0, 3.0), (5.0, 3.0)])];
+        let svg = line_chart("t", "x", "y", &s);
+        assert!(!svg.contains("NaN"));
+        assert!(!svg.contains("inf"));
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(fmt_tick(0.0), "0");
+        assert_eq!(fmt_tick(0.25), "0.25");
+        assert_eq!(fmt_tick(1500.0), "1.5e3");
+        assert_eq!(fmt_tick(0.0001), "1.0e-4");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty chart")]
+    fn empty_chart_panics() {
+        let _ = line_chart("t", "x", "y", &[Series::new("none", vec![])]);
+    }
+}

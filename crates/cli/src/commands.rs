@@ -1,0 +1,219 @@
+//! Subcommand implementations.
+
+use crate::args::ParsedArgs;
+use jxp_core::selection::{PreMeetingsConfig, SelectionStrategy};
+use jxp_core::{CombineMode, JxpConfig, MergeMode};
+use jxp_p2pnet::assign::{assign_by_crawlers, minerva_fragments, CrawlerParams};
+use jxp_p2pnet::{Network, NetworkConfig};
+use jxp_pagerank::gauss_seidel::pagerank_gauss_seidel;
+use jxp_pagerank::{metrics, pagerank, PageRankConfig};
+use jxp_webgraph::generators::{amazon_2005, web_crawl_2005, CategorizedGraph, DatasetPreset};
+use jxp_webgraph::{io, Subgraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+fn preset(args: &ParsedArgs) -> Result<DatasetPreset, String> {
+    match args.get_choice("dataset", &["amazon", "web"], "amazon")? {
+        "web" => Ok(web_crawl_2005()),
+        _ => Ok(amazon_2005()),
+    }
+}
+
+fn generate_graph(args: &ParsedArgs) -> Result<CategorizedGraph, String> {
+    generate_graph_with_scale(args, 0.1)
+}
+
+/// `jxp-cli generate` — synthesize a dataset and write it to disk.
+pub fn generate(args: &ParsedArgs) -> Result<(), String> {
+    let cg = generate_graph(args)?;
+    let out = args.get("out").unwrap_or("graph.jxpg");
+    io::save_binary(&cg.graph, Path::new(out)).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out} ({} categories)", cg.num_categories);
+    println!(
+        "  {}",
+        jxp_webgraph::analysis::GraphSummary::compute(&cg.graph)
+    );
+    if let Some(el) = args.get("edge-list") {
+        let mut file = std::fs::File::create(el).map_err(|e| format!("creating {el}: {e}"))?;
+        io::write_edge_list(&cg.graph, &mut file).map_err(|e| format!("writing {el}: {e}"))?;
+        println!("wrote {el} (text edge list)");
+    }
+    Ok(())
+}
+
+/// `jxp-cli pagerank` — centralized PageRank over a stored graph.
+pub fn pagerank_cmd(args: &ParsedArgs) -> Result<(), String> {
+    let path = args.require("graph")?;
+    let g = io::load_binary(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
+    let top: usize = args.get_or("top", 10)?;
+    let epsilon: f64 = args.get_or("epsilon", 0.85)?;
+    let cfg = PageRankConfig {
+        epsilon,
+        ..Default::default()
+    };
+    let solver = args.get_choice("solver", &["power", "gauss-seidel"], "power")?;
+    let result = match solver {
+        "gauss-seidel" => pagerank_gauss_seidel(&g, &cfg),
+        _ => pagerank(&g, &cfg),
+    };
+    println!(
+        "{} pages, {} links — {} converged in {} iterations",
+        g.num_nodes(),
+        g.num_edges(),
+        solver,
+        result.iterations()
+    );
+    println!("{:>6} {:>10} {:>12}", "rank", "page", "score");
+    for (rank, p) in result.top_k(top).into_iter().enumerate() {
+        println!("{:>6} {:>10} {:>12.6}", rank + 1, p.0, result.score(p));
+    }
+    Ok(())
+}
+
+/// `jxp-cli simulate` — run a JXP network and report convergence.
+pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
+    let cg = generate_graph_with_scale(args, 0.05)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let meetings: usize = args.get_or("meetings", 600)?;
+    let sample: usize = args.get_or("sample", (meetings / 10).max(1))?;
+    let n = cg.graph.num_nodes();
+    let top: usize = args.get_or("top", (n / 20).max(10))?;
+    let merge = match args.get_choice("merge", &["light", "full"], "light")? {
+        "full" => MergeMode::Full,
+        _ => MergeMode::LightWeight,
+    };
+    let combine = match args.get_choice("combine", &["max", "avg"], "max")? {
+        "avg" => CombineMode::Average,
+        _ => CombineMode::TakeMax,
+    };
+    let strategy = match args.get_choice("strategy", &["random", "premeetings"], "random")? {
+        "premeetings" => SelectionStrategy::PreMeetings(PreMeetingsConfig::default()),
+        _ => SelectionStrategy::Random,
+    };
+    let estimate_n = args.get_choice("estimate-n", &["yes", "no"], "no")? == "yes";
+    let fragments = assign_by_crawlers(
+        &cg,
+        &CrawlerParams {
+            peers_per_category: 10,
+            seeds_per_peer: 3,
+            max_depth: 5,
+            max_pages: Some((n / (10 * cg.num_categories)).max(10)),
+            max_pages_jitter: 0.8,
+            off_category_follow_prob: 0.5,
+        },
+        &mut StdRng::seed_from_u64(seed),
+    );
+    let truth = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
+    let truth_ranking = jxp_core::evaluate::centralized_ranking(&truth);
+    let jxp = JxpConfig {
+        merge,
+        combine,
+        ..JxpConfig::default()
+    };
+    println!(
+        "{} pages, {} peers, {merge:?} merging, {combine:?} combining",
+        n,
+        fragments.len()
+    );
+    let mut net = Network::new(
+        fragments,
+        n as u64,
+        NetworkConfig {
+            jxp,
+            strategy,
+            estimate_n,
+            ..Default::default()
+        },
+        seed,
+    );
+    if estimate_n {
+        println!("peers estimate N by FM-sketch gossip (no global knowledge)");
+    }
+    println!("{:>9} {:>10} {:>14} {:>10}", "meetings", "footrule", "linear error", "MB");
+    let mut done = 0;
+    while done < meetings {
+        let step = sample.min(meetings - done);
+        net.run(step);
+        done += step;
+        let r = net.total_ranking();
+        println!(
+            "{:>9} {:>10.4} {:>14.3e} {:>10.2}",
+            net.meetings(),
+            metrics::footrule_distance(&r, &truth_ranking, top),
+            metrics::linear_score_error(&r, &truth_ranking, top),
+            net.bandwidth().total_bytes() as f64 / 1e6
+        );
+    }
+    Ok(())
+}
+
+fn generate_graph_with_scale(
+    args: &ParsedArgs,
+    default_scale: f64,
+) -> Result<CategorizedGraph, String> {
+    let preset = preset(args)?;
+    let scale: f64 = args.get_or("scale", default_scale)?;
+    if !(0.0..=1.0).contains(&scale) || scale == 0.0 {
+        return Err(format!("--scale must be in (0, 1], got {scale}"));
+    }
+    Ok(if scale >= 1.0 {
+        preset.generate()
+    } else {
+        preset.generate_scaled(scale)
+    })
+}
+
+/// `jxp-cli search` — the Table 2 experiment at CLI scale.
+pub fn search(args: &ParsedArgs) -> Result<(), String> {
+    use jxp_minerva::eval::{averages, table2};
+    use jxp_minerva::{Corpus, CorpusParams, PeerIndex};
+
+    let cg = generate_graph_with_scale(args, 0.05)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let queries_n: usize = args.get_or("queries", 10)?;
+    let meetings: usize = args.get_or("meetings", 400)?;
+    let truth = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
+    let fragments = minerva_fragments(&cg, 4, &mut StdRng::seed_from_u64(seed));
+    let frag_refs: Vec<Subgraph> = fragments.clone();
+    let mut net = Network::new(
+        fragments,
+        cg.graph.num_nodes() as u64,
+        NetworkConfig::default(),
+        seed,
+    );
+    net.run(meetings);
+    let corpus = Corpus::generate(
+        &cg,
+        &truth,
+        CorpusParams::default(),
+        &mut StdRng::seed_from_u64(seed ^ 1),
+    );
+    let indexes: Vec<PeerIndex> = frag_refs
+        .iter()
+        .map(|f| PeerIndex::build(f, &corpus))
+        .collect();
+    let queries = corpus.make_queries(queries_n, &mut StdRng::seed_from_u64(seed ^ 2));
+    let rows = table2(
+        &corpus,
+        &indexes,
+        &net.total_ranking(),
+        &queries,
+        6,
+        50,
+        10,
+        (0.6, 0.4),
+    );
+    println!("{:<14} {:>8} {:>22}", "query", "tf*idf", "0.6 tf*idf + 0.4 JXP");
+    for r in &rows {
+        println!(
+            "{:<14} {:>7.0}% {:>21.0}%",
+            r.query,
+            r.tfidf_precision * 100.0,
+            r.fused_precision * 100.0
+        );
+    }
+    let (t, f) = averages(&rows);
+    println!("{:<14} {:>7.0}% {:>21.0}%", "average", t * 100.0, f * 100.0);
+    Ok(())
+}

@@ -1,0 +1,131 @@
+#![deny(missing_docs)]
+//! # jxp-cli
+//!
+//! Command-line driver for the JXP reproduction:
+//!
+//! ```text
+//! jxp-cli generate --dataset amazon --scale 0.1 --out web.jxpg
+//! jxp-cli pagerank --graph web.jxpg --top 10 --solver gauss-seidel
+//! jxp-cli simulate --dataset amazon --scale 0.1 --meetings 800
+//! jxp-cli search   --scale 0.1 --queries 10
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs after a
+//! subcommand) to keep the dependency set to the sanctioned crates.
+
+mod args;
+mod commands;
+
+pub use args::ParsedArgs;
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "\
+usage: jxp-cli <command> [--key value ...]
+
+commands:
+  generate   synthesize a dataset and write it to disk
+             --dataset amazon|web (default amazon), --scale 0..=1 (0.1),
+             --seed N, --out FILE (graph.jxpg), --edge-list FILE (optional)
+  pagerank   compute centralized PageRank over a graph file
+             --graph FILE, --top K (10), --solver power|gauss-seidel,
+             --epsilon 0.85
+  simulate   run a JXP P2P network and report convergence
+             --dataset amazon|web, --scale (0.05), --meetings N (600),
+             --merge light|full, --combine max|avg,
+             --strategy random|premeetings, --estimate-n yes|no,
+             --sample N, --top K, --seed N
+  search     run the Minerva search experiment (Table 2 style)
+             --scale (0.05), --queries N (10), --meetings N (400), --seed N";
+
+/// Entry point: dispatch a full argument vector (without the program
+/// name). Returns a user-facing error string on bad input.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let (command, rest) = argv.split_first().ok_or("missing command")?;
+    let parsed = ParsedArgs::parse(rest)?;
+    match command.as_str() {
+        "generate" => commands::generate(&parsed),
+        "pagerank" => commands::pagerank_cmd(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        "search" => commands::search(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        assert!(run(&argv("frobnicate")).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn help_succeeds() {
+        run(&argv("help")).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_generate_pagerank_roundtrip() {
+        let dir = std::env::temp_dir().join("jxp_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.jxpg");
+        run(&argv(&format!(
+            "generate --dataset amazon --scale 0.01 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(path.exists());
+        run(&argv(&format!(
+            "pagerank --graph {} --top 5 --solver gauss-seidel",
+            path.display()
+        )))
+        .unwrap();
+    }
+
+    #[test]
+    fn simulate_smoke() {
+        run(&argv(
+            "simulate --dataset amazon --scale 0.01 --meetings 40 --sample 20 --top 20",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn simulate_full_merge_avg_combine() {
+        run(&argv(
+            "simulate --dataset amazon --scale 0.01 --meetings 30 --merge full --combine avg --strategy premeetings --sample 15 --top 20",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn simulate_with_estimated_n() {
+        run(&argv(
+            "simulate --dataset amazon --scale 0.01 --meetings 30 --estimate-n yes --sample 15 --top 20",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn search_smoke() {
+        run(&argv("search --scale 0.01 --queries 4 --meetings 60")).unwrap();
+    }
+
+    #[test]
+    fn bad_values_are_reported() {
+        assert!(run(&argv("simulate --scale banana")).is_err());
+        assert!(run(&argv("simulate --merge sideways")).is_err());
+        assert!(run(&argv("pagerank --top 5")).is_err()); // missing --graph
+        assert!(run(&argv("generate --dataset mars")).is_err());
+    }
+}

@@ -1,0 +1,11 @@
+//! Thin binary wrapper; all logic lives in the library for testability.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(msg) = jxp_cli::run(&args) {
+        eprintln!("error: {msg}");
+        eprintln!();
+        eprintln!("{}", jxp_cli::USAGE);
+        std::process::exit(2);
+    }
+}

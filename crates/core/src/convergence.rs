@@ -1,0 +1,191 @@
+//! Peer-local convergence detection.
+//!
+//! §3: the meeting process "in principle, runs forever". A deployed peer
+//! still wants a local answer to *"can I trust my scores yet?"* — without
+//! any access to the centralized ground truth the experiments use. The
+//! [`StabilityDetector`] gives that signal from information the peer
+//! already has: the L1 movement of its own score list across its recent
+//! meetings. Once the movement stays below a threshold for a full window
+//! of meetings, the peer's view has (locally) stabilized.
+//!
+//! This is a *heuristic*, not a proof: a peer that has simply not yet met
+//! anyone holding its in-links also looks stable. The fairness of the
+//! meeting schedule (Theorem 5.4) is what makes sustained stability
+//! meaningful — new knowledge keeps arriving while any is missing; the
+//! integration tests show the detector tracks true convergence and resets
+//! when churn or re-crawls inject fresh change.
+
+use crate::peer::JxpPeer;
+use std::collections::VecDeque;
+
+/// Tracks the recent score movement of one peer.
+#[derive(Debug, Clone)]
+pub struct StabilityDetector {
+    /// L1 deltas of the last `window` observations.
+    deltas: VecDeque<f64>,
+    window: usize,
+    threshold: f64,
+    last_scores: Vec<f64>,
+    last_world: f64,
+}
+
+impl StabilityDetector {
+    /// Create a detector: the peer counts as stable once `window`
+    /// consecutive observations each moved the score list by less than
+    /// `threshold` (L1, including the world score).
+    ///
+    /// # Panics
+    /// Panics if `window == 0` or `threshold <= 0`.
+    pub fn new(peer: &JxpPeer, window: usize, threshold: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(threshold > 0.0, "threshold must be positive");
+        StabilityDetector {
+            deltas: VecDeque::with_capacity(window),
+            window,
+            threshold,
+            last_scores: peer.scores().to_vec(),
+            last_world: peer.world_score(),
+        }
+    }
+
+    /// Observe the peer after a meeting; returns the L1 movement since
+    /// the previous observation. A fragment change (re-crawl) resets the
+    /// detector — the new pages make deltas incomparable.
+    pub fn observe(&mut self, peer: &JxpPeer) -> f64 {
+        if peer.scores().len() != self.last_scores.len() {
+            self.deltas.clear();
+            self.last_scores = peer.scores().to_vec();
+            self.last_world = peer.world_score();
+            return f64::INFINITY;
+        }
+        let mut delta = (peer.world_score() - self.last_world).abs();
+        for (a, b) in peer.scores().iter().zip(self.last_scores.iter()) {
+            delta += (a - b).abs();
+        }
+        self.last_scores.copy_from_slice(peer.scores());
+        self.last_world = peer.world_score();
+        if self.deltas.len() == self.window {
+            self.deltas.pop_front();
+        }
+        self.deltas.push_back(delta);
+        delta
+    }
+
+    /// Whether the last full window of observations all moved less than
+    /// the threshold.
+    pub fn is_stable(&self) -> bool {
+        self.deltas.len() == self.window && self.deltas.iter().all(|&d| d < self.threshold)
+    }
+
+    /// The most recent movement (`None` before the first observation).
+    pub fn last_delta(&self) -> Option<f64> {
+        self.deltas.back().copied()
+    }
+}
+
+/// Fraction of peers whose detectors report stability — a network-level
+/// progress gauge built purely from local signals.
+pub fn stable_fraction(detectors: &[StabilityDetector]) -> f64 {
+    if detectors.is_empty() {
+        return 0.0;
+    }
+    detectors.iter().filter(|d| d.is_stable()).count() as f64 / detectors.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JxpConfig;
+    use crate::meeting::meet;
+    use jxp_webgraph::{GraphBuilder, PageId, Subgraph};
+
+    fn pair() -> (JxpPeer, JxpPeer) {
+        let mut b = GraphBuilder::new();
+        for (s, d) in [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)] {
+            b.add_edge(PageId(s), PageId(d));
+        }
+        let g = b.build();
+        (
+            JxpPeer::new(
+                Subgraph::from_pages(&g, [PageId(0), PageId(1)]),
+                4,
+                JxpConfig::default(),
+            ),
+            JxpPeer::new(
+                Subgraph::from_pages(&g, [PageId(2), PageId(3)]),
+                4,
+                JxpConfig::default(),
+            ),
+        )
+    }
+
+    #[test]
+    fn becomes_stable_as_scores_converge() {
+        let (mut a, mut b) = pair();
+        let mut det = StabilityDetector::new(&a, 3, 1e-6);
+        assert!(!det.is_stable());
+        let mut stable_at = None;
+        for i in 0..200 {
+            meet(&mut a, &mut b);
+            det.observe(&a);
+            if det.is_stable() {
+                stable_at = Some(i);
+                break;
+            }
+        }
+        let when = stable_at.expect("never stabilized");
+        assert!(when > 3, "cannot be stable before a full window");
+    }
+
+    #[test]
+    fn early_meetings_are_not_stable() {
+        let (mut a, mut b) = pair();
+        let mut det = StabilityDetector::new(&a, 3, 1e-6);
+        for _ in 0..3 {
+            meet(&mut a, &mut b);
+            det.observe(&a);
+        }
+        // The first meetings move scores by far more than 1e-6.
+        assert!(!det.is_stable());
+        assert!(det.last_delta().unwrap() > 1e-6);
+    }
+
+    #[test]
+    fn fragment_change_resets_the_detector() {
+        let (mut a, mut b) = pair();
+        let mut det = StabilityDetector::new(&a, 2, 1.0); // huge threshold
+        for _ in 0..4 {
+            meet(&mut a, &mut b);
+            det.observe(&a);
+        }
+        assert!(det.is_stable(), "everything is stable at threshold 1.0");
+        // Re-crawl: the fragment grows, stability must reset.
+        let mut builder = GraphBuilder::new();
+        for (s, d) in [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)] {
+            builder.add_edge(PageId(s), PageId(d));
+        }
+        let g = builder.build();
+        a.update_fragment(Subgraph::from_pages(&g, [PageId(0), PageId(1), PageId(2)]));
+        assert!(det.observe(&a).is_infinite());
+        assert!(!det.is_stable());
+    }
+
+    #[test]
+    fn stable_fraction_aggregates() {
+        let (a, b) = pair();
+        let d1 = StabilityDetector::new(&a, 1, 1.0);
+        let mut d2 = StabilityDetector::new(&b, 1, 1.0);
+        d2.observe(&b); // no movement → stable at the huge threshold
+        assert_eq!(stable_fraction(&[]), 0.0);
+        assert_eq!(stable_fraction(&[d1.clone(), d2.clone()]), 0.5);
+        assert_eq!(stable_fraction(&[d2.clone(), d2]), 1.0);
+        let _ = d1;
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let (a, _) = pair();
+        let _ = StabilityDetector::new(&a, 0, 1e-6);
+    }
+}

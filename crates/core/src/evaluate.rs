@@ -1,0 +1,87 @@
+//! Building the network-wide total ranking for evaluation (§6.2).
+//!
+//! "In order to compare the two approaches we construct a total ranking
+//! from the distributed scores by essentially merging the score lists from
+//! all peers. […] it can be the case that a page has different scores at
+//! different peers. In this case, the score of the page on the total
+//! ranking is considered to be the average over its different scores."
+//! This merging exists *only* for the experimental evaluation — the real
+//! P2P network never needs it.
+
+use crate::peer::JxpPeer;
+use jxp_pagerank::Ranking;
+use jxp_webgraph::{FxHashMap, PageId};
+
+/// Merge the score lists of all peers into the total ranking: a page held
+/// by several peers gets the average of its scores.
+pub fn total_ranking<'a>(peers: impl IntoIterator<Item = &'a JxpPeer>) -> Ranking {
+    let mut acc: FxHashMap<PageId, (f64, u32)> = FxHashMap::default();
+    for peer in peers {
+        for (i, &score) in peer.scores().iter().enumerate() {
+            let page = peer.graph().page_at(i);
+            let e = acc.entry(page).or_insert((0.0, 0));
+            e.0 += score;
+            e.1 += 1;
+        }
+    }
+    Ranking::from_scores(
+        acc.into_iter()
+            .map(|(p, (sum, count))| (p, sum / count as f64)),
+    )
+}
+
+/// Convenience: the centralized-PageRank ranking of a full graph, in the
+/// same [`Ranking`] form, for comparison against [`total_ranking`].
+pub fn centralized_ranking(scores: &[f64]) -> Ranking {
+    Ranking::from_scores(
+        scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (PageId(i as u32), s)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JxpConfig;
+    use jxp_webgraph::{GraphBuilder, Subgraph};
+
+    #[test]
+    fn total_ranking_averages_overlapping_pages() {
+        let mut b = GraphBuilder::new();
+        for (s, d) in [(0, 1), (1, 2), (2, 0)] {
+            b.add_edge(PageId(s), PageId(d));
+        }
+        let g = b.build();
+        let pa = JxpPeer::new(
+            Subgraph::from_pages(&g, [PageId(0), PageId(1)]),
+            3,
+            JxpConfig::default(),
+        );
+        let pb = JxpPeer::new(
+            Subgraph::from_pages(&g, [PageId(1), PageId(2)]),
+            3,
+            JxpConfig::default(),
+        );
+        let r = total_ranking([&pa, &pb]);
+        assert_eq!(r.len(), 3);
+        let expected = (pa.score(PageId(1)).unwrap() + pb.score(PageId(1)).unwrap()) / 2.0;
+        assert!((r.score(PageId(1)).unwrap() - expected).abs() < 1e-12);
+        // Non-overlapping pages keep their single peer's score.
+        assert!((r.score(PageId(0)).unwrap() - pa.score(PageId(0)).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centralized_ranking_wraps_dense_scores() {
+        let r = centralized_ranking(&[0.1, 0.6, 0.3]);
+        assert_eq!(r.top_k(3), &[PageId(1), PageId(2), PageId(0)]);
+        assert_eq!(r.score(PageId(0)), Some(0.1));
+    }
+
+    #[test]
+    fn empty_peer_set_gives_empty_ranking() {
+        let r = total_ranking(std::iter::empty());
+        assert!(r.is_empty());
+    }
+}

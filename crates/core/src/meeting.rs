@@ -1,0 +1,221 @@
+//! Peer meetings (Algorithm 2 / Algorithm 3).
+//!
+//! A meeting is a symmetric exchange: both peers ship their payload
+//! (extended local graph + score list) and both fold the other's knowledge
+//! into their own state, "asynchronously and independently of each other"
+//! (§3). [`MeetingStats`] records what the experiments need: the bytes on
+//! the wire (Figures 11/12) and the per-side CPU time of the merge +
+//! recompute step (Table 1).
+//!
+//! **Dynamics caveat**: structural knowledge (link sets, out-degrees,
+//! dangling status) is updated *authoritatively* when the sender holds the
+//! page locally, so the network adapts when the Web graph changes. Learned
+//! *scores*, however, combine per [`CombineMode`](crate::CombineMode):
+//! under `TakeMax` a bookkeeping score can never decrease, which is
+//! exactly right in a static network (Theorem 5.3) but adapts slowly when
+//! a page's true authority *shrinks* (e.g. it loses in-links). For
+//! workloads with heavy graph dynamics prefer `CombineMode::Average`,
+//! whose repeated averaging against fresh opinions forgets stale highs.
+//! The paper leaves convergence under dynamics open (§5.3, §7).
+
+use crate::payload::MeetingPayload;
+use crate::peer::JxpPeer;
+use std::time::{Duration, Instant};
+
+/// Measurements of one meeting.
+#[derive(Debug, Clone)]
+pub struct MeetingStats {
+    /// Bytes sent from the first peer to the second.
+    pub bytes_a_to_b: usize,
+    /// Bytes sent from the second peer to the first.
+    pub bytes_b_to_a: usize,
+    /// CPU time of the first peer's merge + recompute step.
+    pub merge_time_a: Duration,
+    /// CPU time of the second peer's merge + recompute step.
+    pub merge_time_b: Duration,
+}
+
+impl MeetingStats {
+    /// Total bytes exchanged in both directions.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes_a_to_b + self.bytes_b_to_a
+    }
+}
+
+/// Perform one JXP meeting between two peers: exchange payloads, absorb on
+/// both sides (per each peer's own [`MergeMode`](crate::MergeMode) — peers
+/// are autonomous and may run different configurations), recompute.
+pub fn meet(a: &mut JxpPeer, b: &mut JxpPeer) -> MeetingStats {
+    let payload_a = a.payload();
+    let payload_b = b.payload();
+    let stats = MeetingStats {
+        bytes_a_to_b: payload_a.wire_size(),
+        bytes_b_to_a: payload_b.wire_size(),
+        merge_time_a: Duration::ZERO,
+        merge_time_b: Duration::ZERO,
+    };
+    let t0 = Instant::now();
+    a.absorb(&payload_b);
+    let merge_time_a = t0.elapsed();
+    let t1 = Instant::now();
+    b.absorb(&payload_a);
+    let merge_time_b = t1.elapsed();
+    MeetingStats {
+        merge_time_a,
+        merge_time_b,
+        ..stats
+    }
+}
+
+/// One-directional meeting: only `a` learns from `b` (used when modelling
+/// an unreachable or departing peer that can still be read from, and by
+/// tests that need asymmetric knowledge).
+pub fn meet_one_way(a: &mut JxpPeer, b: &JxpPeer) -> MeetingStats {
+    let payload_b = b.payload();
+    let bytes = payload_b.wire_size();
+    let t0 = Instant::now();
+    a.absorb(&payload_b);
+    MeetingStats {
+        bytes_a_to_b: 0,
+        bytes_b_to_a: bytes,
+        merge_time_a: t0.elapsed(),
+        merge_time_b: Duration::ZERO,
+    }
+}
+
+/// Deliver an explicit payload to a peer (used by the network simulator
+/// when payloads travel through its message layer).
+pub fn deliver(to: &mut JxpPeer, payload: &MeetingPayload) -> Duration {
+    let t0 = Instant::now();
+    to.absorb(payload);
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JxpConfig;
+    use jxp_webgraph::{GraphBuilder, PageId, Subgraph};
+
+    fn two_peers() -> (JxpPeer, JxpPeer) {
+        let mut b = GraphBuilder::new();
+        for (s, d) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            b.add_edge(PageId(s), PageId(d));
+        }
+        let g = b.build();
+        let pa = JxpPeer::new(
+            Subgraph::from_pages(&g, [PageId(0), PageId(1)]),
+            4,
+            JxpConfig::default(),
+        );
+        let pb = JxpPeer::new(
+            Subgraph::from_pages(&g, [PageId(2), PageId(3)]),
+            4,
+            JxpConfig::default(),
+        );
+        (pa, pb)
+    }
+
+    #[test]
+    fn meet_updates_both_sides() {
+        let (mut a, mut b) = two_peers();
+        let stats = meet(&mut a, &mut b);
+        assert!(!a.world().is_empty());
+        assert!(!b.world().is_empty());
+        assert_eq!(a.stats().meetings, 1);
+        assert_eq!(b.stats().meetings, 1);
+        assert!(stats.bytes_a_to_b > 0);
+        assert!(stats.bytes_b_to_a > 0);
+        assert_eq!(stats.total_bytes(), stats.bytes_a_to_b + stats.bytes_b_to_a);
+    }
+
+    #[test]
+    fn repeated_meetings_approach_global_pagerank() {
+        let (mut a, mut b) = two_peers();
+        for _ in 0..15 {
+            meet(&mut a, &mut b);
+        }
+        // 4-cycle: every true score is 1/4.
+        for p in [PageId(0), PageId(1)] {
+            let s = a.score(p).unwrap();
+            assert!((s - 0.25).abs() < 0.01, "{p:?} score {s}");
+        }
+        for p in [PageId(2), PageId(3)] {
+            let s = b.score(p).unwrap();
+            assert!((s - 0.25).abs() < 0.01, "{p:?} score {s}");
+        }
+    }
+
+    #[test]
+    fn one_way_meeting_only_updates_receiver() {
+        let (mut a, b) = two_peers();
+        let b_world_before = b.world().len();
+        let stats = meet_one_way(&mut a, &b);
+        assert!(!a.world().is_empty());
+        assert_eq!(b.world().len(), b_world_before);
+        assert_eq!(stats.bytes_a_to_b, 0);
+        assert!(stats.bytes_b_to_a > 0);
+    }
+
+    #[test]
+    fn message_size_grows_with_world_knowledge() {
+        let (mut a, mut b) = two_peers();
+        let first = meet(&mut a, &mut b);
+        let second = meet(&mut a, &mut b);
+        // After the first meeting both peers carry world entries, so the
+        // second exchange ships strictly more bytes.
+        assert!(second.bytes_a_to_b > first.bytes_a_to_b);
+        assert!(second.bytes_b_to_a > first.bytes_b_to_a);
+    }
+
+    #[test]
+    fn deliver_applies_a_detached_payload() {
+        let (mut a, b) = two_peers();
+        let payload = b.payload();
+        let elapsed = deliver(&mut a, &payload);
+        assert!(!a.world().is_empty());
+        assert_eq!(a.stats().meetings, 1);
+        assert!(elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn try_absorb_rejects_tampered_payload_without_state_change() {
+        let (mut a, b) = two_peers();
+        let mut evil = b.payload();
+        evil.pages[0].score = 42.0;
+        let scores_before = a.scores().to_vec();
+        let world_before = a.world_score();
+        assert!(a.try_absorb(&evil).is_err());
+        assert_eq!(a.scores(), &scores_before[..]);
+        assert_eq!(a.world_score(), world_before);
+        assert_eq!(a.stats().meetings, 0);
+        // The honest payload still goes through.
+        a.try_absorb(&b.payload()).unwrap();
+        assert_eq!(a.stats().meetings, 1);
+    }
+
+    #[test]
+    fn mixed_merge_modes_interoperate() {
+        let mut builder = GraphBuilder::new();
+        for (s, d) in [(0, 1), (1, 2), (2, 0)] {
+            builder.add_edge(PageId(s), PageId(d));
+        }
+        let g = builder.build();
+        let mut full = JxpPeer::new(
+            Subgraph::from_pages(&g, [PageId(0)]),
+            3,
+            JxpConfig::baseline(),
+        );
+        let mut light = JxpPeer::new(
+            Subgraph::from_pages(&g, [PageId(1), PageId(2)]),
+            3,
+            JxpConfig::default(),
+        );
+        for _ in 0..10 {
+            meet(&mut full, &mut light);
+        }
+        let total = full.local_mass() + full.world_score();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((full.score(PageId(0)).unwrap() - 1.0 / 3.0).abs() < 0.02);
+    }
+}

@@ -1,0 +1,439 @@
+//! Peer-selection strategies (§4.3).
+//!
+//! The basic strategy picks meeting partners uniformly at random. The
+//! **pre-meetings** strategy uses min-wise-permutation synopses to find
+//! the most promising partners — peers whose out-links are in-links of
+//! many of my local pages:
+//!
+//! * every peer publishes two MIPs vectors, `local(A)` (its page set) and
+//!   `successors(A)` (the targets of all its out-links);
+//! * at every meeting, each side computes
+//!   `Containment(successors(B), local(A))` — the fraction of its local
+//!   pages with in-links from the other peer — and **caches** the other
+//!   peer's id if it is above a threshold;
+//! * when the two peers' local sets **overlap** strongly, they exchange
+//!   their cached-peer lists (a peer pointing into A likely points into an
+//!   overlapping B too) and hold cheap **pre-meetings** with the received
+//!   candidates, fetching only their `successors` MIPs vector to score
+//!   them; the best-scored candidate becomes the next real meeting;
+//! * every `k`-th selection remains truly random so the fairness premise
+//!   of the convergence proof (Theorem 5.4) is preserved, and cached peers
+//!   are revisited with small probability to track network changes.
+
+use jxp_synopses::mips::{MipsPermutations, MipsVector};
+use jxp_webgraph::Subgraph;
+use rand::Rng;
+
+/// The two MIPs vectors every peer publishes (§4.3 "Peer Synopses").
+#[derive(Debug, Clone)]
+pub struct PeerSynopses {
+    /// MIPs vector of the set of local page ids, `local(A)`.
+    pub local: MipsVector,
+    /// MIPs vector of the set of all successors of local pages,
+    /// `successors(A)`.
+    pub successors: MipsVector,
+}
+
+impl PeerSynopses {
+    /// Compute both vectors for a fragment under a shared permutation
+    /// family.
+    pub fn compute(graph: &Subgraph, perms: &MipsPermutations) -> Self {
+        let local = MipsVector::from_elements(perms, graph.pages().iter().map(|p| p.0 as u64));
+        let successors = MipsVector::from_elements(
+            perms,
+            graph.successor_set().into_iter().map(|p| p.0 as u64),
+        );
+        PeerSynopses { local, successors }
+    }
+
+    /// Bytes added to a meeting message when the synopses piggyback on it.
+    pub fn wire_size(&self) -> usize {
+        self.local.wire_size() + self.successors.wire_size()
+    }
+
+    /// The paper's `Containment(successors(self), local(other))`: the
+    /// estimated fraction of `other`'s local pages that have in-links from
+    /// `self`'s local pages.
+    pub fn inlink_containment_into(&self, other: &PeerSynopses) -> f64 {
+        self.successors.containment_of(&other.local)
+    }
+
+    /// Estimated resemblance of the two peers' local page sets.
+    pub fn local_overlap(&self, other: &PeerSynopses) -> f64 {
+        self.local.resemblance(&other.local)
+    }
+}
+
+/// Parameters of the pre-meetings strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreMeetingsConfig {
+    /// Cache a met peer whose in-link containment into me is above this.
+    pub containment_threshold: f64,
+    /// Exchange cached-peer lists when the local-set resemblance of the
+    /// two meeting peers is above this.
+    pub overlap_threshold: f64,
+    /// Every `k`-th selection is truly random (fairness, Theorem 5.4).
+    pub random_every_k: usize,
+    /// Probability of revisiting an already-cached peer instead of using
+    /// the candidate list (peers change content / leave the network).
+    pub revisit_probability: f64,
+    /// Cap on the cached-peer list (the paper notes the threshold bounds
+    /// it; we enforce a hard cap as well).
+    pub max_cache: usize,
+}
+
+impl Default for PreMeetingsConfig {
+    fn default() -> Self {
+        PreMeetingsConfig {
+            containment_threshold: 0.05,
+            overlap_threshold: 0.15,
+            random_every_k: 5,
+            revisit_probability: 0.05,
+            max_cache: 32,
+        }
+    }
+}
+
+/// Which peer-selection strategy a peer runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectionStrategy {
+    /// Uniformly random partner (the basic strategy).
+    Random,
+    /// The §4.3 pre-meetings strategy.
+    PreMeetings(PreMeetingsConfig),
+}
+
+/// Per-peer state of the pre-meetings strategy.
+#[derive(Debug, Clone, Default)]
+pub struct SelectorState {
+    /// Ids of peers with high in-link containment into me.
+    cached: Vec<usize>,
+    /// Peers already met (their knowledge has been drained once); they are
+    /// not re-queued as candidates — only the low-probability cache
+    /// revisit path returns to them, mirroring the paper's "peers have to
+    /// visit again the already cached peers, with a smaller probability".
+    met: Vec<usize>,
+    /// Candidates scored by pre-meetings, kept sorted best-last
+    /// (so `pop` takes the best).
+    candidates: Vec<(usize, f64)>,
+    /// Selections made so far (drives the every-k fairness rule).
+    selections: usize,
+    /// Selections served from the scored candidate list.
+    candidate_selections: usize,
+    /// Selections that revisited a cached peer.
+    revisit_selections: usize,
+    /// Bytes spent on pre-meeting MIPs fetches.
+    pub premeeting_bytes: u64,
+}
+
+impl SelectorState {
+    /// The cached peer ids.
+    pub fn cached(&self) -> &[usize] {
+        &self.cached
+    }
+
+    /// Pending candidates as `(peer, score)`, best last.
+    pub fn candidates(&self) -> &[(usize, f64)] {
+        &self.candidates
+    }
+
+    /// Total selections made.
+    pub fn selections(&self) -> usize {
+        self.selections
+    }
+
+    /// How many selections were served from the candidate list.
+    pub fn candidate_selections(&self) -> usize {
+        self.candidate_selections
+    }
+
+    /// How many selections revisited a cached peer.
+    pub fn revisit_selections(&self) -> usize {
+        self.revisit_selections
+    }
+
+    fn cache_peer(&mut self, peer: usize, max_cache: usize) {
+        if !self.cached.contains(&peer) {
+            self.cached.push(peer);
+            if self.cached.len() > max_cache {
+                self.cached.remove(0); // evict oldest
+            }
+        }
+    }
+
+    fn add_candidate(&mut self, peer: usize, score: f64) {
+        if self.met.contains(&peer) {
+            return; // already drained; only cache revisits return to it
+        }
+        if let Some(e) = self.candidates.iter_mut().find(|(p, _)| *p == peer) {
+            e.1 = e.1.max(score);
+        } else {
+            self.candidates.push((peer, score));
+        }
+        self.candidates
+            .sort_unstable_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    }
+
+    fn mark_met(&mut self, peer: usize) {
+        if !self.met.contains(&peer) {
+            self.met.push(peer);
+        }
+        self.candidates.retain(|&(p, _)| p != peer);
+    }
+
+    /// Peers this peer has already met.
+    pub fn met(&self) -> &[usize] {
+        &self.met
+    }
+}
+
+fn random_other(me: usize, num_peers: usize, rng: &mut impl Rng) -> usize {
+    debug_assert!(num_peers >= 2);
+    let mut p = rng.gen_range(0..num_peers - 1);
+    if p >= me {
+        p += 1;
+    }
+    p
+}
+
+/// Choose the next meeting partner for peer `me`.
+///
+/// # Panics
+/// Panics if fewer than two peers exist.
+pub fn select_partner(
+    state: &mut SelectorState,
+    strategy: &SelectionStrategy,
+    me: usize,
+    num_peers: usize,
+    rng: &mut impl Rng,
+) -> usize {
+    assert!(num_peers >= 2, "cannot select a partner among {num_peers} peer(s)");
+    state.selections += 1;
+    match strategy {
+        SelectionStrategy::Random => random_other(me, num_peers, rng),
+        SelectionStrategy::PreMeetings(cfg) => {
+            // Fairness: every k-th selection is truly random; also never
+            // let the random probability drop to zero.
+            if cfg.random_every_k > 0 && state.selections.is_multiple_of(cfg.random_every_k) {
+                return random_other(me, num_peers, rng);
+            }
+            if !state.cached.is_empty() && rng.gen_bool(cfg.revisit_probability) {
+                state.revisit_selections += 1;
+                return state.cached[rng.gen_range(0..state.cached.len())];
+            }
+            while let Some((peer, _)) = state.candidates.pop() {
+                if peer != me && peer < num_peers {
+                    state.candidate_selections += 1;
+                    return peer;
+                }
+            }
+            random_other(me, num_peers, rng)
+        }
+    }
+}
+
+/// Process the synopsis-level bookkeeping of a meeting between peers `a`
+/// and `b` (both directions): threshold-based caching, cache-list
+/// exchange on strong overlap, and pre-meetings with the received
+/// candidates. `states` is the per-peer selector state array, `synopses`
+/// the per-peer published vectors.
+pub fn observe_meeting(
+    states: &mut [SelectorState],
+    synopses: &[PeerSynopses],
+    a: usize,
+    b: usize,
+    cfg: &PreMeetingsConfig,
+) {
+    assert_ne!(a, b, "a peer cannot meet itself");
+    states[a].mark_met(b);
+    states[b].mark_met(a);
+    // Containment both ways: cache the partner if it links into me enough.
+    let into_a = synopses[b].inlink_containment_into(&synopses[a]);
+    let into_b = synopses[a].inlink_containment_into(&synopses[b]);
+    if into_a >= cfg.containment_threshold {
+        states[a].cache_peer(b, cfg.max_cache);
+    }
+    if into_b >= cfg.containment_threshold {
+        states[b].cache_peer(a, cfg.max_cache);
+    }
+    // Strong overlap of the local sets ⇒ exchange cached-peer lists and
+    // hold pre-meetings with the received candidates.
+    if synopses[a].local_overlap(&synopses[b]) >= cfg.overlap_threshold {
+        let from_b: Vec<usize> = states[b].cached().to_vec();
+        let from_a: Vec<usize> = states[a].cached().to_vec();
+        premeet_candidates(&mut states[a], synopses, a, &from_b);
+        premeet_candidates(&mut states[b], synopses, b, &from_a);
+    }
+}
+
+/// Hold a pre-meeting with each candidate: fetch its `successors` MIPs
+/// vector (counted into `premeeting_bytes`), score it by in-link
+/// containment into me, and queue it.
+fn premeet_candidates(
+    state: &mut SelectorState,
+    synopses: &[PeerSynopses],
+    me: usize,
+    candidates: &[usize],
+) {
+    for &c in candidates {
+        if c == me {
+            continue;
+        }
+        state.premeeting_bytes += synopses[c].successors.wire_size() as u64;
+        let score = synopses[c].inlink_containment_into(&synopses[me]);
+        state.add_candidate(c, score);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jxp_webgraph::{GraphBuilder, PageId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Three fragments: peers 0 and 1 overlap heavily; peer 2 links into
+    /// peer 0's pages.
+    fn network() -> Vec<PeerSynopses> {
+        let mut b = GraphBuilder::new();
+        // Pages 0..10 cluster; pages 20..30 cluster linking into 0..10.
+        for i in 0..10u32 {
+            b.add_edge(PageId(i), PageId((i + 1) % 10));
+        }
+        for i in 20..30u32 {
+            b.add_edge(PageId(i), PageId(i - 20)); // 20→0, 21→1, …
+        }
+        let g = b.build();
+        let perms = MipsPermutations::generate(128, 11);
+        let frag_a = Subgraph::from_pages(&g, (0..10).map(PageId));
+        let frag_b = Subgraph::from_pages(&g, (0..8).map(PageId)); // overlaps A
+        let frag_c = Subgraph::from_pages(&g, (20..30).map(PageId)); // links into A
+        [frag_a, frag_b, frag_c]
+            .iter()
+            .map(|f| PeerSynopses::compute(f, &perms))
+            .collect()
+    }
+
+    #[test]
+    fn containment_detects_inlink_provider() {
+        let syn = network();
+        // Peer 2's successors are exactly peer 0's pages.
+        let c = syn[2].inlink_containment_into(&syn[0]);
+        assert!(c > 0.5, "containment {c}");
+        // Peer 0 provides few in-links to peer 2 (none).
+        let c_rev = syn[0].inlink_containment_into(&syn[2]);
+        assert!(c_rev < 0.2, "reverse containment {c_rev}");
+    }
+
+    #[test]
+    fn overlap_detects_shared_fragments() {
+        let syn = network();
+        assert!(syn[0].local_overlap(&syn[1]) > 0.5);
+        assert!(syn[0].local_overlap(&syn[2]) < 0.1);
+    }
+
+    #[test]
+    fn observe_meeting_caches_good_peers() {
+        let syn = network();
+        let mut states = vec![SelectorState::default(); 3];
+        let cfg = PreMeetingsConfig::default();
+        observe_meeting(&mut states, &syn, 0, 2, &cfg);
+        assert!(states[0].cached().contains(&2), "peer 0 should cache peer 2");
+    }
+
+    #[test]
+    fn cache_lists_propagate_through_overlapping_peers() {
+        let syn = network();
+        let mut states = vec![SelectorState::default(); 3];
+        let cfg = PreMeetingsConfig::default();
+        // 0 meets 2 → 0 caches 2. Then 0 meets 1 (high overlap) → 1 should
+        // receive candidate 2 via the cache exchange + pre-meeting.
+        observe_meeting(&mut states, &syn, 0, 2, &cfg);
+        observe_meeting(&mut states, &syn, 0, 1, &cfg);
+        assert!(
+            states[1].candidates().iter().any(|&(p, _)| p == 2),
+            "peer 1 should have candidate 2: {:?}",
+            states[1].candidates()
+        );
+        assert!(states[1].premeeting_bytes > 0);
+    }
+
+    #[test]
+    fn select_pops_best_candidate_first() {
+        let mut state = SelectorState::default();
+        state.add_candidate(3, 0.2);
+        state.add_candidate(4, 0.9);
+        state.add_candidate(5, 0.5);
+        let cfg = PreMeetingsConfig {
+            random_every_k: 1000,
+            revisit_probability: 0.0,
+            ..Default::default()
+        };
+        let strategy = SelectionStrategy::PreMeetings(cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(select_partner(&mut state, &strategy, 0, 10, &mut rng), 4);
+        assert_eq!(select_partner(&mut state, &strategy, 0, 10, &mut rng), 5);
+        assert_eq!(select_partner(&mut state, &strategy, 0, 10, &mut rng), 3);
+    }
+
+    #[test]
+    fn every_kth_selection_is_random_even_with_candidates() {
+        let mut state = SelectorState::default();
+        state.add_candidate(4, 0.9);
+        let cfg = PreMeetingsConfig {
+            random_every_k: 1,
+            revisit_probability: 0.0,
+            ..Default::default()
+        };
+        let strategy = SelectionStrategy::PreMeetings(cfg);
+        let mut rng = StdRng::seed_from_u64(2);
+        // k = 1 ⇒ every selection random; candidate 4 must survive.
+        for _ in 0..5 {
+            let _ = select_partner(&mut state, &strategy, 0, 100, &mut rng);
+        }
+        assert_eq!(state.candidates().len(), 1);
+    }
+
+    #[test]
+    fn random_selection_never_returns_self() {
+        let mut state = SelectorState::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let p = select_partner(&mut state, &SelectionStrategy::Random, 2, 5, &mut rng);
+            assert_ne!(p, 2);
+            assert!(p < 5);
+        }
+    }
+
+    #[test]
+    fn random_selection_covers_all_partners() {
+        let mut state = SelectorState::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 5];
+        for _ in 0..300 {
+            seen[select_partner(&mut state, &SelectionStrategy::Random, 0, 5, &mut rng)] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3] && seen[4]);
+        assert!(!seen[0]);
+    }
+
+    #[test]
+    fn cache_is_bounded() {
+        let mut state = SelectorState::default();
+        for p in 0..100 {
+            state.cache_peer(p, 10);
+        }
+        assert_eq!(state.cached().len(), 10);
+        // Oldest evicted, newest kept.
+        assert!(state.cached().contains(&99));
+        assert!(!state.cached().contains(&0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot select a partner")]
+    fn single_peer_network_panics() {
+        let mut state = SelectorState::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = select_partner(&mut state, &SelectionStrategy::Random, 0, 1, &mut rng);
+    }
+}

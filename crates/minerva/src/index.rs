@@ -1,0 +1,167 @@
+//! Per-peer inverted index with tf·idf scoring.
+//!
+//! Every Minerva peer "is a full-fledged search engine with its own
+//! crawler, indexer, and query processor" — this is the indexer: postings
+//! lists over the documents of the peer's local pages, with idf computed
+//! from the peer's own collection statistics (a peer has no global view).
+
+use crate::corpus::{Corpus, TermId};
+use jxp_webgraph::{FxHashMap, PageId, Subgraph};
+
+/// One posting: a local document containing the term.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posting {
+    /// The page (document) id.
+    pub page: PageId,
+    /// Term frequency in that document.
+    pub tf: u32,
+}
+
+/// A peer's inverted index over its local fragment.
+#[derive(Debug, Clone, Default)]
+pub struct PeerIndex {
+    postings: FxHashMap<TermId, Vec<Posting>>,
+    num_docs: usize,
+}
+
+impl PeerIndex {
+    /// Index the documents of all pages in `fragment`.
+    pub fn build(fragment: &Subgraph, corpus: &Corpus) -> Self {
+        let mut postings: FxHashMap<TermId, Vec<Posting>> = FxHashMap::default();
+        for &page in fragment.pages() {
+            for &(term, tf) in &corpus.document(page).terms {
+                postings.entry(term).or_default().push(Posting { page, tf });
+            }
+        }
+        PeerIndex {
+            postings,
+            num_docs: fragment.num_pages(),
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Document frequency of a term in this peer's collection.
+    pub fn df(&self, t: TermId) -> usize {
+        self.postings.get(&t).map_or(0, Vec::len)
+    }
+
+    /// Postings list of a term (empty slice if absent).
+    pub fn postings(&self, t: TermId) -> &[Posting] {
+        self.postings.get(&t).map_or(&[], Vec::as_slice)
+    }
+
+    /// Smoothed inverse document frequency:
+    /// `ln(1 + (N_docs − df + 0.5) / (df + 0.5))` (BM25-style, always > 0).
+    pub fn idf(&self, t: TermId) -> f64 {
+        let df = self.df(t) as f64;
+        let n = self.num_docs as f64;
+        (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+    }
+
+    /// tf·idf scores of all local documents matching *any* query term
+    /// (disjunctive semantics, like the paper's Web queries):
+    /// `score(d) = Σ_t (1 + ln tf(t, d)) · idf(t)`.
+    pub fn score_query(&self, terms: &[TermId]) -> Vec<(PageId, f64)> {
+        let mut acc: FxHashMap<PageId, f64> = FxHashMap::default();
+        for &t in terms {
+            let idf = self.idf(t);
+            for p in self.postings(t) {
+                *acc.entry(p.page).or_insert(0.0) += (1.0 + (p.tf as f64).ln()) * idf;
+            }
+        }
+        let mut out: Vec<(PageId, f64)> = acc.into_iter().collect();
+        out.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusParams;
+    use jxp_pagerank::{pagerank, PageRankConfig};
+    use jxp_webgraph::generators::{CategorizedGraph, CategorizedParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CategorizedGraph, Corpus) {
+        let cg = CategorizedGraph::generate(
+            &CategorizedParams {
+                num_categories: 2,
+                nodes_per_category: 60,
+                intra_out_per_node: 3,
+                cross_fraction: 0.1,
+            },
+            &mut StdRng::seed_from_u64(1),
+        );
+        let pr = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
+        let corpus = Corpus::generate(&cg, &pr, CorpusParams::default(), &mut StdRng::seed_from_u64(2));
+        (cg, corpus)
+    }
+
+    #[test]
+    fn index_counts_match_corpus() {
+        let (cg, corpus) = setup();
+        let frag = Subgraph::from_pages(&cg.graph, (0..30).map(PageId));
+        let idx = PeerIndex::build(&frag, &corpus);
+        assert_eq!(idx.num_docs(), 30);
+        // Every (term, doc) of the fragment appears exactly once.
+        let total_postings: usize = (0..30)
+            .map(|p| corpus.document(PageId(p)).terms.len())
+            .sum();
+        let indexed: usize = corpus
+            .documents()
+            .iter()
+            .flat_map(|d| d.terms.iter().map(move |&(t, _)| (d.page, t)))
+            .filter(|&(p, t)| p.0 < 30 && idx.postings(t).iter().any(|x| x.page == p))
+            .count();
+        assert_eq!(indexed, total_postings);
+    }
+
+    #[test]
+    fn idf_decreases_with_df() {
+        let (cg, corpus) = setup();
+        let frag = Subgraph::from_pages(&cg.graph, (0..60).map(PageId));
+        let idx = PeerIndex::build(&frag, &corpus);
+        // Background term 0 (most frequent) vs a rarer background term.
+        let common = crate::corpus::TermId(0);
+        let rare_df = (0..400u32)
+            .map(crate::corpus::TermId)
+            .filter(|&t| idx.df(t) > 0)
+            .min_by_key(|&t| idx.df(t))
+            .unwrap();
+        assert!(idx.df(common) > idx.df(rare_df));
+        assert!(idx.idf(common) < idx.idf(rare_df));
+        assert!(idx.idf(common) > 0.0);
+    }
+
+    #[test]
+    fn query_scoring_prefers_on_topic_documents() {
+        let (cg, corpus) = setup();
+        let frag = Subgraph::from_pages(&cg.graph, (0..120).map(PageId));
+        let idx = PeerIndex::build(&frag, &corpus);
+        let terms = corpus.top_topic_terms(0, 3);
+        let results = idx.score_query(&terms);
+        assert!(!results.is_empty());
+        // Top results must be category-0 documents.
+        for &(page, _) in results.iter().take(5) {
+            assert_eq!(corpus.category(page), 0, "off-topic page {page:?} in top-5");
+        }
+        // Scores sorted descending.
+        assert!(results.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn unknown_term_scores_nothing() {
+        let (cg, corpus) = setup();
+        let frag = Subgraph::from_pages(&cg.graph, (0..10).map(PageId));
+        let idx = PeerIndex::build(&frag, &corpus);
+        let results = idx.score_query(&[crate::corpus::TermId(999_999)]);
+        assert!(results.is_empty());
+        assert_eq!(idx.df(crate::corpus::TermId(999_999)), 0);
+    }
+}

@@ -1,0 +1,32 @@
+#![deny(missing_docs)]
+//! # jxp-minerva
+//!
+//! A Minerva-style P2P Web search engine (paper §6.3): "each Minerva peer
+//! is a full-fledged search engine with its own crawler, indexer, and
+//! query processor. […] A Web query issued by a peer is first executed
+//! locally on the peer's own content, and then possibly routed to a small
+//! number of remote peers for additional results."
+//!
+//! The paper's Table 2 experiment ranks merged results two ways — plain
+//! tf·idf and `0.6·tf·idf + 0.4·JXP` — and measures precision@10. The
+//! document contents and manual relevance assessments of the 2005 Web
+//! collection are unavailable, so [`corpus`] generates a synthetic topical
+//! corpus over the graph nodes with programmatic ground truth in which
+//! relevance correlates with page authority (see DESIGN.md §2 for why this
+//! substitution preserves the experiment's point).
+//!
+//! Modules: [`corpus`] (documents, queries, ground truth), [`index`]
+//! (per-peer inverted index, tf·idf), [`query`] (local execution),
+//! [`routing`] (peer selection + result merging), [`fusion`] (score
+//! combination), [`eval`] (precision@k, Table 2 harness).
+
+pub mod corpus;
+pub mod eval;
+pub mod fusion;
+pub mod index;
+pub mod query;
+pub mod routing;
+pub mod topk;
+
+pub use corpus::{Corpus, CorpusParams, Query, TermId};
+pub use index::PeerIndex;

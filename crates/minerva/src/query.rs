@@ -1,0 +1,58 @@
+//! Local query execution on one peer.
+
+use crate::corpus::Query;
+use crate::index::PeerIndex;
+use jxp_webgraph::PageId;
+
+/// A scored search result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// The result page.
+    pub page: PageId,
+    /// Its (un-normalized) tf·idf score at the answering peer.
+    pub tfidf: f64,
+}
+
+/// Execute `query` on a peer's index, returning its local top-`k`.
+pub fn execute_local(index: &PeerIndex, query: &Query, k: usize) -> Vec<SearchHit> {
+    index
+        .score_query(&query.terms)
+        .into_iter()
+        .take(k)
+        .map(|(page, tfidf)| SearchHit { page, tfidf })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, CorpusParams};
+    use jxp_pagerank::{pagerank, PageRankConfig};
+    use jxp_webgraph::generators::{CategorizedGraph, CategorizedParams};
+    use jxp_webgraph::Subgraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn local_execution_truncates_to_k() {
+        let cg = CategorizedGraph::generate(
+            &CategorizedParams {
+                num_categories: 2,
+                nodes_per_category: 50,
+                intra_out_per_node: 3,
+                cross_fraction: 0.1,
+            },
+            &mut StdRng::seed_from_u64(1),
+        );
+        let pr = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
+        let corpus =
+            Corpus::generate(&cg, &pr, CorpusParams::default(), &mut StdRng::seed_from_u64(2));
+        let frag = Subgraph::from_pages(&cg.graph, (0..50).map(PageId));
+        let idx = PeerIndex::build(&frag, &corpus);
+        let queries = corpus.make_queries(2, &mut StdRng::seed_from_u64(3));
+        let hits = execute_local(&idx, &queries[0], 7);
+        assert!(hits.len() <= 7);
+        assert!(!hits.is_empty());
+        assert!(hits.windows(2).all(|w| w[0].tfidf >= w[1].tfidf));
+    }
+}

@@ -1,0 +1,245 @@
+//! Threshold-algorithm top-k over distributed score lists.
+//!
+//! The real Minerva system (Bender, Michel, Triantafillou, Weikum,
+//! Zimmer — VLDB 2005, cited as reference 4) executes queries with
+//! Fagin-style top-k algorithms over per-term score lists so that peers
+//! ship only list *prefixes* instead of full postings. This module
+//! implements the classic **TA** (threshold algorithm): round-robin
+//! sorted access over the per-term lists, random access to complete each
+//! newly seen page's score, stopping as soon as the `k`-th best complete
+//! score reaches the threshold (the sum of the last-seen scores per
+//! list). The result is *exactly* the top-k — verified against exhaustive
+//! scoring in the tests — at a fraction of the accesses on skewed
+//! (tf·idf-like) score distributions.
+
+use crate::query::SearchHit;
+use jxp_webgraph::{FxHashMap, FxHashSet, PageId};
+
+/// One term's score list: descending scores with a random-access index.
+#[derive(Debug, Clone, Default)]
+pub struct ScoredList {
+    entries: Vec<(PageId, f64)>,
+    index: FxHashMap<PageId, f64>,
+}
+
+impl ScoredList {
+    /// Build from arbitrary `(page, score)` pairs; duplicates keep the
+    /// maximum score (the cross-peer merge rule).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (PageId, f64)>) -> Self {
+        let mut index: FxHashMap<PageId, f64> = FxHashMap::default();
+        for (p, s) in pairs {
+            let e = index.entry(p).or_insert(f64::NEG_INFINITY);
+            *e = e.max(s);
+        }
+        let mut entries: Vec<(PageId, f64)> = index.iter().map(|(&p, &s)| (p, s)).collect();
+        entries.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ScoredList { entries, index }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sorted access: the `i`-th best entry.
+    fn sorted(&self, i: usize) -> Option<(PageId, f64)> {
+        self.entries.get(i).copied()
+    }
+
+    /// Random access: the score of `p` in this list (0 if absent —
+    /// disjunctive query semantics).
+    fn random(&self, p: PageId) -> f64 {
+        self.index.get(&p).copied().unwrap_or(0.0)
+    }
+}
+
+/// Outcome of a TA run, with access accounting.
+#[derive(Debug, Clone)]
+pub struct TaResult {
+    /// The exact top-k by summed score, best first.
+    pub hits: Vec<SearchHit>,
+    /// Sorted accesses performed (list-prefix entries shipped).
+    pub sorted_accesses: usize,
+    /// Random accesses performed (per-page score lookups).
+    pub random_accesses: usize,
+    /// Total entries across all lists (the exhaustive-cost yardstick).
+    pub total_entries: usize,
+}
+
+/// Fagin's TA over `lists`, combining scores by **sum**, returning the
+/// exact top-`k`.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn ta_topk(lists: &[ScoredList], k: usize) -> TaResult {
+    assert!(k > 0, "top-0 is undefined");
+    let total_entries: usize = lists.iter().map(ScoredList::len).sum();
+    let mut seen: FxHashSet<PageId> = FxHashSet::default();
+    // Current top-k candidates: (score, page), kept sorted ascending so
+    // [0] is the weakest member.
+    let mut best: Vec<(f64, PageId)> = Vec::with_capacity(k + 1);
+    let mut sorted_accesses = 0usize;
+    let mut random_accesses = 0usize;
+
+    let mut depth = 0usize;
+    loop {
+        let mut any = false;
+        let mut threshold = 0.0;
+        for list in lists {
+            match list.sorted(depth) {
+                None => {}
+                Some((page, score)) => {
+                    any = true;
+                    sorted_accesses += 1;
+                    threshold += score;
+                    if seen.insert(page) {
+                        // Complete the page's score by random access.
+                        let mut total = 0.0;
+                        for other in lists {
+                            random_accesses += 1;
+                            total += other.random(page);
+                        }
+                        let pos = best
+                            .binary_search_by(|probe| {
+                                probe
+                                    .0
+                                    .partial_cmp(&total)
+                                    .unwrap()
+                                    .then(page.cmp(&probe.1))
+                            })
+                            .unwrap_or_else(|e| e);
+                        best.insert(pos, (total, page));
+                        if best.len() > k {
+                            best.remove(0);
+                        }
+                    }
+                }
+            }
+        }
+        depth += 1;
+        if !any {
+            break; // all lists exhausted
+        }
+        // TA stopping rule: the k-th best complete score dominates every
+        // unseen page's maximum possible score.
+        if best.len() == k && best[0].0 >= threshold {
+            break;
+        }
+    }
+    let hits = best
+        .into_iter()
+        .rev()
+        .map(|(score, page)| SearchHit { page, tfidf: score })
+        .collect();
+    TaResult {
+        hits,
+        sorted_accesses,
+        random_accesses,
+        total_entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reference: sum scores over all lists, take top-k.
+    fn exhaustive(lists: &[ScoredList], k: usize) -> Vec<(PageId, f64)> {
+        let mut acc: FxHashMap<PageId, f64> = FxHashMap::default();
+        for l in lists {
+            for &(p, s) in &l.entries {
+                *acc.entry(p).or_insert(0.0) += s;
+            }
+        }
+        let mut v: Vec<(PageId, f64)> = acc.into_iter().collect();
+        v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    fn zipfy_list(seed: u64, n: u32) -> ScoredList {
+        // Deterministic skewed scores: score ∝ 1/rank with shuffled pages.
+        ScoredList::from_pairs((0..n).map(|i| {
+            let page = PageId((i.wrapping_mul(2654435761).wrapping_add(seed as u32)) % n);
+            (page, 1.0 / (1.0 + ((i + 1) as f64)))
+        }))
+    }
+
+    #[test]
+    fn matches_exhaustive_on_small_inputs() {
+        let lists = vec![
+            ScoredList::from_pairs([(PageId(1), 0.9), (PageId(2), 0.5), (PageId(3), 0.1)]),
+            ScoredList::from_pairs([(PageId(2), 0.8), (PageId(3), 0.6), (PageId(4), 0.2)]),
+        ];
+        let r = ta_topk(&lists, 2);
+        let expect = exhaustive(&lists, 2);
+        assert_eq!(r.hits.len(), 2);
+        for (hit, (p, s)) in r.hits.iter().zip(expect.iter()) {
+            assert_eq!(hit.page, *p);
+            assert!((hit.tfidf - s).abs() < 1e-12);
+        }
+        // Page 2 wins: 0.5 + 0.8 = 1.3.
+        assert_eq!(r.hits[0].page, PageId(2));
+    }
+
+    #[test]
+    fn matches_exhaustive_on_skewed_lists() {
+        let lists = vec![zipfy_list(1, 500), zipfy_list(2, 500), zipfy_list(3, 500)];
+        for k in [1usize, 5, 20] {
+            let r = ta_topk(&lists, k);
+            let expect = exhaustive(&lists, k);
+            let got: Vec<PageId> = r.hits.iter().map(|h| h.page).collect();
+            let want: Vec<PageId> = expect.iter().map(|&(p, _)| p).collect();
+            assert_eq!(got, want, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn early_termination_saves_accesses() {
+        let lists = vec![zipfy_list(1, 2000), zipfy_list(2, 2000)];
+        let r = ta_topk(&lists, 5);
+        assert!(
+            r.sorted_accesses < r.total_entries / 2,
+            "no early termination: {} of {}",
+            r.sorted_accesses,
+            r.total_entries
+        );
+    }
+
+    #[test]
+    fn handles_disjoint_lists_and_short_k() {
+        let lists = vec![
+            ScoredList::from_pairs([(PageId(1), 0.9)]),
+            ScoredList::from_pairs([(PageId(2), 0.8)]),
+        ];
+        let r = ta_topk(&lists, 10);
+        assert_eq!(r.hits.len(), 2);
+        assert_eq!(r.hits[0].page, PageId(1));
+        assert_eq!(r.hits[1].page, PageId(2));
+    }
+
+    #[test]
+    fn duplicate_pairs_keep_max() {
+        let l = ScoredList::from_pairs([(PageId(1), 0.2), (PageId(1), 0.7), (PageId(1), 0.4)]);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.random(PageId(1)), 0.7);
+    }
+
+    #[test]
+    fn empty_lists_yield_empty_result() {
+        let r = ta_topk(&[ScoredList::default(), ScoredList::default()], 3);
+        assert!(r.hits.is_empty());
+        assert_eq!(r.sorted_accesses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "top-0")]
+    fn k_zero_panics() {
+        let _ = ta_topk(&[ScoredList::default()], 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Peer churn: a stochastic join/leave driver over a [`Network`].
+//!
+//! §5.3: "peers join and leave the P2P network at high rate (the
+//! so-called 'churn' phenomenon)… JXP has been designed to handle high
+//! dynamics, and the algorithms themselves can easily cope with changes in
+//! the Web graph, repeated crawls, or peer churn." There is no convergence
+//! proof under churn (the paper defers that to future work) — this module
+//! exists to *exercise* the robustness claim: the churn example and the
+//! integration tests drive a network through joins and leaves and verify
+//! that scores stay valid and keep approximating centralized PageRank.
+
+use crate::sim::Network;
+use jxp_webgraph::Subgraph;
+use rand::Rng;
+
+/// A stochastic churn model applied between meetings.
+#[derive(Debug, Clone)]
+pub struct ChurnModel {
+    /// Probability that a churn tick makes one peer leave.
+    pub leave_prob: f64,
+    /// Probability that a churn tick makes one peer join (a fragment is
+    /// drawn from the replacement pool).
+    pub join_prob: f64,
+    /// Minimum network size: leaves are suppressed below this.
+    pub min_peers: usize,
+    /// Maximum network size: joins are suppressed above this.
+    pub max_peers: usize,
+}
+
+impl Default for ChurnModel {
+    fn default() -> Self {
+        ChurnModel {
+            leave_prob: 0.02,
+            join_prob: 0.02,
+            min_peers: 3,
+            max_peers: 256,
+        }
+    }
+}
+
+/// What a churn tick did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// Nothing happened this tick.
+    None,
+    /// A peer joined (new index).
+    Joined(usize),
+    /// A peer left (former index).
+    Left(usize),
+}
+
+impl ChurnModel {
+    /// Apply one churn tick to `net`, drawing replacement fragments from
+    /// `pool` (round-robin by an internal cursor the caller supplies).
+    pub fn tick(
+        &self,
+        net: &mut Network,
+        pool: &[Subgraph],
+        cursor: &mut usize,
+        rng: &mut impl Rng,
+    ) -> ChurnEvent {
+        if net.num_peers() > self.min_peers && rng.gen_bool(self.leave_prob) {
+            let victim = rng.gen_range(0..net.num_peers());
+            net.remove_peer(victim);
+            return ChurnEvent::Left(victim);
+        }
+        if net.num_peers() < self.max_peers && !pool.is_empty() && rng.gen_bool(self.join_prob) {
+            let fragment = pool[*cursor % pool.len()].clone();
+            *cursor += 1;
+            net.add_peer(fragment);
+            return ChurnEvent::Joined(net.num_peers() - 1);
+        }
+        ChurnEvent::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::{assign_by_crawlers, CrawlerParams};
+    use crate::sim::NetworkConfig;
+    use jxp_webgraph::generators::{CategorizedGraph, CategorizedParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> (CategorizedGraph, Vec<Subgraph>) {
+        let cg = CategorizedGraph::generate(
+            &CategorizedParams {
+                num_categories: 2,
+                nodes_per_category: 80,
+                intra_out_per_node: 3,
+                cross_fraction: 0.2,
+            },
+            &mut StdRng::seed_from_u64(1),
+        );
+        let frags = assign_by_crawlers(
+            &cg,
+            &CrawlerParams {
+                peers_per_category: 3,
+                seeds_per_peer: 3,
+                max_depth: 3,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(2),
+        );
+        (cg, frags)
+    }
+
+    #[test]
+    fn network_survives_heavy_churn() {
+        let (cg, frags) = world();
+        let pool = frags.clone();
+        let mut net = Network::new(
+            frags,
+            cg.graph.num_nodes() as u64,
+            NetworkConfig::default(),
+            5,
+        );
+        let model = ChurnModel {
+            leave_prob: 0.3,
+            join_prob: 0.3,
+            min_peers: 3,
+            max_peers: 10,
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut cursor = 0;
+        let mut joins = 0;
+        let mut leaves = 0;
+        for _ in 0..100 {
+            net.step();
+            match model.tick(&mut net, &pool, &mut cursor, &mut rng) {
+                ChurnEvent::Joined(_) => joins += 1,
+                ChurnEvent::Left(_) => leaves += 1,
+                ChurnEvent::None => {}
+            }
+        }
+        assert!(joins > 0, "no joins in 100 high-churn ticks");
+        assert!(leaves > 0, "no leaves in 100 high-churn ticks");
+        assert!(net.num_peers() >= 3 && net.num_peers() <= 10);
+        // All surviving peers still hold a valid probability mass.
+        for p in net.peers() {
+            jxp_core::invariants::check_mass_conservation(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let (cg, frags) = world();
+        let pool = frags.clone();
+        let mut net = Network::new(
+            frags,
+            cg.graph.num_nodes() as u64,
+            NetworkConfig::default(),
+            5,
+        );
+        let model = ChurnModel {
+            leave_prob: 1.0,
+            join_prob: 0.0,
+            min_peers: 4,
+            max_peers: 100,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut cursor = 0;
+        for _ in 0..50 {
+            model.tick(&mut net, &pool, &mut cursor, &mut rng);
+        }
+        assert_eq!(net.num_peers(), 4);
+    }
+}

@@ -1,0 +1,181 @@
+//! Gossip-based estimation of the global page count `N`.
+//!
+//! JXP assumes `N` "is known or can be estimated with decent accuracy;
+//! there are efficient techniques for distributed counting with duplicate
+//! elimination" (§3). This module is that technique: every peer keeps a
+//! Flajolet–Martin sketch of its local page ids; when two peers meet they
+//! merge sketches (FM merging is exactly duplicate-insensitive set union,
+//! so overlapping fragments are **not** double-counted) and re-estimate.
+//! Estimates converge to the true `N` as knowledge spreads epidemically.
+
+use jxp_synopses::FmSketch;
+use jxp_webgraph::Subgraph;
+
+/// Per-peer FM sketches gossiped alongside JXP meetings.
+#[derive(Debug, Clone)]
+pub struct GossipCounter {
+    sketches: Vec<FmSketch>,
+    buckets: usize,
+}
+
+impl GossipCounter {
+    /// Initialize one sketch per fragment from its local page ids.
+    pub fn new(fragments: &[Subgraph], buckets: usize) -> Self {
+        let sketches = fragments
+            .iter()
+            .map(|f| Self::sketch_of(f, buckets))
+            .collect();
+        GossipCounter { sketches, buckets }
+    }
+
+    fn sketch_of(fragment: &Subgraph, buckets: usize) -> FmSketch {
+        let mut s = FmSketch::new(buckets);
+        for p in fragment.pages() {
+            s.insert(p.0 as u64);
+        }
+        s
+    }
+
+    /// Number of tracked peers.
+    pub fn len(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// Whether no peers are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.sketches.is_empty()
+    }
+
+    /// Peer `p`'s current estimate of `N`, floored at its own fragment
+    /// size implied by the sketch (estimates are real-valued).
+    pub fn estimate(&self, p: usize) -> f64 {
+        self.sketches[p].estimate()
+    }
+
+    /// Gossip step: peers `a` and `b` exchange and merge sketches; both
+    /// end up with the union.
+    pub fn merge_pair(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "peer cannot gossip with itself");
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (left, right) = self.sketches.split_at_mut(hi);
+        left[lo].merge(&right[0]);
+        right[0] = left[lo].clone();
+    }
+
+    /// Track a joining peer.
+    pub fn add_peer(&mut self, fragment: &Subgraph) {
+        self.sketches.push(Self::sketch_of(fragment, self.buckets));
+    }
+
+    /// Stop tracking a peer (swap-remove semantics, mirroring the
+    /// network's peer list).
+    pub fn remove_peer(&mut self, p: usize) {
+        self.sketches.swap_remove(p);
+    }
+
+    /// Bytes one sketch adds to a meeting message.
+    pub fn wire_size(&self) -> usize {
+        self.sketches.first().map_or(0, FmSketch::wire_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jxp_webgraph::{GraphBuilder, PageId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fragments(total: u32, per_peer: u32, peers: usize, seed: u64) -> Vec<Subgraph> {
+        let mut b = GraphBuilder::new();
+        for i in 0..total {
+            b.add_edge(PageId(i), PageId((i + 1) % total));
+        }
+        let g = b.build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..peers)
+            .map(|_| {
+                let pages: Vec<PageId> = (0..per_peer)
+                    .map(|_| PageId(rng.gen_range(0..total)))
+                    .collect();
+                Subgraph::from_pages(&g, pages)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn initial_estimate_reflects_local_fragment() {
+        let frags = fragments(1000, 100, 4, 1);
+        let gc = GossipCounter::new(&frags, 128);
+        for (p, frag) in frags.iter().enumerate() {
+            let est = gc.estimate(p);
+            let n = frag.num_pages() as f64;
+            assert!((est - n).abs() / n < 0.5, "peer {p}: est {est} vs {n}");
+        }
+    }
+
+    #[test]
+    fn gossip_converges_to_global_count() {
+        // 20 peers × 200 random pages of 1000 → union ≈ 1000 (high cover).
+        let frags = fragments(1000, 300, 20, 2);
+        let mut gc = GossipCounter::new(&frags, 256);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let a = rng.gen_range(0..20);
+            let mut b = rng.gen_range(0..19);
+            if b >= a {
+                b += 1;
+            }
+            gc.merge_pair(a, b);
+        }
+        // True distinct count over all fragments:
+        let mut all = jxp_webgraph::FxHashSet::default();
+        for f in &frags {
+            all.extend(f.pages().iter().copied());
+        }
+        let truth = all.len() as f64;
+        for p in 0..20 {
+            let est = gc.estimate(p);
+            assert!(
+                (est - truth).abs() / truth < 0.3,
+                "peer {p}: est {est} vs true {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_is_not_double_counted() {
+        // Two peers with identical fragments: merged estimate must stay
+        // near the single-fragment count, not double it.
+        let frags = fragments(500, 200, 1, 4);
+        let twin = vec![frags[0].clone(), frags[0].clone()];
+        let mut gc = GossipCounter::new(&twin, 256);
+        let single = gc.estimate(0);
+        gc.merge_pair(0, 1);
+        let merged = gc.estimate(0);
+        assert!(
+            (merged - single).abs() / single < 0.01,
+            "single {single}, merged {merged}"
+        );
+    }
+
+    #[test]
+    fn churn_operations() {
+        let frags = fragments(300, 50, 3, 5);
+        let mut gc = GossipCounter::new(&frags, 64);
+        assert_eq!(gc.len(), 3);
+        gc.add_peer(&frags[0]);
+        assert_eq!(gc.len(), 4);
+        gc.remove_peer(1);
+        assert_eq!(gc.len(), 3);
+        assert!(gc.wire_size() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gossip with itself")]
+    fn self_gossip_panics() {
+        let frags = fragments(100, 10, 2, 6);
+        let mut gc = GossipCounter::new(&frags, 64);
+        gc.merge_pair(1, 1);
+    }
+}

@@ -1,0 +1,414 @@
+//! Discrete-event **asynchronous** network simulation.
+//!
+//! The paper's meetings are asynchronous: "The information is then
+//! combined by both of the two meeting peers, asynchronously and
+//! independently of each other" (§3), over a real network with latency
+//! and loss. [`sim::Network`](crate::sim::Network) idealizes this as an
+//! atomic pairwise exchange; this module drops the idealization: peers
+//! initiate meetings on their own (exponential) clocks, payloads travel
+//! with latency, may be lost, and each side absorbs whatever arrives,
+//! whenever it arrives. JXP must keep converging — and the integration
+//! tests verify it does, which is the substance behind the paper's claim
+//! that the algorithm "has been designed to handle high dynamics".
+
+use jxp_core::{JxpConfig, JxpPeer, MeetingPayload};
+use jxp_pagerank::Ranking;
+use jxp_webgraph::Subgraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Timing/loss model of the asynchronous network.
+#[derive(Debug, Clone)]
+pub struct EventSimConfig {
+    /// JXP parameters shared by all peers.
+    pub jxp: JxpConfig,
+    /// Mean time between meeting initiations *per peer* (exponential).
+    pub mean_meeting_interval: f64,
+    /// Mean one-way message latency (exponential).
+    pub mean_latency: f64,
+    /// Probability that any single message is lost in transit.
+    pub drop_probability: f64,
+}
+
+impl Default for EventSimConfig {
+    fn default() -> Self {
+        EventSimConfig {
+            jxp: JxpConfig::default(),
+            mean_meeting_interval: 10.0,
+            mean_latency: 0.5,
+            drop_probability: 0.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    /// Peer `initiator` starts a meeting with a random partner.
+    Initiate { initiator: usize },
+    /// A payload arrives at `to`; if `expects_reply`, the receiver sends
+    /// its own payload back (completing the bidirectional exchange).
+    Deliver {
+        to: usize,
+        from: usize,
+        payload: Box<MeetingPayload>,
+        expects_reply: bool,
+    },
+}
+
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (time, seq): reverse the natural order.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Statistics of an asynchronous run.
+#[derive(Debug, Clone, Default)]
+pub struct EventStats {
+    /// Payloads successfully delivered and absorbed.
+    pub delivered: u64,
+    /// Payloads lost in transit.
+    pub dropped: u64,
+    /// Meetings initiated.
+    pub initiated: u64,
+    /// Bytes delivered.
+    pub bytes: u64,
+}
+
+/// An asynchronous, discrete-event JXP network.
+pub struct EventNetwork {
+    peers: Vec<JxpPeer>,
+    config: EventSimConfig,
+    clock: f64,
+    seq: u64,
+    queue: BinaryHeap<Event>,
+    rng: StdRng,
+    stats: EventStats,
+}
+
+impl EventNetwork {
+    /// Build the network and schedule every peer's first initiation.
+    ///
+    /// # Panics
+    /// Panics with fewer than two fragments or invalid timing parameters.
+    pub fn new(fragments: Vec<Subgraph>, n_total: u64, config: EventSimConfig, seed: u64) -> Self {
+        assert!(fragments.len() >= 2, "a network needs at least two peers");
+        assert!(config.mean_meeting_interval > 0.0, "interval must be positive");
+        assert!(config.mean_latency >= 0.0, "latency must be non-negative");
+        assert!(
+            (0.0..1.0).contains(&config.drop_probability),
+            "drop probability must be in [0, 1)"
+        );
+        let peers: Vec<JxpPeer> = fragments
+            .into_iter()
+            .map(|f| JxpPeer::new(f, n_total, config.jxp.clone()))
+            .collect();
+        let mut net = EventNetwork {
+            peers,
+            config,
+            clock: 0.0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            stats: EventStats::default(),
+        };
+        for p in 0..net.peers.len() {
+            let delay = net.exponential(net.config.mean_meeting_interval);
+            net.push(delay, EventKind::Initiate { initiator: p });
+        }
+        net
+    }
+
+    fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    fn push(&mut self, delay: f64, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Event {
+            time: self.clock + delay,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    fn send(&mut self, from: usize, to: usize, expects_reply: bool) {
+        let payload = self.peers[from].payload();
+        if self.rng.gen_bool(self.config.drop_probability) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let latency = self.exponential(self.config.mean_latency);
+        self.push(
+            latency,
+            EventKind::Deliver {
+                to,
+                from,
+                payload: Box::new(payload),
+                expects_reply,
+            },
+        );
+    }
+
+    /// Process one event. Returns `false` only if the queue is empty
+    /// (cannot happen: initiations reschedule themselves).
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.clock, "time went backwards");
+        self.clock = ev.time;
+        match ev.kind {
+            EventKind::Initiate { initiator } => {
+                self.stats.initiated += 1;
+                let n = self.peers.len();
+                let mut partner = self.rng.gen_range(0..n - 1);
+                if partner >= initiator {
+                    partner += 1;
+                }
+                self.send(initiator, partner, true);
+                // Schedule this peer's next initiation.
+                let delay = self.exponential(self.config.mean_meeting_interval);
+                self.push(delay, EventKind::Initiate { initiator });
+            }
+            EventKind::Deliver {
+                to,
+                from,
+                payload,
+                expects_reply,
+            } => {
+                self.stats.delivered += 1;
+                self.stats.bytes += payload.wire_size() as u64;
+                self.peers[to].absorb(&payload);
+                if expects_reply {
+                    self.send(to, from, false);
+                }
+            }
+        }
+        true
+    }
+
+    /// Run until the simulated clock passes `t`.
+    pub fn run_until(&mut self, t: f64) {
+        while self.clock < t && self.step() {}
+    }
+
+    /// Run exactly `count` events.
+    pub fn run_events(&mut self, count: usize) {
+        for _ in 0..count {
+            if !self.step() {
+                break;
+            }
+        }
+    }
+
+    /// Current simulated time.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The peers (read-only).
+    pub fn peers(&self) -> &[JxpPeer] {
+        &self.peers
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &EventStats {
+        &self.stats
+    }
+
+    /// The network-wide total ranking (§6.2 evaluation construction).
+    pub fn total_ranking(&self) -> Ranking {
+        jxp_core::evaluate::total_ranking(self.peers.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jxp_pagerank::{metrics, pagerank, PageRankConfig};
+    use jxp_webgraph::generators::{CategorizedGraph, CategorizedParams};
+    use jxp_webgraph::PageId;
+
+    fn world() -> (CategorizedGraph, Vec<Subgraph>) {
+        let cg = CategorizedGraph::generate(
+            &CategorizedParams {
+                num_categories: 3,
+                nodes_per_category: 70,
+                intra_out_per_node: 3,
+                cross_fraction: 0.2,
+            },
+            &mut StdRng::seed_from_u64(61),
+        );
+        // Overlapping random slices covering every page.
+        let n = cg.graph.num_nodes() as u32;
+        let mut rng = StdRng::seed_from_u64(62);
+        let mut frags: Vec<Vec<PageId>> = vec![Vec::new(); 8];
+        for p in 0..n {
+            frags[rng.gen_range(0..8)].push(PageId(p));
+            if rng.gen_bool(0.3) {
+                frags[rng.gen_range(0..8)].push(PageId(p));
+            }
+        }
+        let subs = frags
+            .into_iter()
+            .map(|ps| Subgraph::from_pages(&cg.graph, ps))
+            .collect();
+        (cg, subs)
+    }
+
+    #[test]
+    fn clock_advances_and_events_flow() {
+        let (cg, frags) = world();
+        let mut net = EventNetwork::new(
+            frags,
+            cg.graph.num_nodes() as u64,
+            EventSimConfig::default(),
+            63,
+        );
+        net.run_events(200);
+        assert!(net.clock() > 0.0);
+        assert!(net.stats().initiated > 0);
+        assert!(net.stats().delivered > 0);
+        assert!(net.stats().bytes > 0);
+        assert_eq!(net.stats().dropped, 0);
+    }
+
+    #[test]
+    fn converges_under_latency() {
+        let (cg, frags) = world();
+        let truth = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
+        let truth_ranking = jxp_core::evaluate::centralized_ranking(&truth);
+        let mut net = EventNetwork::new(
+            frags,
+            cg.graph.num_nodes() as u64,
+            EventSimConfig {
+                mean_latency: 5.0, // latency at half the meeting interval
+                ..Default::default()
+            },
+            64,
+        );
+        let before = metrics::footrule_distance(&net.total_ranking(), &truth_ranking, 50);
+        net.run_until(2_000.0);
+        let after = metrics::footrule_distance(&net.total_ranking(), &truth_ranking, 50);
+        assert!(after < before, "no improvement: {before} → {after}");
+        assert!(after < 0.1, "footrule after async run: {after}");
+    }
+
+    #[test]
+    fn survives_heavy_message_loss() {
+        let (cg, frags) = world();
+        let truth = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
+        let truth_ranking = jxp_core::evaluate::centralized_ranking(&truth);
+        let mut net = EventNetwork::new(
+            frags,
+            cg.graph.num_nodes() as u64,
+            EventSimConfig {
+                drop_probability: 0.5,
+                ..Default::default()
+            },
+            65,
+        );
+        net.run_until(3_000.0);
+        assert!(net.stats().dropped > 0, "loss model never fired");
+        for p in net.peers() {
+            jxp_core::invariants::check_mass_conservation(p).unwrap();
+        }
+        let f = metrics::footrule_distance(&net.total_ranking(), &truth_ranking, 50);
+        assert!(f < 0.15, "footrule under 50% loss: {f}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (cg, frags) = world();
+        let run = |seed| {
+            let mut net = EventNetwork::new(
+                frags.clone(),
+                cg.graph.num_nodes() as u64,
+                EventSimConfig::default(),
+                seed,
+            );
+            net.run_events(300);
+            (net.clock(), net.stats().delivered, net.peers()[0].scores().to_vec())
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+        let c = run(10);
+        assert_ne!(a.0, c.0, "different seeds should give different clocks");
+    }
+
+    #[test]
+    fn async_matches_synchronous_accuracy() {
+        // The idealized synchronous simulator and the async one must land
+        // in the same accuracy regime for comparable meeting counts.
+        let (cg, frags) = world();
+        let n = cg.graph.num_nodes() as u64;
+        let truth = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
+        let truth_ranking = jxp_core::evaluate::centralized_ranking(&truth);
+
+        let mut sync_net = crate::sim::Network::new(
+            frags.clone(),
+            n,
+            crate::sim::NetworkConfig::default(),
+            66,
+        );
+        sync_net.run(200);
+        let sync_f = metrics::footrule_distance(&sync_net.total_ranking(), &truth_ranking, 50);
+
+        let mut async_net = EventNetwork::new(frags, n, EventSimConfig::default(), 66);
+        while async_net.stats().initiated < 200 {
+            async_net.step();
+        }
+        let async_f =
+            metrics::footrule_distance(&async_net.total_ranking(), &truth_ranking, 50);
+        assert!(
+            (async_f - sync_f).abs() < 0.1,
+            "async {async_f} vs sync {sync_f}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn invalid_drop_probability_panics() {
+        let (cg, frags) = world();
+        let _ = EventNetwork::new(
+            frags,
+            cg.graph.num_nodes() as u64,
+            EventSimConfig {
+                drop_probability: 1.0,
+                ..Default::default()
+            },
+            1,
+        );
+    }
+}

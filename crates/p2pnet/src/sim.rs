@@ -1,0 +1,475 @@
+//! The network simulator: peers, meeting scheduling, accounting.
+//!
+//! Mirrors the paper's experimental driver: a set of peers over one global
+//! graph, a global meeting counter (the x-axis of Figures 4–10), meetings
+//! between a random initiator and a strategy-chosen partner, and
+//! per-meeting bandwidth/CPU accounting.
+
+use crate::bandwidth::BandwidthLog;
+use crate::count::GossipCounter;
+use jxp_core::meeting::{meet, MeetingStats};
+use jxp_core::selection::{
+    observe_meeting, select_partner, PeerSynopses, SelectionStrategy, SelectorState,
+};
+use jxp_core::{JxpConfig, JxpPeer};
+use jxp_pagerank::Ranking;
+use jxp_synopses::mips::MipsPermutations;
+use jxp_webgraph::Subgraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// JXP algorithm parameters shared by all peers.
+    pub jxp: JxpConfig,
+    /// Peer-selection strategy shared by all peers.
+    pub strategy: SelectionStrategy,
+    /// Dimensionality of the MIPs vectors (paper §4.3).
+    pub mips_dims: usize,
+    /// Seed of the shared MIPs permutation family.
+    pub mips_seed: u64,
+    /// When `true`, peers do not receive the true `N`; they estimate it by
+    /// gossiping FM sketches (the §3 "work without this estimate"
+    /// modification).
+    pub estimate_n: bool,
+    /// FM-sketch buckets for the `N` estimation.
+    pub fm_buckets: usize,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            jxp: JxpConfig::default(),
+            strategy: SelectionStrategy::Random,
+            mips_dims: 64,
+            mips_seed: 0x4D49_5053,
+            estimate_n: false,
+            fm_buckets: 256,
+        }
+    }
+}
+
+/// Record of one simulated meeting.
+#[derive(Debug, Clone)]
+pub struct MeetingRecord {
+    /// Peer that initiated the meeting.
+    pub initiator: usize,
+    /// Chosen partner.
+    pub partner: usize,
+    /// The core meeting measurements (bytes, CPU time per side).
+    pub stats: MeetingStats,
+}
+
+/// A simulated P2P network of JXP peers.
+pub struct Network {
+    peers: Vec<JxpPeer>,
+    synopses: Vec<PeerSynopses>,
+    states: Vec<SelectorState>,
+    counter: Option<GossipCounter>,
+    perms: MipsPermutations,
+    config: NetworkConfig,
+    default_n: u64,
+    rng: StdRng,
+    bandwidth: BandwidthLog,
+    meetings: u64,
+}
+
+impl Network {
+    /// Build a network from per-peer fragments of a global graph with
+    /// `n_total` pages. `seed` drives all simulator randomness.
+    ///
+    /// # Panics
+    /// Panics if fewer than two fragments are supplied.
+    pub fn new(fragments: Vec<Subgraph>, n_total: u64, config: NetworkConfig, seed: u64) -> Self {
+        assert!(fragments.len() >= 2, "a network needs at least two peers");
+        let perms = MipsPermutations::generate(config.mips_dims, config.mips_seed);
+        let counter = config
+            .estimate_n
+            .then(|| GossipCounter::new(&fragments, config.fm_buckets));
+        let num = fragments.len();
+        let synopses: Vec<PeerSynopses> = fragments
+            .iter()
+            .map(|f| PeerSynopses::compute(f, &perms))
+            .collect();
+        let peers: Vec<JxpPeer> = fragments
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let n = match &counter {
+                    Some(c) => (c.estimate(i).ceil() as u64).max(f.num_pages() as u64),
+                    None => n_total,
+                };
+                JxpPeer::new(f, n, config.jxp.clone())
+            })
+            .collect();
+        Network {
+            peers,
+            synopses,
+            states: vec![SelectorState::default(); num],
+            counter,
+            perms,
+            config,
+            default_n: n_total,
+            rng: StdRng::seed_from_u64(seed),
+            bandwidth: BandwidthLog::new(num),
+            meetings: 0,
+        }
+    }
+
+    /// Number of peers currently in the network.
+    pub fn num_peers(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The peers (read-only).
+    pub fn peers(&self) -> &[JxpPeer] {
+        &self.peers
+    }
+
+    /// One peer (read-only).
+    pub fn peer(&self, p: usize) -> &JxpPeer {
+        &self.peers[p]
+    }
+
+    /// Global meeting counter (the x-axis of the convergence figures).
+    pub fn meetings(&self) -> u64 {
+        self.meetings
+    }
+
+    /// Bandwidth accounting.
+    pub fn bandwidth(&self) -> &BandwidthLog {
+        &self.bandwidth
+    }
+
+    /// Whether the pre-meetings strategy is active.
+    fn premeetings_cfg(&self) -> Option<&jxp_core::selection::PreMeetingsConfig> {
+        match &self.config.strategy {
+            SelectionStrategy::PreMeetings(cfg) => Some(cfg),
+            SelectionStrategy::Random => None,
+        }
+    }
+
+    /// Execute one meeting: a uniformly random initiator chooses a partner
+    /// per the configured strategy; both sides exchange and absorb.
+    pub fn step(&mut self) -> MeetingRecord {
+        let n = self.peers.len();
+        let initiator = self.rng.gen_range(0..n);
+        let partner = select_partner(
+            &mut self.states[initiator],
+            &self.config.strategy,
+            initiator,
+            n,
+            &mut self.rng,
+        );
+        debug_assert_ne!(initiator, partner);
+        let (a, b) = pair_mut(&mut self.peers, initiator, partner);
+        let stats = meet(a, b);
+        // Piggybacked synopses add to the message size under pre-meetings.
+        let synopsis_bytes = if self.premeetings_cfg().is_some() {
+            self.synopses[initiator].wire_size() as u64
+        } else {
+            0
+        };
+        let sketch_bytes = self.counter.as_ref().map_or(0, |c| c.wire_size() as u64);
+        self.bandwidth.record_meeting(
+            initiator,
+            stats.bytes_a_to_b as u64 + synopsis_bytes + sketch_bytes,
+            partner,
+            stats.bytes_b_to_a as u64 + synopsis_bytes + sketch_bytes,
+        );
+        if let Some(cfg) = self.premeetings_cfg().cloned() {
+            let before: u64 = self.states[initiator].premeeting_bytes
+                + self.states[partner].premeeting_bytes;
+            observe_meeting(&mut self.states, &self.synopses, initiator, partner, &cfg);
+            let after: u64 = self.states[initiator].premeeting_bytes
+                + self.states[partner].premeeting_bytes;
+            self.bandwidth.record_premeeting(after - before);
+        }
+        if let Some(counter) = &mut self.counter {
+            counter.merge_pair(initiator, partner);
+            for p in [initiator, partner] {
+                let est = counter
+                    .estimate(p)
+                    .max(self.peers[p].num_pages() as f64);
+                self.peers[p].set_n_total(est);
+            }
+        }
+        self.meetings += 1;
+        MeetingRecord {
+            initiator,
+            partner,
+            stats,
+        }
+    }
+
+    /// Run `count` meetings.
+    pub fn run(&mut self, count: usize) {
+        for _ in 0..count {
+            self.step();
+        }
+    }
+
+    /// Aggregate peer-selection statistics:
+    /// `(selections, candidate-driven, cache revisits, cached ids total)`.
+    pub fn selection_stats(&self) -> (usize, usize, usize, usize) {
+        self.states.iter().fold((0, 0, 0, 0), |acc, s| {
+            (
+                acc.0 + s.selections(),
+                acc.1 + s.candidate_selections(),
+                acc.2 + s.revisit_selections(),
+                acc.3 + s.cached().len(),
+            )
+        })
+    }
+
+    /// The network-wide total ranking (§6.2 evaluation construction).
+    pub fn total_ranking(&self) -> Ranking {
+        jxp_core::evaluate::total_ranking(self.peers.iter())
+    }
+
+    /// A joining peer (churn). Selector caches are left untouched —
+    /// indices of existing peers are stable under push.
+    pub fn add_peer(&mut self, fragment: Subgraph) {
+        let n = match &mut self.counter {
+            Some(c) => {
+                c.add_peer(&fragment);
+                (c.estimate(self.peers.len()).ceil() as u64).max(fragment.num_pages() as u64)
+            }
+            None => self.default_n,
+        };
+        self.synopses
+            .push(PeerSynopses::compute(&fragment, &self.perms));
+        self.peers
+            .push(JxpPeer::new(fragment, n, self.config.jxp.clone()));
+        self.states.push(SelectorState::default());
+        self.bandwidth.add_peer();
+    }
+
+    /// A peer re-joining **with state** (e.g. restored from a
+    /// [`jxp_core::snapshot`]): unlike [`add_peer`](Network::add_peer) it
+    /// keeps its accumulated world knowledge and scores.
+    pub fn add_existing_peer(&mut self, peer: JxpPeer) {
+        if let Some(c) = &mut self.counter {
+            c.add_peer(peer.graph());
+        }
+        self.synopses
+            .push(PeerSynopses::compute(peer.graph(), &self.perms));
+        self.peers.push(peer);
+        self.states.push(SelectorState::default());
+        self.bandwidth.add_peer();
+    }
+
+    /// A departing peer (churn). Uses swap-remove, which renumbers the
+    /// last peer; all selector caches are reset because cached ids become
+    /// stale (a real network keys caches by durable peer ids — the
+    /// simulator models the loss of cached knowledge conservatively).
+    ///
+    /// # Panics
+    /// Panics if removal would leave fewer than two peers.
+    pub fn remove_peer(&mut self, p: usize) -> JxpPeer {
+        assert!(self.peers.len() > 2, "cannot shrink below two peers");
+        let peer = self.peers.swap_remove(p);
+        self.synopses.swap_remove(p);
+        if let Some(c) = &mut self.counter {
+            c.remove_peer(p);
+        }
+        self.states = vec![SelectorState::default(); self.peers.len()];
+        peer
+    }
+}
+
+/// Mutable references to two distinct elements.
+fn pair_mut<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert_ne!(i, j, "cannot borrow the same element twice");
+    if i < j {
+        let (l, r) = v.split_at_mut(j);
+        (&mut l[i], &mut r[0])
+    } else {
+        let (l, r) = v.split_at_mut(i);
+        (&mut r[0], &mut l[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jxp_core::selection::PreMeetingsConfig;
+    use jxp_pagerank::{metrics, pagerank, PageRankConfig};
+    use jxp_webgraph::generators::{CategorizedGraph, CategorizedParams};
+    use jxp_webgraph::PageId;
+
+    fn small_world() -> (CategorizedGraph, Vec<Subgraph>) {
+        let cg = CategorizedGraph::generate(
+            &CategorizedParams {
+                num_categories: 3,
+                nodes_per_category: 100,
+                intra_out_per_node: 4,
+                cross_fraction: 0.2,
+            },
+            &mut StdRng::seed_from_u64(1),
+        );
+        let params = crate::assign::CrawlerParams {
+            peers_per_category: 2,
+            seeds_per_peer: 4,
+            max_depth: 3,
+            ..Default::default()
+        };
+        let frags = crate::assign::assign_by_crawlers(&cg, &params, &mut StdRng::seed_from_u64(2));
+        (cg, frags)
+    }
+
+    #[test]
+    fn network_runs_and_counts_meetings() {
+        let (cg, frags) = small_world();
+        let mut net = Network::new(
+            frags,
+            cg.graph.num_nodes() as u64,
+            NetworkConfig::default(),
+            7,
+        );
+        net.run(20);
+        assert_eq!(net.meetings(), 20);
+        assert!(net.bandwidth().total_bytes() > 0);
+        assert_eq!(net.num_peers(), 6);
+    }
+
+    #[test]
+    fn convergence_toward_centralized_pagerank() {
+        let (cg, frags) = small_world();
+        let truth = pagerank(&cg.graph, &PageRankConfig::default());
+        let truth_ranking = jxp_core::evaluate::centralized_ranking(truth.scores());
+        let mut net = Network::new(
+            frags,
+            cg.graph.num_nodes() as u64,
+            NetworkConfig::default(),
+            7,
+        );
+        let early = metrics::footrule_distance(&net.total_ranking(), &truth_ranking, 50);
+        net.run(150);
+        let late = metrics::footrule_distance(&net.total_ranking(), &truth_ranking, 50);
+        assert!(
+            late < early,
+            "footrule did not improve: {early} → {late}"
+        );
+        assert!(late < 0.35, "footrule after 150 meetings: {late}");
+    }
+
+    #[test]
+    fn premeetings_strategy_runs() {
+        let (cg, frags) = small_world();
+        let config = NetworkConfig {
+            strategy: SelectionStrategy::PreMeetings(PreMeetingsConfig::default()),
+            ..Default::default()
+        };
+        let mut net = Network::new(frags, cg.graph.num_nodes() as u64, config, 9);
+        net.run(60);
+        assert_eq!(net.meetings(), 60);
+        // Synopses piggyback on messages, so totals include them.
+        assert!(net.bandwidth().total_bytes() > 0);
+    }
+
+    #[test]
+    fn estimate_n_mode_converges_to_network_coverage() {
+        let (_cg, frags) = small_world();
+        // The gossip target is the number of *distinct pages the network
+        // holds* (crawlers may not reach every page of the global graph).
+        let covered = {
+            let mut s = jxp_webgraph::FxHashSet::default();
+            for f in &frags {
+                s.extend(f.pages().iter().copied());
+            }
+            s.len() as f64
+        };
+        let config = NetworkConfig {
+            estimate_n: true,
+            ..Default::default()
+        };
+        let mut net = Network::new(frags, 0 /* unused */, config, 11);
+        let spread_initial: f64 = (0..net.num_peers())
+            .map(|p| (net.peer(p).n_total() - covered).abs())
+            .sum();
+        net.run(100);
+        for p in 0..net.num_peers() {
+            let est = net.peer(p).n_total();
+            assert!(
+                (est - covered).abs() / covered < 0.35,
+                "peer {p} N estimate {est} vs covered {covered}"
+            );
+        }
+        let spread_final: f64 = (0..net.num_peers())
+            .map(|p| (net.peer(p).n_total() - covered).abs())
+            .sum();
+        assert!(spread_final < spread_initial, "gossip did not tighten estimates");
+    }
+
+    #[test]
+    fn churn_join_and_leave() {
+        let (cg, frags) = small_world();
+        let extra = frags[0].clone();
+        let mut net = Network::new(
+            frags,
+            cg.graph.num_nodes() as u64,
+            NetworkConfig::default(),
+            13,
+        );
+        net.run(10);
+        net.add_peer(extra);
+        assert_eq!(net.num_peers(), 7);
+        net.run(10);
+        let gone = net.remove_peer(0);
+        assert!(gone.num_pages() > 0);
+        assert_eq!(net.num_peers(), 6);
+        net.run(10);
+        assert_eq!(net.meetings(), 30);
+    }
+
+    #[test]
+    fn pair_mut_returns_distinct_references() {
+        let mut v = vec![1, 2, 3];
+        let (a, b) = pair_mut(&mut v, 2, 0);
+        *a += 10;
+        *b += 100;
+        assert_eq!(v, vec![101, 2, 13]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same element")]
+    fn pair_mut_same_index_panics() {
+        let mut v = vec![1, 2];
+        let _ = pair_mut(&mut v, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two peers")]
+    fn single_fragment_network_panics() {
+        let (cg, frags) = small_world();
+        let _ = Network::new(
+            vec![frags[0].clone()],
+            cg.graph.num_nodes() as u64,
+            NetworkConfig::default(),
+            1,
+        );
+    }
+
+    #[test]
+    fn total_ranking_has_scores_for_covered_pages() {
+        let (cg, frags) = small_world();
+        let covered: usize = {
+            let mut s = jxp_webgraph::FxHashSet::default();
+            for f in &frags {
+                s.extend(f.pages().iter().copied());
+            }
+            s.len()
+        };
+        let net = Network::new(
+            frags,
+            cg.graph.num_nodes() as u64,
+            NetworkConfig::default(),
+            3,
+        );
+        let r = net.total_ranking();
+        assert_eq!(r.len(), covered);
+        assert!(r.score(PageId(0)).is_some() || covered < cg.graph.num_nodes());
+    }
+}

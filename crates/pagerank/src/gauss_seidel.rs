@@ -1,0 +1,155 @@
+//! Gauss–Seidel PageRank.
+//!
+//! The paper's opening motivation is that PR computation "is quite
+//! expensive", citing work on speeding it up [20, 27]. The classic
+//! in-place (Gauss–Seidel) iteration is the simplest of those
+//! accelerations: each update uses the *already-updated* scores of
+//! preceding pages within the same sweep, roughly halving the number of
+//! sweeps needed compared to Jacobi-style power iteration. Same fixed
+//! point, same configuration — a drop-in alternative for the centralized
+//! ground-truth computation on larger collections.
+
+use crate::power::{PageRankConfig, PageRankResult};
+use jxp_webgraph::{CsrGraph, PageId};
+
+/// Compute PageRank by Gauss–Seidel sweeps. Produces the same fixed point
+/// as [`pagerank`](crate::pagerank) (within tolerance), usually in fewer
+/// sweeps.
+///
+/// # Panics
+/// Panics if the graph is empty or the config invalid.
+pub fn pagerank_gauss_seidel(g: &CsrGraph, config: &PageRankConfig) -> PageRankResult {
+    config.validate();
+    let n = g.num_nodes();
+    assert!(n > 0, "PageRank of an empty graph is undefined");
+    let eps = config.epsilon;
+    let uniform = 1.0 / n as f64;
+    let inv_out: Vec<f64> = (0..n)
+        .map(|v| {
+            let d = g.out_degree(PageId(v as u32));
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / d as f64
+            }
+        })
+        .collect();
+    let is_dangling: Vec<bool> = (0..n)
+        .map(|v| g.out_degree(PageId(v as u32)) == 0)
+        .collect();
+
+    let mut x = vec![uniform; n];
+    // Dangling mass is maintained incrementally so in-sweep updates see
+    // the freshest value (that is the point of Gauss–Seidel).
+    let mut dangling_mass: f64 = is_dangling
+        .iter()
+        .zip(x.iter())
+        .filter(|(d, _)| **d)
+        .map(|(_, v)| v)
+        .sum();
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < config.max_iterations {
+        iterations += 1;
+        let mut delta = 0.0;
+        // Sweep in descending id order: generated and crawled Web graphs
+        // list pages oldest-first and links point mostly new → old, so a
+        // descending sweep updates most predecessors before their targets
+        // — the ordering that gives Gauss–Seidel its edge over Jacobi.
+        for q in (0..n).rev() {
+            let mut sum = 0.0;
+            for p in g.predecessors(PageId(q as u32)) {
+                sum += x[p.index()] * inv_out[p.index()];
+            }
+            let new = (1.0 - eps) * uniform + eps * (sum + dangling_mass * uniform);
+            delta += (new - x[q]).abs();
+            if is_dangling[q] {
+                dangling_mass += new - x[q];
+            }
+            x[q] = new;
+        }
+        if delta < config.tolerance {
+            converged = true;
+            break;
+        }
+    }
+    // Gauss–Seidel does not conserve total mass mid-stream; normalize.
+    let total: f64 = x.iter().sum();
+    if total > 0.0 {
+        for v in x.iter_mut() {
+            *v /= total;
+        }
+    }
+    PageRankResult::from_parts(x, iterations, converged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pagerank, PageRankConfig};
+    use jxp_webgraph::generators::preferential_attachment;
+    use jxp_webgraph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_power_iteration_fixed_point() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = preferential_attachment(500, 3, &mut rng);
+        let cfg = PageRankConfig {
+            tolerance: 1e-12,
+            ..Default::default()
+        };
+        let a = pagerank(&g, &cfg);
+        let b = pagerank_gauss_seidel(&g, &cfg);
+        for (x, y) in a.scores().iter().zip(b.scores().iter()) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn converges_in_fewer_sweeps() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = preferential_attachment(1000, 4, &mut rng);
+        let cfg = PageRankConfig {
+            tolerance: 1e-10,
+            ..Default::default()
+        };
+        let power = pagerank(&g, &cfg);
+        let gs = pagerank_gauss_seidel(&g, &cfg);
+        assert!(
+            gs.iterations() < power.iterations(),
+            "gauss-seidel {} vs power {}",
+            gs.iterations(),
+            power.iterations()
+        );
+        assert!(gs.converged());
+    }
+
+    #[test]
+    fn handles_dangling_pages() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(PageId(0), PageId(1));
+        b.add_edge(PageId(2), PageId(1)); // 1 is dangling
+        let g = b.build();
+        let cfg = PageRankConfig {
+            tolerance: 1e-13,
+            ..Default::default()
+        };
+        let a = pagerank(&g, &cfg);
+        let gs = pagerank_gauss_seidel(&g, &cfg);
+        for (x, y) in a.scores().iter().zip(gs.scores().iter()) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+        let total: f64 = gs.scores().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn empty_graph_panics() {
+        let g = GraphBuilder::new().build();
+        let _ = pagerank_gauss_seidel(&g, &PageRankConfig::default());
+    }
+}

@@ -1,0 +1,258 @@
+//! OPIC — Adaptive On-line Page Importance Computation (Abiteboul,
+//! Preda, Cobena; WWW 2003).
+//!
+//! §2.2 describes OPIC as "a storage-efficient approach to computing
+//! authority scores … by randomly (or otherwise fairly) visiting Web pages
+//! in a long-running crawl process and performing a small step of the PR
+//! power iteration for the page and its successors upon each such visit",
+//! and the JXP liveness proof (Theorem 5.4) borrows its fairness argument.
+//! It is implemented here as a centralized baseline: same goal as
+//! PageRank, radically different schedule.
+//!
+//! Every page holds **cash**; visiting a page distributes its cash to its
+//! successors (and a virtual page, which redistributes uniformly — this is
+//! OPIC's ergodicity device, mirroring PageRank's random jump) and adds it
+//! to the page's **history**. The importance estimate of a page is its
+//! share of all history accumulated so far.
+
+use jxp_webgraph::{CsrGraph, PageId};
+use rand::Rng;
+
+/// Visiting policies studied in the OPIC paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VisitPolicy {
+    /// Uniformly random page (fair in expectation).
+    Random,
+    /// Greedy: always the page with the most cash (the paper's best
+    /// performer).
+    Greedy,
+    /// Round-robin sweep (systematic fairness).
+    Cycle,
+}
+
+/// An in-progress OPIC computation.
+#[derive(Debug, Clone)]
+pub struct Opic {
+    cash: Vec<f64>,
+    history: Vec<f64>,
+    /// Cash parked at the virtual page, redistributed on its visits.
+    virtual_cash: f64,
+    /// Probability mass each page routes to the virtual page per visit —
+    /// chosen as `1 − ε` so OPIC estimates match PageRank's damped scores.
+    jump: f64,
+    policy: VisitPolicy,
+    cursor: usize,
+    visits: u64,
+}
+
+impl Opic {
+    /// Start an OPIC run over `g`. `jump` is the share of each visit's
+    /// cash routed through the virtual page (use `1 − ε = 0.15` to match
+    /// PageRank with ε = 0.85).
+    ///
+    /// # Panics
+    /// Panics if the graph is empty or `jump ∉ [0, 1)`.
+    pub fn new(g: &CsrGraph, jump: f64, policy: VisitPolicy) -> Self {
+        assert!(g.num_nodes() > 0, "OPIC of an empty graph is undefined");
+        assert!((0.0..1.0).contains(&jump), "jump must be in [0, 1)");
+        let n = g.num_nodes();
+        Opic {
+            cash: vec![1.0 / n as f64; n],
+            history: vec![0.0; n],
+            virtual_cash: 0.0,
+            jump,
+            policy,
+            cursor: 0,
+            visits: 0,
+        }
+    }
+
+    /// Total visits performed.
+    pub fn visits(&self) -> u64 {
+        self.visits
+    }
+
+    /// Perform one page visit.
+    pub fn visit(&mut self, g: &CsrGraph, rng: &mut impl Rng) {
+        let n = g.num_nodes();
+        // Flush the virtual page whenever it has accumulated real mass:
+        // its cash spreads uniformly (the random-jump behaviour).
+        if self.virtual_cash * n as f64 > 1.0 {
+            let share = self.virtual_cash / n as f64;
+            for c in self.cash.iter_mut() {
+                *c += share;
+            }
+            self.virtual_cash = 0.0;
+        }
+        let page = match self.policy {
+            VisitPolicy::Random => PageId(rng.gen_range(0..n as u32)),
+            VisitPolicy::Greedy => {
+                let (idx, _) = self
+                    .cash
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .expect("non-empty cash vector");
+                PageId(idx as u32)
+            }
+            VisitPolicy::Cycle => {
+                let p = PageId((self.cursor % n) as u32);
+                self.cursor += 1;
+                p
+            }
+        };
+        self.visits += 1;
+        let cash = std::mem::take(&mut self.cash[page.index()]);
+        self.history[page.index()] += cash;
+        let out = g.out_degree(page);
+        if out == 0 {
+            // Dangling: everything goes through the virtual page.
+            self.virtual_cash += cash;
+            return;
+        }
+        self.virtual_cash += cash * self.jump;
+        let per_succ = cash * (1.0 - self.jump) / out as f64;
+        for succ in g.successors(page) {
+            self.cash[succ.index()] += per_succ;
+        }
+    }
+
+    /// Run `count` visits.
+    pub fn run(&mut self, g: &CsrGraph, count: u64, rng: &mut impl Rng) {
+        for _ in 0..count {
+            self.visit(g, rng);
+        }
+    }
+
+    /// Current importance estimates: each page's share of the history +
+    /// outstanding cash held by **real pages** (the OPIC estimator; cash
+    /// parked at the virtual page is in transit and excluded from the
+    /// normalizer, so the result always sums to exactly 1).
+    pub fn importance(&self) -> Vec<f64> {
+        let total: f64 = self.history.iter().sum::<f64>() + self.cash.iter().sum::<f64>();
+        if total <= 0.0 {
+            return vec![0.0; self.history.len()];
+        }
+        self.history
+            .iter()
+            .zip(self.cash.iter())
+            .map(|(h, c)| (h + c) / total)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::top_k_overlap;
+    use crate::{pagerank, PageRankConfig};
+    use jxp_webgraph::generators::preferential_attachment;
+    use jxp_webgraph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring(n: u32) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.add_edge(PageId(i), PageId((i + 1) % n));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn importance_sums_to_one() {
+        let g = ring(10);
+        let mut o = Opic::new(&g, 0.15, VisitPolicy::Cycle);
+        let mut rng = StdRng::seed_from_u64(1);
+        o.run(&g, 500, &mut rng);
+        let total: f64 = o.importance().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        assert_eq!(o.visits(), 500);
+    }
+
+    #[test]
+    fn symmetric_ring_is_uniform() {
+        let g = ring(8);
+        let mut o = Opic::new(&g, 0.15, VisitPolicy::Cycle);
+        let mut rng = StdRng::seed_from_u64(2);
+        o.run(&g, 4000, &mut rng);
+        for &imp in &o.importance() {
+            assert!((imp - 0.125).abs() < 0.01, "importance {imp}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_pagerank_on_web_like_graphs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = preferential_attachment(300, 3, &mut rng);
+        let truth = pagerank(&g, &PageRankConfig::default());
+        let truth_ranking = crate::Ranking::from_scores(
+            truth
+                .scores()
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (PageId(i as u32), s)),
+        );
+        for policy in [VisitPolicy::Greedy, VisitPolicy::Random, VisitPolicy::Cycle] {
+            let mut o = Opic::new(&g, 0.15, policy);
+            o.run(&g, 60_000, &mut rng);
+            let est = crate::Ranking::from_scores(
+                o.importance()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| (PageId(i as u32), s + i as f64 * 1e-15)),
+            );
+            let overlap = top_k_overlap(&est, &truth_ranking, 30);
+            assert!(
+                overlap > 0.7,
+                "{policy:?}: top-30 overlap with PageRank only {overlap}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_converges_faster_than_random() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = preferential_attachment(200, 3, &mut rng);
+        let truth = pagerank(&g, &PageRankConfig::default());
+        let err = |o: &Opic| -> f64 {
+            o.importance()
+                .iter()
+                .zip(truth.scores())
+                .map(|(a, b)| (a - b).abs())
+                .sum()
+        };
+        let budget = 3_000;
+        let mut greedy = Opic::new(&g, 0.15, VisitPolicy::Greedy);
+        greedy.run(&g, budget, &mut rng);
+        let mut random = Opic::new(&g, 0.15, VisitPolicy::Random);
+        random.run(&g, budget, &mut rng);
+        assert!(
+            err(&greedy) <= err(&random) * 1.2,
+            "greedy {} vs random {}",
+            err(&greedy),
+            err(&random)
+        );
+    }
+
+    #[test]
+    fn dangling_pages_recycle_cash() {
+        // 0 → 1, 1 dangling: cash must not leak.
+        let mut b = GraphBuilder::new();
+        b.add_edge(PageId(0), PageId(1));
+        let g = b.build();
+        let mut o = Opic::new(&g, 0.15, VisitPolicy::Cycle);
+        let mut rng = StdRng::seed_from_u64(5);
+        o.run(&g, 200, &mut rng);
+        let total: f64 = o.importance().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(o.importance()[1] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "jump")]
+    fn invalid_jump_panics() {
+        let g = ring(3);
+        let _ = Opic::new(&g, 1.0, VisitPolicy::Random);
+    }
+}

@@ -1,0 +1,307 @@
+//! Power-iteration PageRank on the full graph.
+//!
+//! This is the paper's §2.1 formulation:
+//!
+//! ```text
+//! PR(q) = ε · Σ_{p → q} PR(p)/out(p)  +  (1 − ε) · 1/N
+//! ```
+//!
+//! with ε the probability of following a link (the paper writes the random
+//! jump probability as `1 − ε` and "usually sets ε to a value like 0.85").
+//!
+//! **Dangling pages** (zero out-degree) are not discussed in the paper; we
+//! apply the standard treatment — their rank mass is redistributed
+//! uniformly over all `N` pages — and `jxp-core` applies the *identical*
+//! treatment in the local computation so JXP-vs-PR comparisons are
+//! apples-to-apples (see DESIGN.md §5).
+
+use jxp_webgraph::{CsrGraph, PageId};
+
+/// Configuration for the power iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageRankConfig {
+    /// Probability of following a link (paper's ε, default 0.85);
+    /// the random-jump probability is `1 − epsilon`.
+    pub epsilon: f64,
+    /// Stop when the L1 change between successive iterations falls below
+    /// this threshold.
+    pub tolerance: f64,
+    /// Hard cap on iterations (protects against pathological inputs).
+    pub max_iterations: usize,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            epsilon: 0.85,
+            tolerance: 1e-10,
+            max_iterations: 200,
+        }
+    }
+}
+
+impl PageRankConfig {
+    /// Validate parameter ranges.
+    ///
+    /// # Panics
+    /// Panics if `epsilon ∉ (0, 1)`, `tolerance ≤ 0` or
+    /// `max_iterations == 0`.
+    pub fn validate(&self) {
+        assert!(
+            self.epsilon > 0.0 && self.epsilon < 1.0,
+            "epsilon must be in (0, 1), got {}",
+            self.epsilon
+        );
+        assert!(self.tolerance > 0.0, "tolerance must be positive");
+        assert!(self.max_iterations > 0, "max_iterations must be positive");
+    }
+}
+
+/// Result of a PageRank computation.
+#[derive(Debug, Clone)]
+pub struct PageRankResult {
+    scores: Vec<f64>,
+    iterations: usize,
+    converged: bool,
+}
+
+impl PageRankResult {
+    /// Assemble a result from raw parts (used by the alternative solvers
+    /// in this crate).
+    pub(crate) fn from_parts(scores: Vec<f64>, iterations: usize, converged: bool) -> Self {
+        PageRankResult {
+            scores,
+            iterations,
+            converged,
+        }
+    }
+
+    /// Score vector indexed by page id; sums to 1.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Score of a single page.
+    pub fn score(&self, p: PageId) -> f64 {
+        self.scores[p.index()]
+    }
+
+    /// Number of power iterations performed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether the L1 tolerance was reached before the iteration cap.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// The `k` highest-scored pages, best first; ties broken by page id so
+    /// the output is deterministic.
+    pub fn top_k(&self, k: usize) -> Vec<PageId> {
+        crate::ranking::top_k_of_scores(&self.scores, k)
+    }
+
+    /// Consume the result, returning the raw score vector.
+    pub fn into_scores(self) -> Vec<f64> {
+        self.scores
+    }
+}
+
+/// Compute PageRank of every page in `g` by power iteration.
+///
+/// Starts from the uniform vector `1/N` (as the paper prescribes) and
+/// iterates until the L1 change is below `config.tolerance` or
+/// `config.max_iterations` is hit.
+///
+/// # Panics
+/// Panics if the graph is empty or the config is invalid.
+pub fn pagerank(g: &CsrGraph, config: &PageRankConfig) -> PageRankResult {
+    config.validate();
+    let n = g.num_nodes();
+    assert!(n > 0, "PageRank of an empty graph is undefined");
+    let eps = config.epsilon;
+    let uniform = 1.0 / n as f64;
+    let mut curr = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+
+    // Cache inverse out-degrees; dangling pages are flagged with 0.0.
+    let inv_out: Vec<f64> = (0..n)
+        .map(|v| {
+            let d = g.out_degree(PageId(v as u32));
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / d as f64
+            }
+        })
+        .collect();
+    let dangling: Vec<u32> = g.dangling_nodes().map(|p| p.0).collect();
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < config.max_iterations {
+        iterations += 1;
+        // Dangling mass is spread uniformly over all pages.
+        let dangling_mass: f64 = dangling.iter().map(|&v| curr[v as usize]).sum();
+        let base = (1.0 - eps) * uniform + eps * dangling_mass * uniform;
+        for (q, out) in next.iter_mut().enumerate() {
+            let mut sum = 0.0;
+            for p in g.predecessors(PageId(q as u32)) {
+                sum += curr[p.index()] * inv_out[p.index()];
+            }
+            *out = base + eps * sum;
+        }
+        let delta: f64 = curr
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut curr, &mut next);
+        if delta < config.tolerance {
+            converged = true;
+            break;
+        }
+    }
+    PageRankResult {
+        scores: curr,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jxp_webgraph::GraphBuilder;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        b.ensure_nodes(n);
+        for &(s, d) in edges {
+            b.add_edge(PageId(s), PageId(d));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 0)]);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        let total: f64 = pr.scores().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+        assert!(pr.converged());
+    }
+
+    #[test]
+    fn symmetric_cycle_is_uniform() {
+        let g = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        for &s in pr.scores() {
+            assert!((s - 1.0 / 3.0).abs() < 1e-9, "score {s}");
+        }
+    }
+
+    #[test]
+    fn authority_flows_to_popular_page() {
+        // Pages 1..=4 all link to 0; 0 links back to 1.
+        let g = graph(5, &[(1, 0), (2, 0), (3, 0), (4, 0), (0, 1)]);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        let top = pr.top_k(2);
+        assert_eq!(top[0], PageId(0));
+        assert_eq!(top[1], PageId(1)); // endorsed by the most important page
+        assert!(pr.score(PageId(0)) > pr.score(PageId(2)));
+    }
+
+    #[test]
+    fn dangling_mass_is_conserved() {
+        // Page 1 is dangling.
+        let g = graph(3, &[(0, 1), (2, 0)]);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        let total: f64 = pr.scores().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+    }
+
+    #[test]
+    fn all_dangling_graph_is_uniform() {
+        let g = graph(4, &[]);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        for &s in pr.scores() {
+            assert!((s - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fixed_point_property_holds() {
+        // Verify PR(q) = base + ε Σ PR(p)/out(p) at the fixed point.
+        let g = graph(5, &[(0, 1), (1, 2), (2, 0), (3, 2), (3, 4), (4, 3)]);
+        let cfg = PageRankConfig {
+            tolerance: 1e-14,
+            ..Default::default()
+        };
+        let pr = pagerank(&g, &cfg);
+        let n = g.num_nodes() as f64;
+        let dangling_mass: f64 = g.dangling_nodes().map(|p| pr.score(p)).sum();
+        for q in g.nodes() {
+            let sum: f64 = g
+                .predecessors(q)
+                .map(|p| pr.score(p) / g.out_degree(p) as f64)
+                .sum();
+            let expect = (1.0 - cfg.epsilon) / n + cfg.epsilon * (sum + dangling_mass / n);
+            assert!(
+                (pr.score(q) - expect).abs() < 1e-10,
+                "fixed point violated at {q:?}: {} vs {}",
+                pr.score(q),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        // Asymmetric graph: uniform start is NOT the fixed point, and the
+        // 1e-30 tolerance is unreachable in floating point.
+        let g = graph(4, &[(0, 1), (1, 2), (2, 0), (3, 0)]);
+        let cfg = PageRankConfig {
+            tolerance: 1e-30,
+            max_iterations: 5,
+            ..Default::default()
+        };
+        let pr = pagerank(&g, &cfg);
+        assert_eq!(pr.iterations(), 5);
+        assert!(!pr.converged());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn empty_graph_panics() {
+        let g = GraphBuilder::new().build();
+        let _ = pagerank(&g, &PageRankConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn bad_epsilon_panics() {
+        let g = graph(2, &[(0, 1)]);
+        let cfg = PageRankConfig {
+            epsilon: 1.5,
+            ..Default::default()
+        };
+        let _ = pagerank(&g, &cfg);
+    }
+
+    #[test]
+    fn epsilon_zero_point_five_flattens_scores() {
+        let g = graph(5, &[(1, 0), (2, 0), (3, 0), (4, 0), (0, 1)]);
+        let strong = pagerank(&g, &PageRankConfig::default());
+        let weak = pagerank(
+            &g,
+            &PageRankConfig {
+                epsilon: 0.5,
+                ..Default::default()
+            },
+        );
+        // Lower ε ⇒ more random jumps ⇒ less concentration on the hub.
+        assert!(weak.score(PageId(0)) < strong.score(PageId(0)));
+    }
+}

@@ -1,0 +1,169 @@
+//! Rankings: ordered lists of pages by authority score.
+
+use jxp_webgraph::{FxHashMap, PageId};
+
+/// The `k` highest-scored indices of a dense score vector, best first.
+/// Ties are broken by smaller page id so output is deterministic.
+pub fn top_k_of_scores(scores: &[f64], k: usize) -> Vec<PageId> {
+    let k = k.min(scores.len());
+    let mut ids: Vec<u32> = (0..scores.len() as u32).collect();
+    // Full sort is fine at the evaluation sizes used here (≤ ~10⁵); a
+    // select_nth_unstable pre-pass keeps it O(n + k log k) for large n.
+    if scores.len() > 4 * k && k > 0 {
+        ids.select_nth_unstable_by(k - 1, |&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        ids.truncate(k);
+    }
+    ids.sort_unstable_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    ids.truncate(k);
+    ids.into_iter().map(PageId).collect()
+}
+
+/// A ranking over an arbitrary (sparse) set of pages, as produced by
+/// merging JXP score lists from many peers.
+#[derive(Debug, Clone, Default)]
+pub struct Ranking {
+    /// Pages in rank order (best first).
+    order: Vec<PageId>,
+    /// Page → 0-based rank position.
+    position: FxHashMap<PageId, u32>,
+    /// Page → score, in rank order (parallel to `order`).
+    scores: Vec<f64>,
+}
+
+impl Ranking {
+    /// Build a ranking from `(page, score)` pairs. Ties are broken by page
+    /// id. Duplicate pages are rejected.
+    ///
+    /// # Panics
+    /// Panics if a page appears twice.
+    pub fn from_scores(pairs: impl IntoIterator<Item = (PageId, f64)>) -> Self {
+        let mut v: Vec<(PageId, f64)> = pairs.into_iter().collect();
+        v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let mut position = FxHashMap::default();
+        let mut order = Vec::with_capacity(v.len());
+        let mut scores = Vec::with_capacity(v.len());
+        for (i, (p, s)) in v.into_iter().enumerate() {
+            let prev = position.insert(p, i as u32);
+            assert!(prev.is_none(), "page {p:?} ranked twice");
+            order.push(p);
+            scores.push(s);
+        }
+        Ranking {
+            order,
+            position,
+            scores,
+        }
+    }
+
+    /// Number of ranked pages.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the ranking is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Pages in rank order, best first.
+    pub fn order(&self) -> &[PageId] {
+        &self.order
+    }
+
+    /// The top `k` pages, best first.
+    pub fn top_k(&self, k: usize) -> &[PageId] {
+        &self.order[..k.min(self.order.len())]
+    }
+
+    /// 0-based position of `p`, if ranked.
+    pub fn position(&self, p: PageId) -> Option<usize> {
+        self.position.get(&p).map(|&i| i as usize)
+    }
+
+    /// Score of `p`, if ranked.
+    pub fn score(&self, p: PageId) -> Option<f64> {
+        self.position(p).map(|i| self.scores[i])
+    }
+
+    /// `(page, score)` pairs in rank order.
+    pub fn entries(&self) -> impl Iterator<Item = (PageId, f64)> + '_ {
+        self.order.iter().copied().zip(self.scores.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_by_score_desc() {
+        let scores = [0.1, 0.5, 0.3, 0.5, 0.0];
+        // Tie between ids 1 and 3 broken by id.
+        assert_eq!(
+            top_k_of_scores(&scores, 3),
+            vec![PageId(1), PageId(3), PageId(2)]
+        );
+    }
+
+    #[test]
+    fn top_k_larger_than_n_returns_all() {
+        let scores = [0.2, 0.1];
+        assert_eq!(top_k_of_scores(&scores, 10).len(), 2);
+    }
+
+    #[test]
+    fn top_k_zero_is_empty() {
+        assert!(top_k_of_scores(&[0.5, 0.1], 0).is_empty());
+    }
+
+    #[test]
+    fn top_k_select_path_matches_sort_path() {
+        // Exercise the select_nth pre-pass (n > 4k) against the plain path.
+        let scores: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
+        let fast = top_k_of_scores(&scores, 5);
+        let mut all: Vec<u32> = (0..100).collect();
+        all.sort_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        let slow: Vec<PageId> = all[..5].iter().map(|&i| PageId(i)).collect();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn ranking_positions_and_scores() {
+        let r = Ranking::from_scores([(PageId(10), 0.2), (PageId(20), 0.7), (PageId(30), 0.1)]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.order(), &[PageId(20), PageId(10), PageId(30)]);
+        assert_eq!(r.position(PageId(20)), Some(0));
+        assert_eq!(r.position(PageId(30)), Some(2));
+        assert_eq!(r.position(PageId(99)), None);
+        assert_eq!(r.score(PageId(10)), Some(0.2));
+        assert_eq!(r.top_k(2), &[PageId(20), PageId(10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ranked twice")]
+    fn duplicate_pages_panic() {
+        let _ = Ranking::from_scores([(PageId(1), 0.5), (PageId(1), 0.4)]);
+    }
+
+    #[test]
+    fn empty_ranking() {
+        let r = Ranking::from_scores(std::iter::empty());
+        assert!(r.is_empty());
+        assert!(r.top_k(5).is_empty());
+    }
+}

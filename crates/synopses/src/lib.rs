@@ -1,0 +1,63 @@
+#![deny(missing_docs)]
+//! # jxp-synopses
+//!
+//! Statistical synopses of sets — "light-weight approximation techniques
+//! for comparing data of different peers without explicitly transferring
+//! their contents" (paper §4.3).
+//!
+//! The paper's pre-meetings peer-selection strategy is built on **min-wise
+//! independent permutations** ([`mips`]); the cited fundamentals — **Bloom
+//! filters** ([`bloom`]) and **hash sketches** ([`fm_sketch`], the
+//! Flajolet–Martin probabilistic counter) — are implemented as well: the
+//! Bloom filter as an alternative overlap synopsis (tested head-to-head
+//! against MIPs), and the FM sketch as the duplicate-insensitive
+//! distributed counter that lets JXP *estimate* the global page count `N`
+//! instead of assuming it (§3: "JXP could even be modified to work without
+//! this estimate").
+//!
+//! ```
+//! use jxp_synopses::mips::{MipsPermutations, MipsVector};
+//!
+//! let perms = MipsPermutations::generate(64, 42);
+//! let a = MipsVector::from_elements(&perms, 0..100u64);
+//! let b = MipsVector::from_elements(&perms, 50..150u64);
+//! let cont = a.containment_of(&b); // |A ∩ B| / |B| ≈ 0.5
+//! assert!((cont - 0.5).abs() < 0.2);
+//! ```
+
+pub mod bloom;
+pub mod fm_sketch;
+pub mod mips;
+
+pub use bloom::BloomFilter;
+pub use fm_sketch::FmSketch;
+pub use mips::{MipsPermutations, MipsVector};
+
+/// SplitMix64: a fast, well-mixed 64-bit hash used to pre-scramble raw
+/// element keys before they enter any synopsis (page ids are small dense
+/// integers; the estimators need uniformly spread inputs).
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::splitmix64;
+
+    #[test]
+    fn splitmix_is_deterministic_and_disperses() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        let d = (splitmix64(100) ^ splitmix64(101)).count_ones();
+        assert!(d > 16, "only {d} differing bits");
+    }
+
+    #[test]
+    fn splitmix_zero_is_not_zero() {
+        assert_ne!(splitmix64(0), 0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Min-wise independent permutations (MIPs).
+//!
+//! Exactly the technique of §4.3: each of `N` random permutations is a
+//! linear hash `h_i(x) = a_i·x + b_i mod U` with `U` a big prime and
+//! `a_i, b_i` fixed random numbers; the synopsis stores, per permutation,
+//! the minimum hash value over the set. Vectors built from the *same*
+//! permutation family are comparable:
+//!
+//! * **resemblance** `|A∩B| / |A∪B|` — fraction of positions where the two
+//!   min-vectors agree (the classic Broder estimator),
+//! * **overlap** `|A∩B|` and **containment** `|A∩B| / |B|` — the two
+//!   measures the pre-meetings strategy needs, derived from resemblance
+//!   and the exact set cardinalities (which each peer knows for its own
+//!   sets and ships along with the vector),
+//! * **union** via component-wise minimum — a MIPs vector of `A ∪ B`.
+
+use crate::splitmix64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Mersenne prime 2⁶¹ − 1, the modulus `U` of the linear permutations.
+/// Products of two values `< U` fit in `u128`, making the modular
+/// arithmetic exact.
+pub const MODULUS: u64 = (1 << 61) - 1;
+
+/// A shared family of `N` linear permutations. All peers in a network must
+/// use the same family (same seed) for their vectors to be comparable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MipsPermutations {
+    /// Multipliers `a_i` (non-zero, `< U`).
+    a: Vec<u64>,
+    /// Offsets `b_i` (`< U`).
+    b: Vec<u64>,
+}
+
+impl MipsPermutations {
+    /// Generate a family of `n` permutations from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "need at least one permutation");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = (0..n).map(|_| rng.gen_range(1..MODULUS)).collect();
+        let b = (0..n).map(|_| rng.gen_range(0..MODULUS)).collect();
+        MipsPermutations { a, b }
+    }
+
+    /// Number of permutations in the family.
+    pub fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Whether the family is empty (never true for generated families).
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty()
+    }
+
+    /// Apply permutation `i` to raw key `x`.
+    #[inline]
+    fn apply(&self, i: usize, x: u64) -> u64 {
+        // Scramble first: raw keys are small dense integers, and a purely
+        // linear map of a dense range would make the min estimator
+        // systematically biased.
+        let x = splitmix64(x) % MODULUS;
+        ((self.a[i] as u128 * x as u128 + self.b[i] as u128) % MODULUS as u128) as u64
+    }
+}
+
+/// A MIPs synopsis of one set: the per-permutation minima plus the exact
+/// cardinality of the summarized set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MipsVector {
+    mins: Vec<u64>,
+    count: u64,
+}
+
+/// Sentinel stored for an empty set (no minimum exists).
+const EMPTY: u64 = u64::MAX;
+
+impl MipsVector {
+    /// Summarize the elements yielded by `iter` under the permutation
+    /// family `perms`. Duplicate elements are harmless (min is idempotent)
+    /// but inflate `count`; pass deduplicated input for exact cardinality.
+    pub fn from_elements(perms: &MipsPermutations, iter: impl IntoIterator<Item = u64>) -> Self {
+        let mut mins = vec![EMPTY; perms.len()];
+        let mut count = 0u64;
+        for x in iter {
+            count += 1;
+            for (i, m) in mins.iter_mut().enumerate() {
+                let h = perms.apply(i, x);
+                if h < *m {
+                    *m = h;
+                }
+            }
+        }
+        MipsVector { mins, count }
+    }
+
+    /// Exact cardinality of the summarized set (shipped with the vector).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of permutations (vector dimensionality).
+    pub fn dims(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Size of this synopsis on the wire, in bytes: one `u64` per
+    /// permutation plus the cardinality.
+    pub fn wire_size(&self) -> usize {
+        8 * self.mins.len() + 8
+    }
+
+    /// Estimated resemblance `|A∩B| / |A∪B|` ∈ [0, 1]: the fraction of
+    /// positions where the two min-vectors agree.
+    ///
+    /// # Panics
+    /// Panics if the vectors have different dimensionality.
+    pub fn resemblance(&self, other: &MipsVector) -> f64 {
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "MIPs vectors from different families"
+        );
+        if self.count == 0 && other.count == 0 {
+            return 1.0; // both empty: identical
+        }
+        if self.count == 0 || other.count == 0 {
+            return 0.0;
+        }
+        let agree = self
+            .mins
+            .iter()
+            .zip(other.mins.iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        agree as f64 / self.dims() as f64
+    }
+
+    /// Estimated overlap `|A ∩ B|`, from resemblance and the exact
+    /// cardinalities: `|A∩B| = r·(|A|+|B|) / (1+r)`.
+    pub fn overlap(&self, other: &MipsVector) -> f64 {
+        let r = self.resemblance(other);
+        if r == 0.0 {
+            return 0.0;
+        }
+        r * (self.count + other.count) as f64 / (1.0 + r)
+    }
+
+    /// Estimated containment `Containment(self, other) = |A∩B| / |B|` —
+    /// the fraction of `other`'s elements that are also in `self`
+    /// (the paper's definition, with `self = S_A`, `other = S_B`).
+    /// Returns 0 for an empty `other`.
+    pub fn containment_of(&self, other: &MipsVector) -> f64 {
+        if other.count == 0 {
+            return 0.0;
+        }
+        (self.overlap(other) / other.count as f64).min(1.0)
+    }
+
+    /// The MIPs vector of the union `A ∪ B` (component-wise minimum).
+    /// The union's `count` is estimated as `(|A|+|B|) / (1+r)` rounded —
+    /// exact when the sets are disjoint (`r = 0`).
+    pub fn union(&self, other: &MipsVector) -> MipsVector {
+        assert_eq!(self.dims(), other.dims());
+        let mins = self
+            .mins
+            .iter()
+            .zip(other.mins.iter())
+            .map(|(&a, &b)| a.min(b))
+            .collect();
+        let r = self.resemblance(other);
+        let count = ((self.count + other.count) as f64 / (1.0 + r)).round() as u64;
+        MipsVector { mins, count }
+    }
+
+    /// Estimate the cardinality from the min values alone (without the
+    /// stored exact count): for a set of size `m`, each min/U is
+    /// approximately `Beta(1, m)` with mean `1/(m+1)`, so
+    /// `m ≈ 1/mean − 1`. Useful when only the vector (not the count) is
+    /// available.
+    pub fn estimate_cardinality(&self) -> f64 {
+        if self.mins.iter().all(|&m| m == EMPTY) {
+            return 0.0;
+        }
+        let mean: f64 = self
+            .mins
+            .iter()
+            .map(|&m| m as f64 / MODULUS as f64)
+            .sum::<f64>()
+            / self.dims() as f64;
+        if mean <= 0.0 {
+            return f64::INFINITY;
+        }
+        (1.0 / mean - 1.0).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perms() -> MipsPermutations {
+        MipsPermutations::generate(256, 7)
+    }
+
+    #[test]
+    fn identical_sets_have_resemblance_one() {
+        let p = perms();
+        let a = MipsVector::from_elements(&p, 0..500u64);
+        let b = MipsVector::from_elements(&p, 0..500u64);
+        assert_eq!(a.resemblance(&b), 1.0);
+        assert!((a.containment_of(&b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_sets_have_low_resemblance() {
+        let p = perms();
+        let a = MipsVector::from_elements(&p, 0..500u64);
+        let b = MipsVector::from_elements(&p, 1000..1500u64);
+        assert!(a.resemblance(&b) < 0.05);
+        assert!(a.overlap(&b) < 30.0);
+    }
+
+    #[test]
+    fn half_overlap_estimates() {
+        let p = perms();
+        let a = MipsVector::from_elements(&p, 0..1000u64);
+        let b = MipsVector::from_elements(&p, 500..1500u64);
+        // True: |A∩B| = 500, |A∪B| = 1500, r = 1/3, containment = 0.5.
+        let r = a.resemblance(&b);
+        assert!((r - 1.0 / 3.0).abs() < 0.08, "r = {r}");
+        let ov = a.overlap(&b);
+        assert!((ov - 500.0).abs() < 100.0, "overlap = {ov}");
+        let c = a.containment_of(&b);
+        assert!((c - 0.5).abs() < 0.1, "containment = {c}");
+    }
+
+    #[test]
+    fn containment_is_asymmetric() {
+        let p = perms();
+        // B ⊂ A: containment_of(A, B) = 1, containment_of(B, A) = |B|/|A|.
+        let a = MipsVector::from_elements(&p, 0..1000u64);
+        let b = MipsVector::from_elements(&p, 0..100u64);
+        let c_ab = a.containment_of(&b);
+        let c_ba = b.containment_of(&a);
+        assert!(c_ab > 0.8, "A should contain B: {c_ab}");
+        assert!((c_ba - 0.1).abs() < 0.1, "B contains 10% of A: {c_ba}");
+    }
+
+    #[test]
+    fn union_matches_direct_computation() {
+        let p = perms();
+        let a = MipsVector::from_elements(&p, 0..300u64);
+        let b = MipsVector::from_elements(&p, 200..600u64);
+        let u = a.union(&b);
+        let direct = MipsVector::from_elements(&p, 0..600u64);
+        // Min-vectors must agree exactly; counts are estimated.
+        assert_eq!(u.mins, direct.mins);
+        assert!((u.count() as f64 - 600.0).abs() < 120.0, "count {}", u.count());
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let p = perms();
+        let e = MipsVector::from_elements(&p, std::iter::empty());
+        let a = MipsVector::from_elements(&p, 0..10u64);
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.resemblance(&a), 0.0);
+        assert_eq!(a.containment_of(&e), 0.0);
+        let e2 = MipsVector::from_elements(&p, std::iter::empty());
+        assert_eq!(e.resemblance(&e2), 1.0);
+        assert_eq!(e.estimate_cardinality(), 0.0);
+    }
+
+    #[test]
+    fn cardinality_estimate_is_in_the_right_ballpark() {
+        let p = MipsPermutations::generate(512, 3);
+        let a = MipsVector::from_elements(&p, 0..2000u64);
+        let est = a.estimate_cardinality();
+        assert!(
+            (est - 2000.0).abs() / 2000.0 < 0.25,
+            "estimate {est} for true 2000"
+        );
+    }
+
+    #[test]
+    fn wire_size_accounts_vector_and_count() {
+        let p = MipsPermutations::generate(64, 1);
+        let a = MipsVector::from_elements(&p, 0..5u64);
+        assert_eq!(a.wire_size(), 64 * 8 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "different families")]
+    fn mismatched_dims_panic() {
+        let p1 = MipsPermutations::generate(16, 1);
+        let p2 = MipsPermutations::generate(32, 1);
+        let a = MipsVector::from_elements(&p1, 0..5u64);
+        let b = MipsVector::from_elements(&p2, 0..5u64);
+        let _ = a.resemblance(&b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_families() {
+        assert_ne!(
+            MipsPermutations::generate(8, 1),
+            MipsPermutations::generate(8, 2)
+        );
+        assert_eq!(
+            MipsPermutations::generate(8, 1),
+            MipsPermutations::generate(8, 1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one permutation")]
+    fn zero_permutations_panic() {
+        let _ = MipsPermutations::generate(0, 1);
+    }
+}

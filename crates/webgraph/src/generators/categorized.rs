@@ -1,0 +1,211 @@
+//! The categorized Web-graph generator that substitutes for the paper's
+//! thematic collections.
+//!
+//! The paper's two datasets share a structure (§6.1): pages belong to one
+//! of 10 thematic categories, links are mostly intra-category (focused
+//! crawls / "similar product" recommendations), the in-degree distribution
+//! is close to a power law (Figure 3).
+//!
+//! This generator reproduces exactly that: one preferential-attachment
+//! block per category plus preferentially-attached cross-category links.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::id::PageId;
+use rand::Rng;
+
+use super::preferential::preferential_edges;
+
+/// Parameters for [`CategorizedGraph::generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategorizedParams {
+    /// Number of thematic categories (the paper uses 10).
+    pub num_categories: usize,
+    /// Nodes per category (total nodes = `num_categories ×
+    /// nodes_per_category`).
+    pub nodes_per_category: usize,
+    /// Out-links emitted per node inside its category block.
+    pub intra_out_per_node: usize,
+    /// Cross-category links as a fraction of intra-category links
+    /// (e.g. `0.15` adds 15% extra edges across category boundaries).
+    pub cross_fraction: f64,
+}
+
+impl CategorizedParams {
+    /// Total number of nodes this parameterization produces.
+    pub fn total_nodes(&self) -> usize {
+        self.num_categories * self.nodes_per_category
+    }
+}
+
+/// A categorized synthetic Web graph: the graph plus the category label of
+/// every page.
+#[derive(Debug, Clone)]
+pub struct CategorizedGraph {
+    /// The link graph.
+    pub graph: CsrGraph,
+    /// `category_of[p]` = category index (0-based) of page `p`.
+    pub category_of: Vec<u16>,
+    /// Number of categories.
+    pub num_categories: usize,
+}
+
+impl CategorizedGraph {
+    /// Generate a categorized graph.
+    ///
+    /// # Panics
+    /// Panics if `num_categories == 0` or `cross_fraction < 0`.
+    pub fn generate(params: &CategorizedParams, rng: &mut impl Rng) -> Self {
+        assert!(params.num_categories > 0, "need at least one category");
+        assert!(params.cross_fraction >= 0.0, "cross_fraction must be ≥ 0");
+        let npc = params.nodes_per_category;
+        let total = params.total_nodes();
+        let mut builder = GraphBuilder::with_capacity(
+            (total as f64 * params.intra_out_per_node as f64 * (1.0 + params.cross_fraction))
+                as usize,
+        );
+        builder.ensure_nodes(total);
+        let mut category_of = vec![0u16; total];
+        // Per-category urns for preferential cross-link targets: one entry
+        // per node plus one per intra-category in-link received.
+        let mut urns: Vec<Vec<u32>> = Vec::with_capacity(params.num_categories);
+        let mut intra_edges = 0usize;
+        for c in 0..params.num_categories {
+            let base = (c * npc) as u32;
+            for p in base..base + npc as u32 {
+                category_of[p as usize] = c as u16;
+            }
+            let edges = preferential_edges(npc, params.intra_out_per_node, base, rng);
+            let mut urn: Vec<u32> = (base..base + npc as u32).collect();
+            for &(s, d) in &edges {
+                builder.add_edge(s, d);
+                urn.push(d.0);
+            }
+            intra_edges += edges.len();
+            urns.push(urn);
+        }
+        // Cross-category links: preferential targets in a random *other*
+        // category, so global hubs stay hubs across the category boundary
+        // and the global in-degree distribution keeps its power-law tail.
+        if params.num_categories > 1 {
+            let cross = (intra_edges as f64 * params.cross_fraction).round() as usize;
+            for _ in 0..cross {
+                let src = rng.gen_range(0..total as u32);
+                let src_cat = category_of[src as usize] as usize;
+                let mut dst_cat = rng.gen_range(0..params.num_categories - 1);
+                if dst_cat >= src_cat {
+                    dst_cat += 1;
+                }
+                let urn = &urns[dst_cat];
+                let dst = urn[rng.gen_range(0..urn.len())];
+                builder.add_edge(PageId(src), PageId(dst));
+            }
+        }
+        CategorizedGraph {
+            graph: builder.build(),
+            category_of,
+            num_categories: params.num_categories,
+        }
+    }
+
+    /// All pages belonging to category `c`.
+    pub fn pages_in_category(&self, c: usize) -> impl Iterator<Item = PageId> + '_ {
+        self.category_of
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &cat)| cat as usize == c)
+            .map(|(p, _)| PageId(p as u32))
+    }
+
+    /// Category of page `p`.
+    pub fn category(&self, p: PageId) -> usize {
+        self.category_of[p.index()] as usize
+    }
+
+    /// Fraction of edges whose endpoints are in the same category.
+    pub fn intra_category_edge_fraction(&self) -> f64 {
+        let m = self.graph.num_edges();
+        if m == 0 {
+            return 1.0;
+        }
+        let intra = self
+            .graph
+            .edges()
+            .filter(|&(s, d)| self.category(s) == self.category(d))
+            .count();
+        intra as f64 / m as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::DegreeHistogram;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_params() -> CategorizedParams {
+        CategorizedParams {
+            num_categories: 4,
+            nodes_per_category: 250,
+            intra_out_per_node: 4,
+            cross_fraction: 0.2,
+        }
+    }
+
+    #[test]
+    fn node_count_and_labels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = CategorizedGraph::generate(&small_params(), &mut rng);
+        assert_eq!(g.graph.num_nodes(), 1000);
+        assert_eq!(g.pages_in_category(0).count(), 250);
+        assert_eq!(g.category(PageId(0)), 0);
+        assert_eq!(g.category(PageId(999)), 3);
+    }
+
+    #[test]
+    fn links_are_mostly_intra_category() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = CategorizedGraph::generate(&small_params(), &mut rng);
+        let f = g.intra_category_edge_fraction();
+        assert!(f > 0.7, "intra fraction {f}");
+        assert!(f < 1.0, "cross links must exist");
+    }
+
+    #[test]
+    fn indegree_heavy_tail_survives_categorization() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = CategorizedParams {
+            num_categories: 5,
+            nodes_per_category: 1000,
+            intra_out_per_node: 4,
+            cross_fraction: 0.15,
+        };
+        let g = CategorizedGraph::generate(&params, &mut rng);
+        let h = DegreeHistogram::indegree(&g.graph);
+        let slope = h.log_log_slope().unwrap();
+        assert!(slope < -1.0, "log-log slope {slope}");
+        assert!(h.max_degree() > 40);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let g1 = CategorizedGraph::generate(&small_params(), &mut StdRng::seed_from_u64(4));
+        let g2 = CategorizedGraph::generate(&small_params(), &mut StdRng::seed_from_u64(4));
+        assert_eq!(g1.graph, g2.graph);
+        assert_eq!(g1.category_of, g2.category_of);
+    }
+
+    #[test]
+    fn single_category_has_no_cross_links() {
+        let params = CategorizedParams {
+            num_categories: 1,
+            nodes_per_category: 100,
+            intra_out_per_node: 3,
+            cross_fraction: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = CategorizedGraph::generate(&params, &mut rng);
+        assert!((g.intra_category_edge_fraction() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+//! The copying model of Kumar et al. (FOCS 2000).
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::id::PageId;
+use rand::Rng;
+
+/// Generate a Web graph with the *copying model*: each new node picks a
+/// random existing "prototype" node and emits `out_per_node` links; with
+/// probability `copy_prob` the i-th link copies the prototype's i-th
+/// out-link, otherwise it points to a uniformly random existing node.
+///
+/// The copying model is the classic generative explanation for power-law
+/// in-degrees *and* the abundant bipartite cores of the real Web; it is a
+/// second, structurally different source of Web-like graphs to check that
+/// JXP's behaviour is not an artifact of preferential attachment.
+pub fn copying_model(
+    n: usize,
+    out_per_node: usize,
+    copy_prob: f64,
+    rng: &mut impl Rng,
+) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&copy_prob), "copy_prob must be in [0,1]");
+    let mut b = GraphBuilder::with_capacity(n * out_per_node);
+    b.ensure_nodes(n);
+    // adj[v] = out-links of v, needed to copy from prototypes.
+    let mut adj: Vec<Vec<u32>> = Vec::with_capacity(n);
+    if n == 0 {
+        return b.build();
+    }
+    adj.push(Vec::new());
+    for v in 1..n as u32 {
+        let proto = rng.gen_range(0..v);
+        let mut targets = crate::hash::FxHashSet::default();
+        let want = out_per_node.min(v as usize);
+        let proto_links = adj[proto as usize].clone();
+        let mut guard = 0usize;
+        while targets.len() < want && guard < 100 * want + 100 {
+            guard += 1;
+            let t = if rng.gen_bool(copy_prob) && !proto_links.is_empty() {
+                proto_links[rng.gen_range(0..proto_links.len())]
+            } else {
+                rng.gen_range(0..v)
+            };
+            if t != v {
+                targets.insert(t);
+            }
+        }
+        let mut list: Vec<u32> = targets.into_iter().collect();
+        list.sort_unstable();
+        for &t in &list {
+            b.add_edge(PageId(v), PageId(t));
+        }
+        adj.push(list);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::DegreeHistogram;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_and_structure() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = copying_model(1000, 5, 0.5, &mut rng);
+        assert_eq!(g.num_nodes(), 1000);
+        assert!(g.num_edges() > 4000);
+        assert!(g.edges().all(|(s, d)| s != d));
+        // Edges always point to older (smaller-id) nodes.
+        assert!(g.edges().all(|(s, d)| d < s));
+    }
+
+    #[test]
+    fn heavy_tail_with_copying() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = copying_model(5000, 4, 0.7, &mut rng);
+        let h = DegreeHistogram::indegree(&g);
+        assert!(h.max_degree() > 40, "max in-degree {}", h.max_degree());
+    }
+
+    #[test]
+    fn zero_copy_prob_is_uniform_attachment() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = copying_model(2000, 3, 0.0, &mut rng);
+        // Uniform attachment yields a far lighter tail than copying.
+        let h = DegreeHistogram::indegree(&g);
+        assert!(h.max_degree() < 60, "max in-degree {}", h.max_degree());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let g1 = copying_model(300, 3, 0.5, &mut StdRng::seed_from_u64(5));
+        let g2 = copying_model(300, 3, 0.5, &mut StdRng::seed_from_u64(5));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_prob")]
+    fn invalid_copy_prob_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = copying_model(10, 2, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,75 @@
+//! Uniform random directed graphs, G(n, m).
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::id::PageId;
+use rand::Rng;
+
+/// Generate a directed G(n, m) graph: `m` distinct directed edges chosen
+/// uniformly at random among the `n·(n−1)` non-self-loop pairs.
+///
+/// Used in tests as a control: its in-degree distribution is binomial, not
+/// power-law, so analyses that should distinguish Web-like graphs from
+/// uniform noise can be validated against it.
+///
+/// # Panics
+/// Panics if `m > n·(n−1)` (more edges requested than exist).
+pub fn gnm(n: usize, m: usize, rng: &mut impl Rng) -> CsrGraph {
+    assert!(n >= 1 || m == 0, "edges in an empty graph");
+    let max_edges = n.saturating_mul(n.saturating_sub(1));
+    assert!(m <= max_edges, "requested {m} edges, only {max_edges} possible");
+    let mut b = GraphBuilder::with_capacity(m);
+    b.ensure_nodes(n);
+    let mut chosen = crate::hash::FxHashSet::default();
+    while chosen.len() < m {
+        let s = rng.gen_range(0..n as u32);
+        let d = rng.gen_range(0..n as u32);
+        if s != d && chosen.insert((s, d)) {
+            b.add_edge(PageId(s), PageId(d));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gnm(50, 200, &mut rng);
+        assert_eq!(g.num_nodes(), 50);
+        assert_eq!(g.num_edges(), 200);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gnm(20, 100, &mut rng);
+        assert!(g.edges().all(|(s, d)| s != d));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let g1 = gnm(30, 60, &mut StdRng::seed_from_u64(7));
+        let g2 = gnm(30, 60, &mut StdRng::seed_from_u64(7));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn dense_graph_saturates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gnm(5, 20, &mut rng); // all 5·4 = 20 possible edges
+        assert_eq!(g.num_edges(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn too_many_edges_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = gnm(3, 7, &mut rng);
+    }
+}

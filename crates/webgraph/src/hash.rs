@@ -1,0 +1,130 @@
+//! A fast, non-cryptographic hasher for small integer keys.
+//!
+//! The JXP hot paths hash `PageId`s millions of times (world-node lookups,
+//! score lists, overlap computations). The default SipHash in `std` is
+//! robust against hash-flooding but needlessly slow for trusted integer
+//! keys. This module provides an in-repo implementation of the well-known
+//! "Fx" hash (the multiply-and-rotate hash used by rustc), avoiding an
+//! extra external dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant for 64-bit Fx hashing (from rustc's FxHasher).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher: multiply-and-rotate over machine words.
+///
+/// Not collision-resistant against adversarial inputs; only use for
+/// internal, trusted keys (page ids, peer ids, hashed terms).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the fast Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the fast Fx hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PageId;
+
+    #[test]
+    fn map_basic_operations() {
+        let mut m: FxHashMap<PageId, f64> = FxHashMap::default();
+        m.insert(PageId(1), 0.5);
+        m.insert(PageId(2), 0.25);
+        assert_eq!(m.get(&PageId(1)), Some(&0.5));
+        assert_eq!(m.len(), 2);
+        m.remove(&PageId(1));
+        assert!(!m.contains_key(&PageId(1)));
+    }
+
+    #[test]
+    fn set_dedup() {
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        for i in 0..100 {
+            s.insert(i % 10);
+        }
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn hasher_is_deterministic() {
+        let hash = |x: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(x);
+            h.finish()
+        };
+        assert_eq!(hash(12345), hash(12345));
+        assert_ne!(hash(12345), hash(12346));
+    }
+
+    #[test]
+    fn write_bytes_handles_remainders() {
+        let hash = |b: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(b);
+            h.finish()
+        };
+        // Different lengths with shared prefixes should still disperse.
+        assert_ne!(hash(b"abcdefgh"), hash(b"abcdefg"));
+        assert_ne!(hash(b"a"), hash(b"b"));
+        assert_eq!(hash(b"hello world"), hash(b"hello world"));
+    }
+}

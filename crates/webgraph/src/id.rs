@@ -1,0 +1,83 @@
+//! Node identifiers.
+//!
+//! The global Web graph in the JXP setting has a single global id space; a
+//! peer's local fragment refers to pages by their **global** [`PageId`] so
+//! that fragments of different peers can be compared, merged and attached to
+//! world nodes without any translation table. `u32` ids keep the hot
+//! PageRank loops cache-friendly (the paper's graphs have ≈10⁵ nodes; real
+//! Web-scale deployments would move to `u64`, which is a one-line change
+//! here).
+
+use std::fmt;
+
+/// Identifier of a page (node) in the **global** Web graph.
+///
+/// A newtype over `u32` so that page ids, peer ids and array indices cannot
+/// be confused with one another at compile time.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// The page id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in a `u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        PageId(u32::try_from(i).expect("page id exceeds u32 range"))
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for PageId {
+    fn from(v: u32) -> Self {
+        PageId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let id = PageId::from_index(42);
+        assert_eq!(id, PageId(42));
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(PageId(1) < PageId(2));
+        assert!(PageId(100) > PageId(99));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", PageId(7)), "p7");
+        assert_eq!(format!("{}", PageId(7)), "7");
+    }
+
+    #[test]
+    #[should_panic(expected = "page id exceeds u32 range")]
+    fn from_index_overflow_panics() {
+        let _ = PageId::from_index(u32::MAX as usize + 1);
+    }
+}

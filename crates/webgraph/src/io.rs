@@ -1,0 +1,207 @@
+//! Graph serialization: a human-readable text edge-list format and a
+//! compact little-endian binary format.
+//!
+//! Both formats round-trip through [`CsrGraph`]; the binary format is used
+//! by the experiment binaries to cache generated datasets between runs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::id::PageId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{self, BufRead, Write};
+
+/// Magic header of the binary format ("JXPG" + version 1).
+const MAGIC: [u8; 4] = *b"JXPG";
+const VERSION: u32 = 1;
+
+/// Write `g` as a text edge list: a header line `# nodes <n>` followed by
+/// one `src dst` pair per line.
+pub fn write_edge_list(g: &CsrGraph, w: &mut impl Write) -> io::Result<()> {
+    writeln!(w, "# nodes {}", g.num_nodes())?;
+    for (s, d) in g.edges() {
+        writeln!(w, "{} {}", s.0, d.0)?;
+    }
+    Ok(())
+}
+
+/// Read a text edge list produced by [`write_edge_list`]. Lines starting
+/// with `#` other than the node-count header are ignored as comments, as
+/// are blank lines.
+pub fn read_edge_list(r: &mut impl BufRead) -> io::Result<CsrGraph> {
+    let mut b = GraphBuilder::new();
+    for line in r.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut it = rest.split_whitespace();
+            if it.next() == Some("nodes") {
+                if let Some(n) = it.next().and_then(|s| s.parse::<usize>().ok()) {
+                    b.ensure_nodes(n);
+                }
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<u32> {
+            tok.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing field"))?
+                .parse::<u32>()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        };
+        let s = parse(it.next())?;
+        let d = parse(it.next())?;
+        b.add_edge(PageId(s), PageId(d));
+    }
+    Ok(b.build())
+}
+
+/// Serialize `g` into the compact binary format.
+pub fn to_bytes(g: &CsrGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + g.num_edges() * 8);
+    buf.put_slice(&MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(g.num_nodes() as u64);
+    buf.put_u64_le(g.num_edges() as u64);
+    for (s, d) in g.edges() {
+        buf.put_u32_le(s.0);
+        buf.put_u32_le(d.0);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a graph from the binary format.
+///
+/// # Errors
+/// Returns `InvalidData` on bad magic, unsupported version or truncation.
+pub fn from_bytes(mut buf: impl Buf) -> io::Result<CsrGraph> {
+    let err = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if buf.remaining() < 24 {
+        return Err(err("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(err("bad magic"));
+    }
+    if buf.get_u32_le() != VERSION {
+        return Err(err("unsupported version"));
+    }
+    let n = buf.get_u64_le() as usize;
+    let m = buf.get_u64_le() as usize;
+    if buf.remaining() < m * 8 {
+        return Err(err("truncated edge section"));
+    }
+    let mut b = GraphBuilder::with_capacity(m);
+    b.ensure_nodes(n);
+    for _ in 0..m {
+        let s = buf.get_u32_le();
+        let d = buf.get_u32_le();
+        if s as usize >= n || d as usize >= n {
+            return Err(err("edge references node out of range"));
+        }
+        b.add_edge(PageId(s), PageId(d));
+    }
+    Ok(b.build())
+}
+
+/// Write the binary format to a file.
+pub fn save_binary(g: &CsrGraph, path: &std::path::Path) -> io::Result<()> {
+    std::fs::write(path, to_bytes(g))
+}
+
+/// Read the binary format from a file.
+pub fn load_binary(path: &std::path::Path) -> io::Result<CsrGraph> {
+    let data = std::fs::read(path)?;
+    from_bytes(&data[..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for (s, d) in [(0u32, 1u32), (1, 2), (2, 0), (2, 3)] {
+            b.add_edge(PageId(s), PageId(d));
+        }
+        b.ensure_nodes(6); // trailing isolated nodes exercise the header
+        b.build()
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let g = sample();
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(&mut &out[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn text_ignores_comments_and_blank_lines() {
+        let text = "# a comment\n\n# nodes 4\n0 1\n  1 2  \n";
+        let g = read_edge_list(&mut text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        let text = "0 x\n";
+        assert!(read_edge_list(&mut text.as_bytes()).is_err());
+        let text = "0\n";
+        assert!(read_edge_list(&mut text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = sample();
+        let bytes = to_bytes(&g);
+        let g2 = from_bytes(&bytes[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut bytes = to_bytes(&sample()).to_vec();
+        bytes[0] = b'X';
+        assert!(from_bytes(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let bytes = to_bytes(&sample());
+        assert!(from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        assert!(from_bytes(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_edges() {
+        let g = sample();
+        let mut bytes = to_bytes(&g).to_vec();
+        // Corrupt the first edge's src to a huge id.
+        let off = 24;
+        bytes[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(from_bytes(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn load_missing_file_reports_io_error() {
+        let path = std::env::temp_dir().join("jxp_io_test_does_not_exist.jxpg");
+        let _ = std::fs::remove_file(&path);
+        assert!(load_binary(&path).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("jxp_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.jxpg");
+        save_binary(&g, &path).unwrap();
+        let g2 = load_binary(&path).unwrap();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Quickstart: three peers collaboratively approximate global PageRank.
+//!
+//! Builds a tiny 8-page "Web", splits it across three overlapping peers,
+//! lets them meet, and watches the JXP scores converge to the centralized
+//! PageRank — from below, as Theorem 5.3 guarantees.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use jxp::core::{meeting, JxpConfig, JxpPeer};
+use jxp::pagerank::{pagerank, PageRankConfig};
+use jxp::webgraph::{GraphBuilder, PageId, Subgraph};
+
+fn main() {
+    // A small Web: page 0 is the hub everyone links to.
+    let mut b = GraphBuilder::new();
+    for (src, dst) in [
+        (1, 0), (2, 0), (3, 0), (4, 0), (5, 0),
+        (0, 1), (1, 2), (2, 3), (3, 4), (4, 5),
+        (5, 6), (6, 7), (7, 0), (6, 0),
+    ] {
+        b.add_edge(PageId(src), PageId(dst));
+    }
+    let web = b.build();
+    let n = web.num_nodes() as u64;
+
+    // Ground truth nobody in the P2P network gets to see.
+    let truth = pagerank(&web, &PageRankConfig::default());
+    println!("true PageRank (centralized): ");
+    for p in web.nodes() {
+        println!("  page {p}: {:.4}", truth.score(p));
+    }
+
+    // Three autonomous peers with overlapping crawls.
+    let cfg = JxpConfig::default(); // light-weight merging + take-max
+    let mut peers = vec![
+        JxpPeer::new(Subgraph::from_pages(&web, (0..4).map(PageId)), n, cfg.clone()),
+        JxpPeer::new(Subgraph::from_pages(&web, (2..6).map(PageId)), n, cfg.clone()),
+        JxpPeer::new(Subgraph::from_pages(&web, [6, 7, 0].map(PageId)), n, cfg),
+    ];
+
+    println!("\npeer 0's initial view of hub page 0: {:.4} (underestimate)",
+        peers[0].score(PageId(0)).unwrap());
+
+    // Random-ish meeting schedule: every pair meets repeatedly.
+    for round in 1..=30 {
+        for (i, j) in [(0usize, 1usize), (1, 2), (0, 2)] {
+            let (lo, hi) = (i.min(j), i.max(j));
+            let (left, right) = peers.split_at_mut(hi);
+            meeting::meet(&mut left[lo], &mut right[0]);
+        }
+        if round % 10 == 0 {
+            let alpha = peers[0].score(PageId(0)).unwrap();
+            println!(
+                "after {:>2} rounds: peer 0 sees page 0 at {:.4} (true {:.4}), world node holds {:.4}",
+                round,
+                alpha,
+                truth.score(PageId(0)),
+                peers[0].world_score()
+            );
+        }
+    }
+
+    // Every peer ends up agreeing with the centralized computation.
+    println!("\nfinal JXP scores vs truth:");
+    let mut worst = 0.0f64;
+    for peer in &peers {
+        for (i, &alpha) in peer.scores().iter().enumerate() {
+            let page = peer.graph().page_at(i);
+            let pi = truth.score(page);
+            worst = worst.max((alpha - pi).abs());
+            assert!(
+                alpha <= pi + 1e-6,
+                "Theorem 5.3 violated: {alpha} > {pi} for {page:?}"
+            );
+        }
+    }
+    for p in web.nodes().take(4) {
+        let est = peers
+            .iter()
+            .filter_map(|peer| peer.score(p))
+            .fold(f64::NAN, f64::max);
+        println!("  page {p}: jxp {est:.4} vs true {:.4}", truth.score(p));
+    }
+    println!("\nmax |JXP − PR| over all peers and pages: {worst:.5}");
+    assert!(worst < 0.01, "did not converge: {worst}");
+    println!("JXP converged to centralized PageRank without any peer seeing the whole graph.");
+}

@@ -1,0 +1,25 @@
+#![deny(missing_docs)]
+//! # jxp — Decentralized PageRank Approximation in a P2P Web Search Network
+//!
+//! Facade crate for the reproduction of *"Efficient and Decentralized
+//! PageRank Approximation in a Peer-to-Peer Web Search Network"* (Parreira,
+//! Donato, Michel, Weikum — VLDB 2006).
+//!
+//! Re-exports the workspace crates under stable module names:
+//!
+//! * [`webgraph`] — graph substrate (CSR graphs, generators, analysis, I/O)
+//! * [`pagerank`] — centralized PageRank and ranking-comparison metrics
+//! * [`synopses`] — MIPs, Bloom filters, Flajolet–Martin sketches
+//! * [`core`] — the JXP algorithm itself (peers, world nodes, meetings)
+//! * [`p2pnet`] — P2P network simulator (assignment, meetings, bandwidth,
+//!   churn)
+//! * [`minerva`] — the Minerva-style P2P search engine of §6.3
+//!
+//! See `examples/quickstart.rs` for a three-peer walk-through.
+
+pub use jxp_core as core;
+pub use jxp_minerva as minerva;
+pub use jxp_p2pnet as p2pnet;
+pub use jxp_pagerank as pagerank;
+pub use jxp_synopses as synopses;
+pub use jxp_webgraph as webgraph;

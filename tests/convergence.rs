@@ -1,0 +1,252 @@
+//! Cross-crate integration tests: JXP converges to centralized PageRank
+//! under every configuration the paper describes, and the §5 theorems
+//! hold along the way.
+
+use jxp::core::invariants::{check_mass_conservation, check_safety_bound, WorldScoreMonitor};
+use jxp::core::{meeting, CombineMode, JxpConfig, JxpPeer, MergeMode};
+use jxp::pagerank::{metrics, pagerank, PageRankConfig};
+use jxp::webgraph::generators::{CategorizedGraph, CategorizedParams};
+use jxp::webgraph::{CsrGraph, PageId, Subgraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small Web-like graph plus overlapping fragments covering it.
+fn world(seed: u64, peers: usize) -> (CsrGraph, Vec<Subgraph>) {
+    let cg = CategorizedGraph::generate(
+        &CategorizedParams {
+            num_categories: 3,
+            nodes_per_category: 60,
+            intra_out_per_node: 3,
+            cross_fraction: 0.2,
+        },
+        &mut StdRng::seed_from_u64(seed),
+    );
+    let n = cg.graph.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+    // Random overlapping slices that jointly cover every page.
+    let mut fragments: Vec<Vec<PageId>> = vec![Vec::new(); peers];
+    for p in 0..n as u32 {
+        let owner = rng.gen_range(0..peers);
+        fragments[owner].push(PageId(p));
+        // ~40% of pages are replicated on a second peer.
+        if rng.gen_bool(0.4) {
+            let second = rng.gen_range(0..peers);
+            if second != owner {
+                fragments[second].push(PageId(p));
+            }
+        }
+    }
+    let subs = fragments
+        .into_iter()
+        .map(|pages| Subgraph::from_pages(&cg.graph, pages))
+        .collect();
+    (cg.graph.clone(), subs)
+}
+
+fn run_meetings(
+    graph: &CsrGraph,
+    fragments: &[Subgraph],
+    cfg: JxpConfig,
+    rounds: usize,
+    seed: u64,
+) -> Vec<JxpPeer> {
+    let n = graph.num_nodes() as u64;
+    let mut peers: Vec<JxpPeer> = fragments
+        .iter()
+        .map(|f| JxpPeer::new(f.clone(), n, cfg.clone()))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..rounds {
+        let i = rng.gen_range(0..peers.len());
+        let mut j = rng.gen_range(0..peers.len() - 1);
+        if j >= i {
+            j += 1;
+        }
+        let (lo, hi) = (i.min(j), i.max(j));
+        let (left, right) = peers.split_at_mut(hi);
+        meeting::meet(&mut left[lo], &mut right[0]);
+    }
+    peers
+}
+
+fn max_abs_error(peers: &[JxpPeer], truth: &[f64]) -> f64 {
+    peers
+        .iter()
+        .flat_map(|peer| {
+            peer.scores().iter().enumerate().map(move |(i, &a)| {
+                (a - truth[peer.graph().page_at(i).index()]).abs()
+            })
+        })
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn all_four_configurations_converge() {
+    let (graph, fragments) = world(1, 5);
+    let truth = pagerank(&graph, &PageRankConfig::default()).into_scores();
+    for merge in [MergeMode::Full, MergeMode::LightWeight] {
+        for combine in [CombineMode::Average, CombineMode::TakeMax] {
+            let cfg = JxpConfig {
+                merge,
+                combine,
+                ..JxpConfig::default()
+            };
+            let peers = run_meetings(&graph, &fragments, cfg, 700, 2);
+            let err = max_abs_error(&peers, &truth);
+            // The Average baseline converges slower than TakeMax (that is
+            // Figure 8's point); the bound covers both.
+            assert!(
+                err < 1e-3,
+                "{merge:?}+{combine:?} did not converge: max error {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn safety_theorem_holds_at_every_meeting() {
+    let (graph, fragments) = world(3, 4);
+    let truth = pagerank(&graph, &PageRankConfig::default()).into_scores();
+    let n = graph.num_nodes() as u64;
+    let cfg = JxpConfig::optimized();
+    let mut peers: Vec<JxpPeer> = fragments
+        .iter()
+        .map(|f| JxpPeer::new(f.clone(), n, cfg.clone()))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..120 {
+        let i = rng.gen_range(0..peers.len());
+        let mut j = rng.gen_range(0..peers.len() - 1);
+        if j >= i {
+            j += 1;
+        }
+        let (lo, hi) = (i.min(j), i.max(j));
+        let (left, right) = peers.split_at_mut(hi);
+        meeting::meet(&mut left[lo], &mut right[0]);
+        for p in &peers {
+            check_mass_conservation(p).unwrap();
+            check_safety_bound(p, &truth, 1e-6).unwrap();
+        }
+    }
+}
+
+#[test]
+fn world_score_is_monotonically_non_increasing_with_take_max() {
+    let (graph, fragments) = world(5, 4);
+    let n = graph.num_nodes() as u64;
+    let cfg = JxpConfig::optimized();
+    let mut peers: Vec<JxpPeer> = fragments
+        .iter()
+        .map(|f| JxpPeer::new(f.clone(), n, cfg.clone()))
+        .collect();
+    // Overlapping fragments: allow the documented transient normalizer
+    // wobble (≤ ~2e-4) but nothing bigger.
+    let mut monitors: Vec<WorldScoreMonitor> = peers
+        .iter()
+        .map(|p| WorldScoreMonitor::with_tolerance(p, 1e-3))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..150 {
+        let i = rng.gen_range(0..peers.len());
+        let mut j = rng.gen_range(0..peers.len() - 1);
+        if j >= i {
+            j += 1;
+        }
+        let (lo, hi) = (i.min(j), i.max(j));
+        let (left, right) = peers.split_at_mut(hi);
+        meeting::meet(&mut left[lo], &mut right[0]);
+        for (p, m) in peers.iter().zip(monitors.iter_mut()) {
+            m.observe(p);
+        }
+    }
+    for (i, m) in monitors.iter().enumerate() {
+        assert_eq!(
+            m.violations(),
+            0,
+            "peer {i}: world score rose by {}",
+            m.max_increase()
+        );
+    }
+}
+
+#[test]
+fn total_ranking_beats_isolated_ranking() {
+    // Meetings must help: the merged ranking after meetings is closer to
+    // the centralized one than the merged ranking of isolated peers.
+    let (graph, fragments) = world(7, 6);
+    let truth = pagerank(&graph, &PageRankConfig::default()).into_scores();
+    let truth_ranking = jxp::core::evaluate::centralized_ranking(&truth);
+    let n = graph.num_nodes() as u64;
+    let cfg = JxpConfig::optimized();
+    let isolated: Vec<JxpPeer> = fragments
+        .iter()
+        .map(|f| JxpPeer::new(f.clone(), n, cfg.clone()))
+        .collect();
+    let before = metrics::footrule_distance(
+        &jxp::core::evaluate::total_ranking(isolated.iter()),
+        &truth_ranking,
+        50,
+    );
+    let peers = run_meetings(&graph, &fragments, cfg, 400, 8);
+    let after = metrics::footrule_distance(
+        &jxp::core::evaluate::total_ranking(peers.iter()),
+        &truth_ranking,
+        50,
+    );
+    assert!(
+        after < before,
+        "meetings did not improve the ranking: {before} → {after}"
+    );
+    assert!(after < 0.1, "final footrule too high: {after}");
+}
+
+#[test]
+fn kendall_tau_approaches_one() {
+    let (graph, fragments) = world(9, 5);
+    let truth = pagerank(&graph, &PageRankConfig::default()).into_scores();
+    let truth_ranking = jxp::core::evaluate::centralized_ranking(&truth);
+    let peers = run_meetings(&graph, &fragments, JxpConfig::optimized(), 500, 10);
+    let ranking = jxp::core::evaluate::total_ranking(peers.iter());
+    let tau = metrics::kendall_tau(&ranking, &truth_ranking, 50).unwrap();
+    assert!(tau > 0.9, "kendall tau {tau}");
+}
+
+#[test]
+fn single_page_peers_work() {
+    // Degenerate fragments: every peer holds exactly one page.
+    let mut b = jxp::webgraph::GraphBuilder::new();
+    for (s, d) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)] {
+        b.add_edge(PageId(s), PageId(d));
+    }
+    let g = b.build();
+    let truth = pagerank(&g, &PageRankConfig::default()).into_scores();
+    let cfg = JxpConfig::optimized();
+    let mut peers: Vec<JxpPeer> = (0..4)
+        .map(|p| {
+            JxpPeer::new(
+                Subgraph::from_pages(&g, [PageId(p)]),
+                4,
+                cfg.clone(),
+            )
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..300 {
+        let i = rng.gen_range(0..4);
+        let mut j = rng.gen_range(0..3);
+        if j >= i {
+            j += 1;
+        }
+        let (lo, hi) = (i.min(j), i.max(j));
+        let (left, right) = peers.split_at_mut(hi);
+        meeting::meet(&mut left[lo], &mut right[0]);
+    }
+    for (p, peer) in peers.iter().enumerate() {
+        let alpha = peer.score(PageId(p as u32)).unwrap();
+        assert!(
+            (alpha - truth[p]).abs() < 0.01,
+            "peer {p}: {alpha} vs {}",
+            truth[p]
+        );
+    }
+}
