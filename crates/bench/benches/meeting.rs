@@ -29,10 +29,7 @@ fn peers(merge: MergeMode, pages_per_peer: usize) -> (JxpPeer, JxpPeer) {
     let half = pages_per_peer as u32;
     let a = Subgraph::from_pages(&cg.graph, (0..half + half / 4).map(PageId));
     let b = Subgraph::from_pages(&cg.graph, (half - half / 4..2 * half).map(PageId));
-    (
-        JxpPeer::new(a, n, cfg.clone()),
-        JxpPeer::new(b, n, cfg),
-    )
+    (JxpPeer::new(a, n, cfg.clone()), JxpPeer::new(b, n, cfg))
 }
 
 fn bench_meeting(c: &mut Criterion) {

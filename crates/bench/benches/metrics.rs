@@ -44,5 +44,10 @@ fn bench_ranking_build(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_footrule, bench_linear_error, bench_ranking_build);
+criterion_group!(
+    benches,
+    bench_footrule,
+    bench_linear_error,
+    bench_ranking_build
+);
 criterion_main!(benches);

@@ -49,12 +49,7 @@ fn bench_local_extended(c: &mut Criterion) {
     c.bench_function("jxp_local_pagerank_500", |b| {
         b.iter(|| {
             black_box(extended_pagerank(
-                &topo,
-                n as f64,
-                &inflow,
-                &init,
-                0.9,
-                &cfg,
+                &topo, n as f64, &inflow, &init, 0.9, &cfg,
             ))
         });
     });

@@ -9,9 +9,7 @@
 //! 3. **MIPs dimensionality** — how small can the §4.3 synopses be before
 //!    the pre-meetings strategy stops helping?
 
-use jxp_bench::{
-    build_network, load_dataset, run_convergence, samples_to_csv, ExperimentCtx,
-};
+use jxp_bench::{build_network, load_dataset, run_convergence, samples_to_csv, ExperimentCtx};
 use jxp_core::selection::{PreMeetingsConfig, SelectionStrategy};
 use jxp_core::{CombineMode, JxpConfig, MergeMode};
 use jxp_p2pnet::{Network, NetworkConfig};
@@ -68,7 +66,11 @@ fn main() {
             "  {label:<22} → footrule {:.4}, error {:.3e}",
             last.footrule, last.linear_error
         );
-        let _ = writeln!(csv, "{label},{:.6},{:.3e}", last.footrule, last.linear_error);
+        let _ = writeln!(
+            csv,
+            "{label},{:.6},{:.3e}",
+            last.footrule, last.linear_error
+        );
         last
     };
     let base_cfg = || NetworkConfig::default();

@@ -52,7 +52,11 @@ fn main() {
     let mut report = |name: &str, r: &Ranking, note: &str| {
         let f = footrule_distance(r, truth_ranking, ctx.top_k);
         let ov = top_k_overlap(r, truth_ranking, ctx.top_k);
-        println!("  {name:<28} footrule {f:.4}  top-{} overlap {:>5.1}%  {note}", ctx.top_k, ov * 100.0);
+        println!(
+            "  {name:<28} footrule {f:.4}  top-{} overlap {:>5.1}%  {note}",
+            ctx.top_k,
+            ov * 100.0
+        );
         let _ = writeln!(csv, "{name},{f:.6},{ov:.4},{note}");
         (f, ov)
     };
@@ -95,7 +99,10 @@ fn main() {
 
     // ---- Chen et al.: per-page cost/accuracy on the true top pages.
     println!("\n  Chen et al. local estimation of the top-20 pages:");
-    println!("  {:>7} {:>16} {:>16}", "radius", "mean rel. error", "mean pages fetched");
+    println!(
+        "  {:>7} {:>16} {:>16}",
+        "radius", "mean rel. error", "mean pages fetched"
+    );
     let cfg = PageRankConfig::default();
     let targets = truth_ranking.top_k(20).to_vec();
     for radius in [1usize, 2, 3] {

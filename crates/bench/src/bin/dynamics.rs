@@ -77,8 +77,7 @@ fn main() {
                 if rng.gen_bool(0.04) {
                     if condition == "churn-warm" {
                         if let Some(bytes) = parked_snapshots.pop_front() {
-                            let peer =
-                                snapshot::load(&bytes[..]).expect("own snapshot must load");
+                            let peer = snapshot::load(&bytes[..]).expect("own snapshot must load");
                             net.add_existing_peer(peer);
                             rejoins += 1;
                         }
@@ -99,8 +98,12 @@ fn main() {
     ctx.write_csv("dynamics.csv", &csv);
 
     let by_name = |n: &str| finals.iter().find(|(c, _)| *c == n).unwrap().1;
-    println!("\nfinal footrule: static {:.4}, churn-cold {:.4}, churn-warm {:.4}",
-        by_name("static"), by_name("churn-cold"), by_name("churn-warm"));
+    println!(
+        "\nfinal footrule: static {:.4}, churn-cold {:.4}, churn-warm {:.4}",
+        by_name("static"),
+        by_name("churn-cold"),
+        by_name("churn-warm")
+    );
     println!("\nShape check vs paper (§5.3 claim): the network keeps converging under");
     println!("churn; restoring state on rejoin (warm) recovers most of the gap to the");
     println!("static control.");

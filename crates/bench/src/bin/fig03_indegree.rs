@@ -12,7 +12,10 @@ use std::fmt::Write as _;
 
 fn main() {
     let ctx = ExperimentCtx::from_env(0);
-    println!("== Figure 3: in-degree distributions (scale {}) ==", ctx.scale);
+    println!(
+        "== Figure 3: in-degree distributions (scale {}) ==",
+        ctx.scale
+    );
     for preset in [amazon_2005(), web_crawl_2005()] {
         let cg = if ctx.scale >= 1.0 {
             preset.generate()

@@ -28,7 +28,10 @@ fn main() {
     );
     let mut net = build_network(&ds, JxpConfig::baseline(), SelectionStrategy::Random, 4);
     let samples = run_convergence(&mut net, &ds, ctx.meetings, ctx.sample_every, ctx.top_k);
-    print_samples("baseline JXP (full merge, averaging, random meetings)", &samples);
+    print_samples(
+        "baseline JXP (full merge, averaging, random meetings)",
+        &samples,
+    );
     ctx.write_csv("fig04_amazon.csv", &samples_to_csv(&samples));
     ctx.write_figure(
         "fig04_amazon_footrule.svg",
@@ -52,6 +55,12 @@ fn main() {
         "footrule {:.3} → {:.3}, linear error {:.2e} → {:.2e}",
         first.footrule, last.footrule, first.linear_error, last.linear_error
     );
-    assert!(last.footrule < first.footrule * 0.7, "footrule did not drop");
-    assert!(last.linear_error < first.linear_error, "score error did not drop");
+    assert!(
+        last.footrule < first.footrule * 0.7,
+        "footrule did not drop"
+    );
+    assert!(
+        last.linear_error < first.linear_error,
+        "score error did not drop"
+    );
 }

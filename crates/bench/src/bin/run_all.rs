@@ -42,7 +42,10 @@ fn main() {
     }
     println!("\n=============================================================");
     if failures.is_empty() {
-        println!("All {} experiments completed with passing shape checks.", EXPERIMENTS.len());
+        println!(
+            "All {} experiments completed with passing shape checks.",
+            EXPERIMENTS.len()
+        );
     } else {
         println!("{} experiment(s) failed: {failures:?}", failures.len());
         std::process::exit(1);

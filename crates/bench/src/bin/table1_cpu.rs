@@ -30,11 +30,7 @@ impl PeerCost {
     }
 }
 
-fn measure(
-    ds: &jxp_bench::Dataset,
-    merge: MergeMode,
-    meetings: usize,
-) -> Vec<PeerCost> {
+fn measure(ds: &jxp_bench::Dataset, merge: MergeMode, meetings: usize) -> Vec<PeerCost> {
     let cfg = JxpConfig {
         merge,
         combine: CombineMode::Average,
@@ -109,9 +105,9 @@ fn main() {
         }
         // Network-wide averages for the shape check.
         let avg = |v: &[PeerCost]| {
-            let (t, m): (f64, u64) = v
-                .iter()
-                .fold((0.0, 0), |(t, m), c| (t + c.total.as_micros() as f64, m + c.meetings));
+            let (t, m): (f64, u64) = v.iter().fold((0.0, 0), |(t, m), c| {
+                (t + c.total.as_micros() as f64, m + c.meetings)
+            });
             t / m.max(1) as f64
         };
         let (af, al) = (avg(&full), avg(&light));

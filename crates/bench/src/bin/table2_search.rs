@@ -77,7 +77,10 @@ fn main() {
         10, // precision@10
         (PAPER_TFIDF_WEIGHT, PAPER_JXP_WEIGHT),
     );
-    println!("\n  {:<14} {:>8} {:>22}", "Query", "tf*idf", "0.6 tf*idf + 0.4 JXP");
+    println!(
+        "\n  {:<14} {:>8} {:>22}",
+        "Query", "tf*idf", "0.6 tf*idf + 0.4 JXP"
+    );
     let mut csv = String::from("query,tfidf_p10,fused_p10\n");
     for r in &rows {
         println!(
@@ -86,10 +89,19 @@ fn main() {
             r.tfidf_precision * 100.0,
             r.fused_precision * 100.0
         );
-        let _ = writeln!(csv, "{},{:.2},{:.2}", r.query, r.tfidf_precision, r.fused_precision);
+        let _ = writeln!(
+            csv,
+            "{},{:.2},{:.2}",
+            r.query, r.tfidf_precision, r.fused_precision
+        );
     }
     let (t, f) = averages(&rows);
-    println!("  {:<14} {:>7.0}% {:>21.0}%", "Average", t * 100.0, f * 100.0);
+    println!(
+        "  {:<14} {:>7.0}% {:>21.0}%",
+        "Average",
+        t * 100.0,
+        f * 100.0
+    );
     let _ = writeln!(csv, "average,{t:.3},{f:.3}");
     ctx.write_csv("table2_search.csv", &csv);
 

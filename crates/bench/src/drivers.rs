@@ -2,8 +2,8 @@
 //! and Web variants of each figure differ only in the dataset preset).
 
 use crate::{
-    build_network, bytes_to_reach, load_dataset, meetings_to_reach, print_samples,
-    run_convergence, samples_to_csv, ExperimentCtx,
+    build_network, bytes_to_reach, load_dataset, meetings_to_reach, print_samples, run_convergence,
+    samples_to_csv, ExperimentCtx,
 };
 use jxp_core::selection::{PreMeetingsConfig, SelectionStrategy};
 use jxp_core::{CombineMode, JxpConfig, MergeMode};
@@ -31,7 +31,10 @@ pub fn merging_comparison(ctx: &ExperimentCtx, dataset: &str) {
     let mut curves = Vec::new();
     for (label, merge) in [
         ("with merging (full, Algorithm 2)", MergeMode::Full),
-        ("without merging (light-weight, §4.1)", MergeMode::LightWeight),
+        (
+            "without merging (light-weight, §4.1)",
+            MergeMode::LightWeight,
+        ),
     ] {
         let cfg = JxpConfig {
             merge,
@@ -41,7 +44,11 @@ pub fn merging_comparison(ctx: &ExperimentCtx, dataset: &str) {
         let mut net = build_network(&ds, cfg, SelectionStrategy::Random, 6);
         let samples = run_convergence(&mut net, &ds, ctx.meetings, ctx.sample_every, ctx.top_k);
         print_samples(label, &samples);
-        let suffix = if merge == MergeMode::Full { "full" } else { "light" };
+        let suffix = if merge == MergeMode::Full {
+            "full"
+        } else {
+            "light"
+        };
         ctx.write_csv(
             &format!("fig0{fig}_{dataset}_{suffix}.csv"),
             &samples_to_csv(&samples),
@@ -52,10 +59,7 @@ pub fn merging_comparison(ctx: &ExperimentCtx, dataset: &str) {
         &format!("fig0{fig}_{dataset}.svg"),
         &format!("Figure {fig}: merging procedures ({dataset})"),
         "Spearman footrule (top-k)",
-        &[
-            (curves[0].0, &curves[0].1),
-            (curves[1].0, &curves[1].1),
-        ],
+        &[(curves[0].0, &curves[0].1), (curves[1].0, &curves[1].1)],
         |p| p.footrule,
     );
     let finals = [
@@ -94,7 +98,11 @@ pub fn combine_comparison(ctx: &ExperimentCtx, dataset: &str) {
         let mut net = build_network(&ds, cfg, SelectionStrategy::Random, 8);
         let samples = run_convergence(&mut net, &ds, ctx.meetings, ctx.sample_every, ctx.top_k);
         print_samples(label, &samples);
-        let suffix = if combine == CombineMode::Average { "avg" } else { "max" };
+        let suffix = if combine == CombineMode::Average {
+            "avg"
+        } else {
+            "max"
+        };
         ctx.write_csv(
             &format!("fig08_{dataset}_{suffix}.csv"),
             &samples_to_csv(&samples),
@@ -105,10 +113,7 @@ pub fn combine_comparison(ctx: &ExperimentCtx, dataset: &str) {
         &format!("fig08_{dataset}.svg"),
         &format!("Figure 8: score combination ({dataset})"),
         "linear score error",
-        &[
-            (curves[0].0, &curves[0].1),
-            (curves[1].0, &curves[1].1),
-        ],
+        &[(curves[0].0, &curves[0].1), (curves[1].0, &curves[1].1)],
         |p| p.linear_error,
     );
     let finals = [
@@ -153,8 +158,7 @@ pub fn selection_comparison(ctx: &ExperimentCtx, dataset: &str) {
                     let ds = &ds;
                     let strategy = strategy.clone();
                     move || {
-                        let mut net =
-                            build_network(ds, JxpConfig::optimized(), strategy, 9 + seed);
+                        let mut net = build_network(ds, JxpConfig::optimized(), strategy, 9 + seed);
                         run_convergence(&mut net, ds, ctx.meetings, ctx.sample_every, ctx.top_k)
                     }
                 })
@@ -261,7 +265,10 @@ pub fn msgsize(ctx: &ExperimentCtx, dataset: &str) {
         net.run(ctx.meetings);
         let log = net.bandwidth();
         println!("\n  {label}: per-peer meeting number vs message KB (q1 / median / q3)");
-        println!("  {:>8} {:>10} {:>10} {:>10}", "meeting", "q1", "median", "q3");
+        println!(
+            "  {:>8} {:>10} {:>10} {:>10}",
+            "meeting", "q1", "median", "q3"
+        );
         let mut csv = String::from("meeting,q1_kb,median_kb,q3_kb\n");
         let horizon = log.max_meetings_per_peer().min(50);
         for k in 0..horizon {

@@ -277,7 +277,10 @@ pub fn samples_to_csv(samples: &[SamplePoint]) -> String {
 /// Print sample points as an aligned table.
 pub fn print_samples(label: &str, samples: &[SamplePoint]) {
     println!("  {label}");
-    println!("  {:>9} {:>10} {:>14} {:>12}", "meetings", "footrule", "linear error", "MB total");
+    println!(
+        "  {:>9} {:>10} {:>14} {:>12}",
+        "meetings", "footrule", "linear error", "MB total"
+    );
     for p in samples {
         println!(
             "  {:>9} {:>10.4} {:>14.3e} {:>12.2}",
@@ -310,25 +313,21 @@ pub fn build_network(
     )
 }
 
-/// Run independent experiment jobs on threads (one per job, via a
-/// crossbeam scope) and return their results in submission order. Used by
-/// the multi-seed sweeps so `run_all` wall-time stays in minutes.
+/// Run independent experiment jobs on threads (one per job, via a scoped
+/// spawn) and return their results in submission order. Used by the
+/// multi-seed sweeps so `run_all` wall-time stays in minutes.
 pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
 where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|job| scope.spawn(move |_| job()))
-            .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs.into_iter().map(|job| scope.spawn(job)).collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("experiment job panicked"))
             .collect()
     })
-    .expect("experiment thread scope failed")
 }
 
 /// First meeting count at which the footrule drops below `threshold`
@@ -364,12 +363,7 @@ mod tests {
     #[test]
     fn tiny_end_to_end_convergence() {
         let ds = load_dataset(&amazon_2005(), 0.01);
-        let mut net = build_network(
-            &ds,
-            JxpConfig::default(),
-            SelectionStrategy::Random,
-            42,
-        );
+        let mut net = build_network(&ds, JxpConfig::default(), SelectionStrategy::Random, 1);
         let samples = run_convergence(&mut net, &ds, 60, 20, 50);
         assert_eq!(samples.len(), 4);
         assert!(samples[0].meetings == 0);
@@ -383,18 +377,31 @@ mod tests {
 
     #[test]
     fn run_parallel_preserves_order() {
-        let jobs: Vec<_> = (0..8)
-            .map(|i| move || i * i)
-            .collect();
+        let jobs: Vec<_> = (0..8).map(|i| move || i * i).collect();
         assert_eq!(run_parallel(jobs), vec![0, 1, 4, 9, 16, 25, 36, 49]);
     }
 
     #[test]
     fn reach_helpers() {
         let samples = vec![
-            SamplePoint { meetings: 0, footrule: 0.9, linear_error: 1.0, total_bytes: 0 },
-            SamplePoint { meetings: 10, footrule: 0.5, linear_error: 0.5, total_bytes: 100 },
-            SamplePoint { meetings: 20, footrule: 0.1, linear_error: 0.2, total_bytes: 250 },
+            SamplePoint {
+                meetings: 0,
+                footrule: 0.9,
+                linear_error: 1.0,
+                total_bytes: 0,
+            },
+            SamplePoint {
+                meetings: 10,
+                footrule: 0.5,
+                linear_error: 0.5,
+                total_bytes: 100,
+            },
+            SamplePoint {
+                meetings: 20,
+                footrule: 0.1,
+                linear_error: 0.2,
+                total_bytes: 250,
+            },
         ];
         assert_eq!(meetings_to_reach(&samples, 0.2), Some(20));
         assert_eq!(bytes_to_reach(&samples, 0.2), Some(250));

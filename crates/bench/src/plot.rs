@@ -53,7 +53,10 @@ fn fmt_tick(v: f64) -> String {
 /// # Panics
 /// Panics if no series contains any point.
 pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     assert!(!all.is_empty(), "cannot plot an empty chart");
     let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
     let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -74,14 +77,18 @@ pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) 
         y_max = y_min + 1.0;
     }
     let px = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * (WIDTH - MARGIN_L - MARGIN_R);
-    let py = |y: f64| HEIGHT - MARGIN_B - (y - y_min) / (y_max - y_min) * (HEIGHT - MARGIN_T - MARGIN_B);
+    let py =
+        |y: f64| HEIGHT - MARGIN_B - (y - y_min) / (y_max - y_min) * (HEIGHT - MARGIN_T - MARGIN_B);
 
     let mut svg = String::new();
     let _ = write!(
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"#
     );
-    let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+    );
     let _ = write!(
         svg,
         r#"<text x="{}" y="20" text-anchor="middle" font-size="15">{}</text>"#,

@@ -37,7 +37,8 @@ impl ParsedArgs {
 
     /// Required string value.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required --{key}"))
     }
 
     /// Optional parsed value with a default.
@@ -102,10 +103,18 @@ mod tests {
     #[test]
     fn choices_are_validated() {
         let a = parse("--merge full").unwrap();
-        assert_eq!(a.get_choice("merge", &["light", "full"], "light").unwrap(), "full");
-        assert_eq!(a.get_choice("combine", &["max", "avg"], "max").unwrap(), "max");
+        assert_eq!(
+            a.get_choice("merge", &["light", "full"], "light").unwrap(),
+            "full"
+        );
+        assert_eq!(
+            a.get_choice("combine", &["max", "avg"], "max").unwrap(),
+            "max"
+        );
         let bad = parse("--merge diagonal").unwrap();
-        assert!(bad.get_choice("merge", &["light", "full"], "light").is_err());
+        assert!(bad
+            .get_choice("merge", &["light", "full"], "light")
+            .is_err());
     }
 
     #[test]

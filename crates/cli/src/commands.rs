@@ -130,7 +130,10 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
     if estimate_n {
         println!("peers estimate N by FM-sketch gossip (no global knowledge)");
     }
-    println!("{:>9} {:>10} {:>14} {:>10}", "meetings", "footrule", "linear error", "MB");
+    println!(
+        "{:>9} {:>10} {:>14} {:>10}",
+        "meetings", "footrule", "linear error", "MB"
+    );
     let mut done = 0;
     while done < meetings {
         let step = sample.min(meetings - done);
@@ -162,6 +165,186 @@ fn generate_graph_with_scale(
     } else {
         preset.generate_scaled(scale)
     })
+}
+
+/// Split the full graph into `n` contiguous fragments of near-equal
+/// size, for the networked commands (crawler-based assignment produces
+/// a category-dependent peer count; `cluster` wants exactly `--peers`).
+fn contiguous_fragments(cg: &CategorizedGraph, n: usize) -> Vec<Subgraph> {
+    use jxp_webgraph::PageId;
+    let total = cg.graph.num_nodes();
+    let per = total.div_ceil(n);
+    (0..n)
+        .map(|i| {
+            let lo = i * per;
+            let hi = ((i + 1) * per).min(total);
+            Subgraph::from_pages(&cg.graph, (lo..hi).map(|p| PageId(p as u32)))
+        })
+        .filter(|f| f.num_pages() > 0)
+        .collect()
+}
+
+/// `jxp-cli cluster` — run N networked nodes through M meetings over
+/// the wire codec (loopback or localhost TCP) and report convergence
+/// plus measured traffic.
+pub fn cluster(args: &ParsedArgs) -> Result<(), String> {
+    use jxp_node::{ClusterConfig, StallPlan, TransportKind};
+
+    let peers: usize = args.get_or("peers", 8)?;
+    if peers < 2 {
+        return Err(format!("--peers must be at least 2, got {peers}"));
+    }
+    let meetings: usize = args.get_or("meetings", 200)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let transport: TransportKind = args
+        .get_choice("transport", &["loopback", "tcp"], "loopback")?
+        .parse()?;
+    let premeetings = args.get_choice("premeetings", &["yes", "no"], "no")? == "yes";
+    let stall: u32 = args.get_or("stall", 0)?;
+
+    let cg = generate_graph_with_scale(args, 0.05)?;
+    let n = cg.graph.num_nodes();
+    let top: usize = args.get_or("top", (n / 20).max(10))?;
+    let fragments = contiguous_fragments(&cg, peers);
+    let truth = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
+
+    let config = ClusterConfig {
+        meetings,
+        transport,
+        seed,
+        premeetings,
+        stall: (stall > 0).then_some(StallPlan {
+            node_index: 1 % peers,
+            at_meeting: 0,
+            count: stall,
+        }),
+        ..ClusterConfig::default()
+    };
+    println!(
+        "{} pages, {} nodes over {:?}, {} meetings{}",
+        n,
+        fragments.len(),
+        transport,
+        meetings,
+        if stall > 0 {
+            format!(" (stalling node 1 for {stall} requests)")
+        } else {
+            String::new()
+        }
+    );
+    let report = jxp_node::run_cluster(
+        fragments,
+        n as u64,
+        JxpConfig::default(),
+        &config,
+        Some(&truth),
+    );
+    println!(
+        "meetings: {} attempted, {} completed, {} failed, {} retries",
+        report.meetings_attempted,
+        report.meetings_completed,
+        report.meetings_failed,
+        report.retries
+    );
+    println!(
+        "traffic:  {} wire bytes total ({:.2} MB), exact codec lengths",
+        report.bytes_total,
+        report.bytes_total as f64 / 1e6
+    );
+    if let Some(footrule) = report.footrule {
+        println!("footrule@{top} vs centralized PageRank: {footrule:.4}");
+    }
+    println!(
+        "{:>5} {:>9} {:>9} {:>7} {:>8} {:>12} {:>12}",
+        "node", "initiated", "served", "failed", "retries", "bytes in", "bytes out"
+    );
+    for (i, s) in report.per_node.iter().enumerate() {
+        println!(
+            "{:>5} {:>9} {:>9} {:>7} {:>8} {:>12} {:>12}",
+            i,
+            s.meetings_attempted,
+            s.meetings_served,
+            s.meetings_failed,
+            s.retries,
+            s.bytes_in,
+            s.bytes_out
+        );
+    }
+    if report.meetings_failed > 0 && report.meetings_completed == 0 {
+        return Err("every meeting failed — transport is broken".to_string());
+    }
+    Ok(())
+}
+
+/// `jxp-cli node` — single-node TCP demo: serve one fragment on an
+/// ephemeral localhost port, then drive a second in-process node through
+/// a real hello + synopsis probe + meeting against it over the socket.
+pub fn node(args: &ParsedArgs) -> Result<(), String> {
+    use jxp_core::JxpPeer;
+    use jxp_node::{JxpNode, RetryPolicy, TcpConfig, TcpServer, TcpTransport};
+    use jxp_synopses::mips::MipsPermutations;
+    use std::sync::Arc;
+
+    let seed: u64 = args.get_or("seed", 42)?;
+    let duration: u64 = args.get_or("duration", 0)?;
+    let cg = generate_graph_with_scale(args, 0.02)?;
+    let n = cg.graph.num_nodes();
+    let frags = contiguous_fragments(&cg, 2);
+    if frags.len() < 2 {
+        return Err("graph too small to split; raise --scale".to_string());
+    }
+    let mut frags = frags.into_iter();
+    let perms = MipsPermutations::generate(64, seed);
+
+    let server_node = Arc::new(JxpNode::new(
+        0,
+        JxpPeer::new(frags.next().unwrap(), n as u64, JxpConfig::default()),
+        &perms,
+    ));
+    let server = TcpServer::spawn(Arc::clone(&server_node) as _)
+        .map_err(|e| format!("binding localhost: {e}"))?;
+    println!(
+        "node 0 serving {} pages on {}",
+        server_node.with_peer(|p| p.num_pages()),
+        server.addr()
+    );
+
+    let client = JxpNode::new(
+        1,
+        JxpPeer::new(frags.next().unwrap(), n as u64, JxpConfig::default()),
+        &perms,
+    );
+    let transport = TcpTransport::new(TcpConfig::default());
+    transport.add_route(0, server.addr());
+    let policy = RetryPolicy::default();
+    let (peer_id, peer_pages) = client
+        .hello(0, &transport, &policy)
+        .map_err(|e| format!("hello failed: {e}"))?;
+    println!("hello -> node {peer_id} ({peer_pages} pages)");
+    let remote_syn = client
+        .fetch_synopses(0, &transport, &policy)
+        .map_err(|e| format!("synopsis probe failed: {e}"))?;
+    println!(
+        "synopsis probe -> premeet containment score {:.4}",
+        client.premeet_score(&remote_syn)
+    );
+    let outcome = client
+        .meet(0, &transport, &policy)
+        .map_err(|e| format!("meeting failed: {e}"))?;
+    println!(
+        "meeting -> {} bytes out, {} bytes in, {} retries",
+        outcome.bytes_sent, outcome.bytes_received, outcome.retries
+    );
+    let s = client.stats();
+    println!(
+        "client totals: {} bytes out, {} bytes in (exact codec lengths)",
+        s.bytes_out, s.bytes_in
+    );
+    if duration > 0 {
+        println!("serving for {duration}s more (ctrl-c to stop)...");
+        std::thread::sleep(std::time::Duration::from_secs(duration));
+    }
+    Ok(())
 }
 
 /// `jxp-cli search` — the Table 2 experiment at CLI scale.
@@ -204,7 +387,10 @@ pub fn search(args: &ParsedArgs) -> Result<(), String> {
         10,
         (0.6, 0.4),
     );
-    println!("{:<14} {:>8} {:>22}", "query", "tf*idf", "0.6 tf*idf + 0.4 JXP");
+    println!(
+        "{:<14} {:>8} {:>22}",
+        "query", "tf*idf", "0.6 tf*idf + 0.4 JXP"
+    );
     for r in &rows {
         println!(
             "{:<14} {:>7.0}% {:>21.0}%",

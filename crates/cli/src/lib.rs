@@ -35,7 +35,14 @@ commands:
              --strategy random|premeetings, --estimate-n yes|no,
              --sample N, --top K, --seed N
   search     run the Minerva search experiment (Table 2 style)
-             --scale (0.05), --queries N (10), --meetings N (400), --seed N";
+             --scale (0.05), --queries N (10), --meetings N (400), --seed N
+  cluster    run N networked nodes through M meetings over the wire codec
+             --peers N (8), --meetings M (200), --transport loopback|tcp,
+             --premeetings yes|no, --stall K (stall node 1 for K requests),
+             --dataset, --scale (0.05), --seed N, --top K
+  node       single-node TCP demo: serve a fragment on an ephemeral port
+             and run hello + synopsis probe + meeting against it
+             --dataset, --scale (0.02), --seed N, --duration SECS (0)";
 
 /// Entry point: dispatch a full argument vector (without the program
 /// name). Returns a user-facing error string on bad input.
@@ -47,6 +54,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "pagerank" => commands::pagerank_cmd(&parsed),
         "simulate" => commands::simulate(&parsed),
         "search" => commands::search(&parsed),
+        "cluster" => commands::cluster(&parsed),
+        "node" => commands::node(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -114,6 +123,41 @@ mod tests {
             "simulate --dataset amazon --scale 0.01 --meetings 30 --estimate-n yes --sample 15 --top 20",
         ))
         .unwrap();
+    }
+
+    #[test]
+    fn cluster_loopback_smoke() {
+        run(&argv(
+            "cluster --peers 4 --meetings 24 --scale 0.01 --transport loopback",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn cluster_tcp_with_stall_survives() {
+        run(&argv(
+            "cluster --peers 4 --meetings 16 --scale 0.01 --transport tcp --stall 2",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn cluster_premeetings_smoke() {
+        run(&argv(
+            "cluster --peers 3 --meetings 12 --scale 0.01 --premeetings yes",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn node_tcp_demo_smoke() {
+        run(&argv("node --scale 0.01")).unwrap();
+    }
+
+    #[test]
+    fn cluster_rejects_bad_args() {
+        assert!(run(&argv("cluster --peers 1")).is_err());
+        assert!(run(&argv("cluster --transport carrier-pigeon")).is_err());
     }
 
     #[test]

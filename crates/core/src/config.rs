@@ -85,7 +85,10 @@ impl JxpConfig {
             self.epsilon
         );
         assert!(self.pr_tolerance > 0.0, "pr_tolerance must be positive");
-        assert!(self.pr_max_iterations > 0, "pr_max_iterations must be positive");
+        assert!(
+            self.pr_max_iterations > 0,
+            "pr_max_iterations must be positive"
+        );
     }
 }
 

@@ -238,8 +238,14 @@ mod tests {
         assert_eq!(t.ext_ratio[1], 0.0);
         assert!(t.dangling().is_empty());
         // Local predecessors of page 0 (dense 0): {1}; of page 1: {0}.
-        assert_eq!(&t.rev_adj[t.rev_off[0] as usize..t.rev_off[1] as usize], &[1]);
-        assert_eq!(&t.rev_adj[t.rev_off[1] as usize..t.rev_off[2] as usize], &[0]);
+        assert_eq!(
+            &t.rev_adj[t.rev_off[0] as usize..t.rev_off[1] as usize],
+            &[1]
+        );
+        assert_eq!(
+            &t.rev_adj[t.rev_off[1] as usize..t.rev_off[2] as usize],
+            &[0]
+        );
     }
 
     #[test]
@@ -354,14 +360,7 @@ mod tests {
         let inflow = vec![0.02, 0.0, 0.01];
         let cold = extended_pagerank(&t, 6.0, &inflow, &[1.0 / 6.0; 3], 0.5, &cfg);
         // Re-run from the converged vector: should finish almost instantly.
-        let warm = extended_pagerank(
-            &t,
-            6.0,
-            &inflow,
-            &cold.scores,
-            cold.world_score,
-            &cfg,
-        );
+        let warm = extended_pagerank(&t, 6.0, &inflow, &cold.scores, cold.world_score, &cfg);
         assert!(
             warm.iterations < cold.iterations,
             "warm {} vs cold {}",
@@ -375,6 +374,13 @@ mod tests {
     fn n_total_smaller_than_fragment_panics() {
         let f = fragment(&[(0, 1)], &[0, 1]);
         let t = LocalTopology::build(&f);
-        let _ = extended_pagerank(&t, 1.0, &[0.0, 0.0], &[0.5, 0.5], 0.0, &JxpConfig::default());
+        let _ = extended_pagerank(
+            &t,
+            1.0,
+            &[0.0, 0.0],
+            &[0.5, 0.5],
+            0.0,
+            &JxpConfig::default(),
+        );
     }
 }

@@ -119,7 +119,10 @@ impl MeetingPayload {
         }
         for wp in &self.world {
             if !valid_score(wp.score) {
-                return Err(format!("world entry {:?} has invalid score {}", wp.src, wp.score));
+                return Err(format!(
+                    "world entry {:?} has invalid score {}",
+                    wp.src, wp.score
+                ));
             }
             if wp.out_degree == 0 {
                 return Err(format!("world entry {:?} with zero out-degree", wp.src));
@@ -142,7 +145,11 @@ impl MeetingPayload {
     /// Serialized size in bytes: the quantity plotted in Figures 11/12.
     ///
     /// Accounting: 4 bytes per page id, 8 per score, 4 per out-degree or
-    /// list length, 8 for the world score, 8 for the two section lengths.
+    /// list length, 8 for the world score, 12 for the three section
+    /// lengths (pages, world, dangling). This is exactly the length of the
+    /// `jxp-wire` frame *body* encoding the payload — pinned by a test in
+    /// `crates/wire` — so Figures 11/12 report measured bytes; the codec's
+    /// fixed 12-byte frame header is the only residual delta.
     pub fn wire_size(&self) -> usize {
         let pages: usize = self
             .pages
@@ -154,7 +161,7 @@ impl MeetingPayload {
             .iter()
             .map(|w| 4 + 4 + 8 + 4 + 4 * w.targets.len())
             .sum();
-        8 + 8 + pages + world + self.world_dangling.len() * 12
+        8 + 12 + pages + world + self.world_dangling.len() * 12
     }
 
     /// Number of local pages described.
@@ -204,8 +211,9 @@ mod tests {
         let graph = fragment();
         let world = WorldNode::new();
         let p = MeetingPayload::assemble(&graph, &world, &[0.4, 0.3], 0.3);
-        // Two pages, one succ each: 2 × (4+8+4+4) = 40, header 16.
-        assert_eq!(p.wire_size(), 16 + 40);
+        // Two pages, one succ each: 2 × (4+8+4+4) = 40; world score plus
+        // three section lengths: 8 + 12 = 20.
+        assert_eq!(p.wire_size(), 20 + 40);
     }
 
     #[test]

@@ -231,12 +231,8 @@ impl JxpPeer {
     fn absorb_full(&mut self, payload: &MeetingPayload) {
         let combine = self.config.combine;
         // ---- Build the merged graph V_M = V_A ∪ V_B, E_M = E_A ∪ E_B.
-        let other = Subgraph::from_adjacency(
-            payload
-                .pages
-                .iter()
-                .map(|pp| (pp.page, pp.succs.clone())),
-        );
+        let other =
+            Subgraph::from_adjacency(payload.pages.iter().map(|pp| (pp.page, pp.succs.clone())));
         let merged = self.graph.union(&other);
 
         // ---- Merged score list (average / max for pages in both).
@@ -258,7 +254,13 @@ impl JxpPeer {
         // ---- Merged world node: T_M = (T_A ∪ T_B) − E_M.
         let mut merged_world = WorldNode::new();
         for (src, e) in self.world.iter() {
-            merged_world.upsert(src, e.out_degree, e.score, e.targets.iter().copied(), combine);
+            merged_world.upsert(
+                src,
+                e.out_degree,
+                e.score,
+                e.targets.iter().copied(),
+                combine,
+            );
         }
         for (page, score) in self.world.dangling_iter() {
             merged_world.upsert_dangling(page, score, combine);
@@ -518,7 +520,11 @@ mod tests {
     fn full_merge_mode_also_learns() {
         let g = cycle_graph();
         let cfg = JxpConfig::baseline();
-        let mut a = JxpPeer::new(Subgraph::from_pages(&g, [PageId(0), PageId(1)]), 4, cfg.clone());
+        let mut a = JxpPeer::new(
+            Subgraph::from_pages(&g, [PageId(0), PageId(1)]),
+            4,
+            cfg.clone(),
+        );
         let b = JxpPeer::new(Subgraph::from_pages(&g, [PageId(2), PageId(3)]), 4, cfg);
         a.absorb(&b.payload());
         // The projected-back world node carries B's link 3 → 0.
@@ -537,11 +543,7 @@ mod tests {
             4,
             cfg.clone(),
         );
-        let b = JxpPeer::new(
-            Subgraph::from_pages(&g, [PageId(1), PageId(2)]),
-            4,
-            cfg,
-        );
+        let b = JxpPeer::new(Subgraph::from_pages(&g, [PageId(1), PageId(2)]), 4, cfg);
         let b_score_1 = b.score(PageId(1)).unwrap();
         let a_score_1 = a.score(PageId(1)).unwrap();
         a.absorb(&b.payload());

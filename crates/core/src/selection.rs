@@ -25,7 +25,7 @@ use jxp_webgraph::Subgraph;
 use rand::Rng;
 
 /// The two MIPs vectors every peer publishes (§4.3 "Peer Synopses").
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PeerSynopses {
     /// MIPs vector of the set of local page ids, `local(A)`.
     pub local: MipsVector,
@@ -39,10 +39,8 @@ impl PeerSynopses {
     /// family.
     pub fn compute(graph: &Subgraph, perms: &MipsPermutations) -> Self {
         let local = MipsVector::from_elements(perms, graph.pages().iter().map(|p| p.0 as u64));
-        let successors = MipsVector::from_elements(
-            perms,
-            graph.successor_set().into_iter().map(|p| p.0 as u64),
-        );
+        let successors =
+            MipsVector::from_elements(perms, graph.successor_set().into_iter().map(|p| p.0 as u64));
         PeerSynopses { local, successors }
     }
 
@@ -207,7 +205,10 @@ pub fn select_partner(
     num_peers: usize,
     rng: &mut impl Rng,
 ) -> usize {
-    assert!(num_peers >= 2, "cannot select a partner among {num_peers} peer(s)");
+    assert!(
+        num_peers >= 2,
+        "cannot select a partner among {num_peers} peer(s)"
+    );
     state.selections += 1;
     match strategy {
         SelectionStrategy::Random => random_other(me, num_peers, rng),
@@ -338,7 +339,10 @@ mod tests {
         let mut states = vec![SelectorState::default(); 3];
         let cfg = PreMeetingsConfig::default();
         observe_meeting(&mut states, &syn, 0, 2, &cfg);
-        assert!(states[0].cached().contains(&2), "peer 0 should cache peer 2");
+        assert!(
+            states[0].cached().contains(&2),
+            "peer 0 should cache peer 2"
+        );
     }
 
     #[test]

@@ -169,10 +169,12 @@ impl WorldNode {
             self.entries.remove(&src);
             return;
         }
-        debug_assert!(targets.windows(2).all(|w| w[0] < w[1]) || {
-            // accept unsorted input defensively
-            true
-        });
+        debug_assert!(
+            targets.windows(2).all(|w| w[0] < w[1]) || {
+                // accept unsorted input defensively
+                true
+            }
+        );
         let mut targets = targets;
         targets.sort_unstable();
         targets.dedup();
@@ -241,7 +243,10 @@ impl WorldNode {
     /// update `L(i) · PR(W) / L_M(W)` for external pages, used by the
     /// `Average` combine mode after a local PageRank run.
     pub fn scale_scores(&mut self, factor: f64) {
-        assert!(factor.is_finite() && factor >= 0.0, "bad scale factor {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "bad scale factor {factor}"
+        );
         for e in self.entries.values_mut() {
             e.score *= factor;
         }
@@ -316,7 +321,13 @@ mod tests {
     fn upsert_inserts_and_unions_targets() {
         let mut w = WorldNode::new();
         w.upsert(PageId(5), 3, 0.1, [PageId(0)], CombineMode::TakeMax);
-        w.upsert(PageId(5), 3, 0.1, [PageId(1), PageId(0)], CombineMode::TakeMax);
+        w.upsert(
+            PageId(5),
+            3,
+            0.1,
+            [PageId(1), PageId(0)],
+            CombineMode::TakeMax,
+        );
         assert_eq!(w.len(), 1);
         let e = w.entry(PageId(5)).unwrap();
         assert_eq!(e.targets, vec![PageId(0), PageId(1)]);
@@ -346,7 +357,13 @@ mod tests {
         let g = local_graph();
         let mut w = WorldNode::new();
         // Page 7: α = 0.2, out-degree 4, links to local 0 and 1.
-        w.upsert(PageId(7), 4, 0.2, [PageId(0), PageId(1)], CombineMode::TakeMax);
+        w.upsert(
+            PageId(7),
+            4,
+            0.2,
+            [PageId(0), PageId(1)],
+            CombineMode::TakeMax,
+        );
         // Page 9: α = 0.1, out-degree 2, links to local 1.
         w.upsert(PageId(9), 2, 0.1, [PageId(1)], CombineMode::TakeMax);
         let inflow = w.inflow(&g, 100.0);
@@ -358,7 +375,13 @@ mod tests {
     fn inflow_skips_non_local_targets() {
         let g = local_graph();
         let mut w = WorldNode::new();
-        w.upsert(PageId(7), 2, 0.2, [PageId(0), PageId(42)], CombineMode::TakeMax);
+        w.upsert(
+            PageId(7),
+            2,
+            0.2,
+            [PageId(0), PageId(42)],
+            CombineMode::TakeMax,
+        );
         let inflow = w.inflow(&g, 100.0);
         assert!((inflow[0] - 0.1).abs() < 1e-12);
         assert_eq!(inflow.len(), 2);
@@ -370,7 +393,13 @@ mod tests {
         let mut w = WorldNode::new();
         w.upsert(PageId(0), 2, 0.2, [PageId(1)], CombineMode::TakeMax); // now local
         w.upsert(PageId(7), 2, 0.1, [PageId(42)], CombineMode::TakeMax); // dead target
-        w.upsert(PageId(8), 2, 0.1, [PageId(0), PageId(42)], CombineMode::TakeMax);
+        w.upsert(
+            PageId(8),
+            2,
+            0.1,
+            [PageId(0), PageId(42)],
+            CombineMode::TakeMax,
+        );
         w.retain_relevant(&g);
         assert_eq!(w.len(), 1);
         assert_eq!(w.entry(PageId(8)).unwrap().targets, vec![PageId(0)]);
@@ -398,7 +427,13 @@ mod tests {
     #[test]
     fn set_authoritative_replaces_stale_links() {
         let mut w = WorldNode::new();
-        w.upsert(PageId(7), 5, 0.1, [PageId(0), PageId(1)], CombineMode::TakeMax);
+        w.upsert(
+            PageId(7),
+            5,
+            0.1,
+            [PageId(0), PageId(1)],
+            CombineMode::TakeMax,
+        );
         // Fresh crawl of page 7: it now has 2 out-links, only one into me.
         w.set_authoritative(PageId(7), 2, 0.05, vec![PageId(1)], CombineMode::TakeMax);
         let e = w.entry(PageId(7)).unwrap();

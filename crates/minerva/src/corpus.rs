@@ -283,7 +283,12 @@ mod tests {
     #[test]
     fn every_page_gets_a_document() {
         let (cg, pr) = setup();
-        let corpus = Corpus::generate(&cg, &pr, CorpusParams::default(), &mut StdRng::seed_from_u64(2));
+        let corpus = Corpus::generate(
+            &cg,
+            &pr,
+            CorpusParams::default(),
+            &mut StdRng::seed_from_u64(2),
+        );
         assert_eq!(corpus.documents().len(), 300);
         for d in corpus.documents() {
             assert_eq!(d.len() as usize, CorpusParams::default().doc_length);
@@ -294,7 +299,12 @@ mod tests {
     #[test]
     fn documents_carry_their_category_topic_terms() {
         let (cg, pr) = setup();
-        let corpus = Corpus::generate(&cg, &pr, CorpusParams::default(), &mut StdRng::seed_from_u64(3));
+        let corpus = Corpus::generate(
+            &cg,
+            &pr,
+            CorpusParams::default(),
+            &mut StdRng::seed_from_u64(3),
+        );
         // Count how often a category's top topic term appears in docs of
         // that category vs other categories.
         let top = corpus.top_topic_terms(0, 1)[0];
@@ -313,7 +323,12 @@ mod tests {
     #[test]
     fn ground_truth_is_authority_correlated() {
         let (cg, pr) = setup();
-        let corpus = Corpus::generate(&cg, &pr, CorpusParams::default(), &mut StdRng::seed_from_u64(4));
+        let corpus = Corpus::generate(
+            &cg,
+            &pr,
+            CorpusParams::default(),
+            &mut StdRng::seed_from_u64(4),
+        );
         let q = Query {
             name: "t".into(),
             terms: corpus.top_topic_terms(1, 2),
@@ -328,9 +343,8 @@ mod tests {
             .filter(|&p| !corpus.is_relevant(&q, p))
             .collect();
         assert_eq!(relevant.len(), corpus.num_relevant(1));
-        let mean = |v: &[PageId]| -> f64 {
-            v.iter().map(|p| pr[p.index()]).sum::<f64>() / v.len() as f64
-        };
+        let mean =
+            |v: &[PageId]| -> f64 { v.iter().map(|p| pr[p.index()]).sum::<f64>() / v.len() as f64 };
         assert!(
             mean(&relevant) > mean(&irrelevant),
             "relevant pages must be more authoritative"
@@ -342,7 +356,12 @@ mod tests {
     #[test]
     fn queries_cycle_categories_and_use_topic_terms() {
         let (cg, pr) = setup();
-        let corpus = Corpus::generate(&cg, &pr, CorpusParams::default(), &mut StdRng::seed_from_u64(5));
+        let corpus = Corpus::generate(
+            &cg,
+            &pr,
+            CorpusParams::default(),
+            &mut StdRng::seed_from_u64(5),
+        );
         let queries = corpus.make_queries(7, &mut StdRng::seed_from_u64(6));
         assert_eq!(queries.len(), 7);
         assert_eq!(queries[0].category, 0);
@@ -370,8 +389,18 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let (cg, pr) = setup();
-        let c1 = Corpus::generate(&cg, &pr, CorpusParams::default(), &mut StdRng::seed_from_u64(8));
-        let c2 = Corpus::generate(&cg, &pr, CorpusParams::default(), &mut StdRng::seed_from_u64(8));
+        let c1 = Corpus::generate(
+            &cg,
+            &pr,
+            CorpusParams::default(),
+            &mut StdRng::seed_from_u64(8),
+        );
+        let c2 = Corpus::generate(
+            &cg,
+            &pr,
+            CorpusParams::default(),
+            &mut StdRng::seed_from_u64(8),
+        );
         assert_eq!(c1.documents(), c2.documents());
     }
 }

@@ -99,8 +99,12 @@ mod tests {
             &mut StdRng::seed_from_u64(1),
         );
         let pr = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
-        let corpus =
-            Corpus::generate(&cg, &pr, CorpusParams::default(), &mut StdRng::seed_from_u64(2));
+        let corpus = Corpus::generate(
+            &cg,
+            &pr,
+            CorpusParams::default(),
+            &mut StdRng::seed_from_u64(2),
+        );
         let q = Query {
             name: "t".into(),
             terms: corpus.top_topic_terms(0, 1),
@@ -134,16 +138,35 @@ mod tests {
             &mut StdRng::seed_from_u64(3),
         );
         let pr = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
-        let corpus =
-            Corpus::generate(&cg, &pr, CorpusParams::default(), &mut StdRng::seed_from_u64(4));
+        let corpus = Corpus::generate(
+            &cg,
+            &pr,
+            CorpusParams::default(),
+            &mut StdRng::seed_from_u64(4),
+        );
         let all: Vec<PageId> = cg.graph.nodes().collect();
         let indexes = vec![
-            PeerIndex::build(&Subgraph::from_pages(&cg.graph, all[..200].to_vec()), &corpus),
-            PeerIndex::build(&Subgraph::from_pages(&cg.graph, all[100..].to_vec()), &corpus),
+            PeerIndex::build(
+                &Subgraph::from_pages(&cg.graph, all[..200].to_vec()),
+                &corpus,
+            ),
+            PeerIndex::build(
+                &Subgraph::from_pages(&cg.graph, all[100..].to_vec()),
+                &corpus,
+            ),
         ];
         let authority = jxp_core::evaluate::centralized_ranking(&pr);
         let queries = corpus.make_queries(6, &mut StdRng::seed_from_u64(5));
-        let rows = table2(&corpus, &indexes, &authority, &queries, 2, 50, 10, (0.6, 0.4));
+        let rows = table2(
+            &corpus,
+            &indexes,
+            &authority,
+            &queries,
+            2,
+            50,
+            10,
+            (0.6, 0.4),
+        );
         assert_eq!(rows.len(), 6);
         let (t, f) = averages(&rows);
         assert!(
@@ -170,8 +193,12 @@ mod tests {
             &mut StdRng::seed_from_u64(6),
         );
         let pr = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
-        let corpus =
-            Corpus::generate(&cg, &pr, CorpusParams::default(), &mut StdRng::seed_from_u64(7));
+        let corpus = Corpus::generate(
+            &cg,
+            &pr,
+            CorpusParams::default(),
+            &mut StdRng::seed_from_u64(7),
+        );
         let q = Query {
             name: "t".into(),
             terms: corpus.top_topic_terms(0, 1),

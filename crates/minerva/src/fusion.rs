@@ -27,7 +27,12 @@ pub struct FusedHit {
 /// Rank `hits` by pure (normalized) tf·idf — the paper's first ranking.
 pub fn rank_by_tfidf(hits: &[SearchHit]) -> Vec<PageId> {
     let mut v: Vec<&SearchHit> = hits.iter().collect();
-    v.sort_by(|a, b| b.tfidf.partial_cmp(&a.tfidf).unwrap().then(a.page.cmp(&b.page)));
+    v.sort_by(|a, b| {
+        b.tfidf
+            .partial_cmp(&a.tfidf)
+            .unwrap()
+            .then(a.page.cmp(&b.page))
+    });
     v.into_iter().map(|h| h.page).collect()
 }
 
@@ -66,7 +71,12 @@ pub fn rank_by_fusion(
             }
         })
         .collect();
-    fused.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.page.cmp(&b.page)));
+    fused.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then(a.page.cmp(&b.page))
+    });
     fused
 }
 
@@ -76,15 +86,27 @@ mod tests {
 
     fn hits() -> Vec<SearchHit> {
         vec![
-            SearchHit { page: PageId(1), tfidf: 10.0 },
-            SearchHit { page: PageId(2), tfidf: 8.0 },
-            SearchHit { page: PageId(3), tfidf: 6.0 },
+            SearchHit {
+                page: PageId(1),
+                tfidf: 10.0,
+            },
+            SearchHit {
+                page: PageId(2),
+                tfidf: 8.0,
+            },
+            SearchHit {
+                page: PageId(3),
+                tfidf: 6.0,
+            },
         ]
     }
 
     #[test]
     fn tfidf_ranking_orders_by_score() {
-        assert_eq!(rank_by_tfidf(&hits()), vec![PageId(1), PageId(2), PageId(3)]);
+        assert_eq!(
+            rank_by_tfidf(&hits()),
+            vec![PageId(1), PageId(2), PageId(3)]
+        );
     }
 
     #[test]
@@ -100,14 +122,14 @@ mod tests {
         // Page 3 has much higher authority; with the paper's 0.6/0.4
         // weights it overtakes page 2 (normalized tf·idf gap 0.2·0.6 =
         // 0.12 < authority gap ≈ 0.4).
-        let jxp = Ranking::from_scores([
-            (PageId(1), 0.05),
-            (PageId(2), 0.01),
-            (PageId(3), 0.90),
-        ]);
+        let jxp = Ranking::from_scores([(PageId(1), 0.05), (PageId(2), 0.01), (PageId(3), 0.90)]);
         let fused = rank_by_fusion(&hits(), &jxp, PAPER_TFIDF_WEIGHT, PAPER_JXP_WEIGHT);
         let order: Vec<PageId> = fused.iter().map(|h| h.page).collect();
-        assert_eq!(order[0], PageId(3), "authority should promote page 3: {order:?}");
+        assert_eq!(
+            order[0],
+            PageId(3),
+            "authority should promote page 3: {order:?}"
+        );
     }
 
     #[test]

@@ -99,7 +99,12 @@ mod tests {
             &mut StdRng::seed_from_u64(1),
         );
         let pr = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
-        let corpus = Corpus::generate(&cg, &pr, CorpusParams::default(), &mut StdRng::seed_from_u64(2));
+        let corpus = Corpus::generate(
+            &cg,
+            &pr,
+            CorpusParams::default(),
+            &mut StdRng::seed_from_u64(2),
+        );
         (cg, corpus)
     }
 

@@ -45,8 +45,12 @@ mod tests {
             &mut StdRng::seed_from_u64(1),
         );
         let pr = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
-        let corpus =
-            Corpus::generate(&cg, &pr, CorpusParams::default(), &mut StdRng::seed_from_u64(2));
+        let corpus = Corpus::generate(
+            &cg,
+            &pr,
+            CorpusParams::default(),
+            &mut StdRng::seed_from_u64(2),
+        );
         let frag = Subgraph::from_pages(&cg.graph, (0..50).map(PageId));
         let idx = PeerIndex::build(&frag, &corpus);
         let queries = corpus.make_queries(2, &mut StdRng::seed_from_u64(3));

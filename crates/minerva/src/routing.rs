@@ -34,11 +34,7 @@ pub fn route(indexes: &[PeerIndex], query: &Query, fanout: usize) -> Vec<usize> 
         .map(|(i, idx)| (i, peer_score(idx, query)))
         .collect();
     scored.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-    scored
-        .into_iter()
-        .take(fanout)
-        .map(|(i, _)| i)
-        .collect()
+    scored.into_iter().take(fanout).map(|(i, _)| i).collect()
 }
 
 /// Authority-aware peer score — the paper's §7 future-work item
@@ -125,7 +121,12 @@ pub fn execute_routed(
         .into_iter()
         .map(|(page, tfidf)| SearchHit { page, tfidf })
         .collect();
-    hits.sort_unstable_by(|a, b| b.tfidf.partial_cmp(&a.tfidf).unwrap().then(a.page.cmp(&b.page)));
+    hits.sort_unstable_by(|a, b| {
+        b.tfidf
+            .partial_cmp(&a.tfidf)
+            .unwrap()
+            .then(a.page.cmp(&b.page))
+    });
     hits
 }
 
@@ -178,14 +179,27 @@ mod tests {
             &mut StdRng::seed_from_u64(1),
         );
         let pr = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
-        let corpus =
-            Corpus::generate(&cg, &pr, CorpusParams::default(), &mut StdRng::seed_from_u64(2));
+        let corpus = Corpus::generate(
+            &cg,
+            &pr,
+            CorpusParams::default(),
+            &mut StdRng::seed_from_u64(2),
+        );
         // Peer 0: category-0 pages; peer 1: category-1 pages;
         // peer 2: a mixed slice overlapping both.
         let indexes = vec![
-            PeerIndex::build(&Subgraph::from_pages(&cg.graph, (0..80).map(PageId)), &corpus),
-            PeerIndex::build(&Subgraph::from_pages(&cg.graph, (80..160).map(PageId)), &corpus),
-            PeerIndex::build(&Subgraph::from_pages(&cg.graph, (40..120).map(PageId)), &corpus),
+            PeerIndex::build(
+                &Subgraph::from_pages(&cg.graph, (0..80).map(PageId)),
+                &corpus,
+            ),
+            PeerIndex::build(
+                &Subgraph::from_pages(&cg.graph, (80..160).map(PageId)),
+                &corpus,
+            ),
+            PeerIndex::build(
+                &Subgraph::from_pages(&cg.graph, (40..120).map(PageId)),
+                &corpus,
+            ),
         ];
         (corpus, indexes)
     }
@@ -280,11 +294,21 @@ mod tests {
             &mut StdRng::seed_from_u64(9),
         );
         let pr = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
-        let corpus =
-            Corpus::generate(&cg, &pr, CorpusParams::default(), &mut StdRng::seed_from_u64(10));
+        let corpus = Corpus::generate(
+            &cg,
+            &pr,
+            CorpusParams::default(),
+            &mut StdRng::seed_from_u64(10),
+        );
         let indexes = vec![
-            PeerIndex::build(&Subgraph::from_pages(&cg.graph, (0..30).map(PageId)), &corpus),
-            PeerIndex::build(&Subgraph::from_pages(&cg.graph, (30..40).map(PageId)), &corpus),
+            PeerIndex::build(
+                &Subgraph::from_pages(&cg.graph, (0..30).map(PageId)),
+                &corpus,
+            ),
+            PeerIndex::build(
+                &Subgraph::from_pages(&cg.graph, (30..40).map(PageId)),
+                &corpus,
+            ),
         ];
         let q = crate::corpus::Query {
             name: "auth".into(),

@@ -1,0 +1,186 @@
+//! Deterministic in-memory transport.
+//!
+//! Every request is encoded with [`jxp_wire::encode_frame`], "delivered"
+//! by decoding the bytes on the responder side, handled, and the reply
+//! travels back the same way — so loopback exchanges exercise the real
+//! codec and report exact wire byte counts, without sockets or threads.
+//! Fault injection lets tests and the cluster driver simulate dropped
+//! connections and stalled peers on demand.
+
+use crate::transport::{Exchange, FrameHandler, NodeId, Transport, TransportError};
+use jxp_wire::{decode_frame, encode_frame, Frame};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// An injected failure for the next request(s) addressed to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The connection is refused: the request never reaches the handler
+    /// and the initiator sees [`TransportError::Unreachable`].
+    DropNext,
+    /// The request is lost in flight: the handler is never invoked and
+    /// the initiator sees [`TransportError::Timeout`].
+    StallNext,
+}
+
+#[derive(Default)]
+struct Inner {
+    handlers: HashMap<NodeId, Arc<dyn FrameHandler>>,
+    faults: HashMap<NodeId, VecDeque<Fault>>,
+}
+
+/// Shared in-memory "network" connecting loopback nodes.
+#[derive(Clone, Default)]
+pub struct LoopbackNetwork {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl LoopbackNetwork {
+    /// Create an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach `handler` as the responder for `id` (replacing any previous).
+    pub fn register(&self, id: NodeId, handler: Arc<dyn FrameHandler>) {
+        self.inner.lock().unwrap().handlers.insert(id, handler);
+    }
+
+    /// Detach the responder for `id`; subsequent requests to it fail
+    /// with [`TransportError::Unreachable`].
+    pub fn unregister(&self, id: NodeId) {
+        self.inner.lock().unwrap().handlers.remove(&id);
+    }
+
+    /// Queue a fault to hit the next request addressed to `id`. Faults
+    /// queue FIFO and each consumes exactly one request.
+    pub fn inject_fault(&self, id: NodeId, fault: Fault) {
+        self.inner
+            .lock()
+            .unwrap()
+            .faults
+            .entry(id)
+            .or_default()
+            .push_back(fault);
+    }
+}
+
+impl Transport for LoopbackNetwork {
+    fn request(&self, peer: NodeId, frame: &Frame) -> Result<Exchange, TransportError> {
+        // Resolve the handler and pop any pending fault under the lock,
+        // then drop it: the handler may itself issue requests (a node
+        // answering while another meeting is in flight) and must not
+        // deadlock against the registry.
+        let (handler, fault) = {
+            let mut inner = self.inner.lock().unwrap();
+            let fault = inner.faults.get_mut(&peer).and_then(|q| q.pop_front());
+            let handler = inner.handlers.get(&peer).cloned();
+            (handler, fault)
+        };
+        match fault {
+            Some(Fault::DropNext) => {
+                return Err(TransportError::Unreachable(format!(
+                    "connection to node {peer} refused (injected)"
+                )))
+            }
+            Some(Fault::StallNext) => return Err(TransportError::Timeout),
+            None => {}
+        }
+        let handler = handler.ok_or_else(|| {
+            TransportError::Unreachable(format!("no node {peer} on loopback network"))
+        })?;
+
+        // Round-trip through the real codec in both directions.
+        let request_bytes = encode_frame(frame);
+        let (delivered, _) = decode_frame(&request_bytes)?;
+        let reply = handler.handle(delivered).ok_or(TransportError::Timeout)?;
+        let reply_bytes = encode_frame(&reply);
+        let (reply, _) = decode_frame(&reply_bytes)?;
+        Ok(Exchange {
+            reply,
+            bytes_sent: request_bytes.len() as u64,
+            bytes_received: reply_bytes.len() as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jxp_wire::encoded_len;
+
+    struct Echo;
+
+    impl FrameHandler for Echo {
+        fn handle(&self, frame: Frame) -> Option<Frame> {
+            match frame {
+                Frame::Hello { node_id, num_pages } => Some(Frame::Hello {
+                    node_id: node_id + 100,
+                    num_pages,
+                }),
+                other => Some(other),
+            }
+        }
+    }
+
+    struct Mute;
+
+    impl FrameHandler for Mute {
+        fn handle(&self, _frame: Frame) -> Option<Frame> {
+            None
+        }
+    }
+
+    #[test]
+    fn roundtrip_reports_exact_codec_bytes() {
+        let net = LoopbackNetwork::new();
+        net.register(7, Arc::new(Echo));
+        let req = Frame::Hello {
+            node_id: 1,
+            num_pages: 42,
+        };
+        let ex = net.request(7, &req).unwrap();
+        assert_eq!(
+            ex.reply,
+            Frame::Hello {
+                node_id: 101,
+                num_pages: 42
+            }
+        );
+        assert_eq!(ex.bytes_sent, encoded_len(&req) as u64);
+        assert_eq!(ex.bytes_received, encoded_len(&ex.reply) as u64);
+    }
+
+    #[test]
+    fn unknown_peer_is_unreachable() {
+        let net = LoopbackNetwork::new();
+        let err = net.request(9, &Frame::Ack { of: 1 }).unwrap_err();
+        assert!(matches!(err, TransportError::Unreachable(_)));
+    }
+
+    #[test]
+    fn mute_handler_times_out() {
+        let net = LoopbackNetwork::new();
+        net.register(3, Arc::new(Mute));
+        let err = net.request(3, &Frame::Ack { of: 1 }).unwrap_err();
+        assert!(matches!(err, TransportError::Timeout));
+    }
+
+    #[test]
+    fn faults_fire_once_in_fifo_order() {
+        let net = LoopbackNetwork::new();
+        net.register(5, Arc::new(Echo));
+        net.inject_fault(5, Fault::DropNext);
+        net.inject_fault(5, Fault::StallNext);
+        let req = Frame::Ack { of: 2 };
+        assert!(matches!(
+            net.request(5, &req).unwrap_err(),
+            TransportError::Unreachable(_)
+        ));
+        assert!(matches!(
+            net.request(5, &req).unwrap_err(),
+            TransportError::Timeout
+        ));
+        assert!(net.request(5, &req).is_ok());
+    }
+}

@@ -1,0 +1,413 @@
+//! The networked peer runtime: a [`JxpNode`] owns a [`JxpPeer`] plus its
+//! synopses and answers/initiates meetings over any [`Transport`].
+//!
+//! Protocol invariant (paper §4): both sides of a meeting compute their
+//! outgoing payload **before** absorbing the other's. The responder
+//! therefore builds its `MeetReply` from pre-absorption state, and the
+//! initiator absorbs the reply only after the exchange returns.
+
+use crate::transport::{
+    request_with_retry, FrameHandler, NodeId, RetryPolicy, Transport, TransportError,
+};
+use jxp_core::payload::MeetingPayload;
+use jxp_core::peer::JxpPeer;
+use jxp_core::selection::{PeerSynopses, PreMeetingsConfig};
+use jxp_synopses::mips::MipsPermutations;
+use jxp_wire::{encoded_len, ErrorCode, Frame, SynopsisPayload};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Per-node traffic and meeting counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Meetings this node initiated.
+    pub meetings_attempted: u64,
+    /// Initiated meetings that completed (reply absorbed).
+    pub meetings_completed: u64,
+    /// Initiated meetings abandoned after exhausting retries.
+    pub meetings_failed: u64,
+    /// Inbound meeting requests this node answered.
+    pub meetings_served: u64,
+    /// Retries spent across all initiated exchanges.
+    pub retries: u64,
+    /// Wire bytes received (requests in + replies in), measured.
+    pub bytes_in: u64,
+    /// Wire bytes sent (requests out + replies out), measured.
+    pub bytes_out: u64,
+}
+
+/// Result of one successfully initiated meeting.
+#[derive(Debug, Clone, Copy)]
+pub struct MeetOutcome {
+    /// Request frame bytes on the wire.
+    pub bytes_sent: u64,
+    /// Reply frame bytes on the wire.
+    pub bytes_received: u64,
+    /// Retries the exchange needed.
+    pub retries: u32,
+}
+
+pub(crate) struct NodeState {
+    pub(crate) peer: JxpPeer,
+    pub(crate) synopses: PeerSynopses,
+    pub(crate) stats: NodeStats,
+}
+
+/// A JXP peer bound to a node id, safe to share between the transport's
+/// server side and a driver thread.
+pub struct JxpNode {
+    id: NodeId,
+    state: Arc<Mutex<NodeState>>,
+}
+
+impl JxpNode {
+    /// Wrap `peer`, computing its synopses with `perms`.
+    pub fn new(id: NodeId, peer: JxpPeer, perms: &MipsPermutations) -> Self {
+        let synopses = PeerSynopses::compute(peer.graph(), perms);
+        JxpNode {
+            id,
+            state: Arc::new(Mutex::new(NodeState {
+                peer,
+                synopses,
+                stats: NodeStats::default(),
+            })),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> NodeStats {
+        self.lock().stats
+    }
+
+    /// Copy of this node's own synopses.
+    pub fn synopses(&self) -> PeerSynopses {
+        self.lock().synopses.clone()
+    }
+
+    /// Run `f` against the wrapped peer (e.g. to read scores).
+    pub fn with_peer<R>(&self, f: impl FnOnce(&JxpPeer) -> R) -> R {
+        f(&self.lock().peer)
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, NodeState> {
+        self.state.lock().unwrap()
+    }
+
+    /// Handshake: announce ourselves to `target`, returning its id and
+    /// page count from the answering `Hello`.
+    pub fn hello(
+        &self,
+        target: NodeId,
+        transport: &dyn Transport,
+        policy: &RetryPolicy,
+    ) -> Result<(NodeId, u64), TransportError> {
+        let request = {
+            let state = self.lock();
+            Frame::Hello {
+                node_id: self.id,
+                num_pages: state.peer.num_pages() as u64,
+            }
+        };
+        let outcome = request_with_retry(transport, target, &request, policy)?;
+        let mut state = self.lock();
+        state.stats.bytes_out += outcome.exchange.bytes_sent;
+        state.stats.bytes_in += outcome.exchange.bytes_received;
+        match outcome.exchange.reply {
+            Frame::Hello { node_id, num_pages } => Ok((node_id, num_pages)),
+            Frame::Error { detail, .. } => Err(TransportError::Rejected(detail)),
+            other => Err(TransportError::Wire(jxp_wire::WireError::Malformed(
+                unexpected_reply(&other),
+            ))),
+        }
+    }
+
+    /// Initiate a meeting with `target`: send our payload, absorb the
+    /// reply. The node's own lock is **not** held across the transport
+    /// call, so this node keeps answering inbound requests while its
+    /// own exchange is in flight (and loopback cannot self-deadlock).
+    pub fn meet(
+        &self,
+        target: NodeId,
+        transport: &dyn Transport,
+        policy: &RetryPolicy,
+    ) -> Result<MeetOutcome, TransportError> {
+        let payload = {
+            let mut state = self.lock();
+            state.stats.meetings_attempted += 1;
+            state.peer.payload()
+        };
+        let request = Frame::MeetRequest(payload);
+        let outcome = match request_with_retry(transport, target, &request, policy) {
+            Ok(done) => done,
+            Err(e) => {
+                let mut state = self.lock();
+                state.stats.meetings_failed += 1;
+                state.stats.retries += u64::from(policy.max_attempts.max(1) - 1);
+                return Err(e);
+            }
+        };
+        let remote = match outcome.exchange.reply {
+            Frame::MeetReply(remote) => remote,
+            Frame::Error { detail, .. } => {
+                self.lock().stats.meetings_failed += 1;
+                return Err(TransportError::Rejected(detail));
+            }
+            other => {
+                self.lock().stats.meetings_failed += 1;
+                return Err(TransportError::Wire(jxp_wire::WireError::Malformed(
+                    unexpected_reply(&other),
+                )));
+            }
+        };
+        let mut state = self.lock();
+        state.peer.absorb(&remote);
+        state.stats.meetings_completed += 1;
+        state.stats.retries += u64::from(outcome.retries);
+        state.stats.bytes_out += outcome.exchange.bytes_sent;
+        state.stats.bytes_in += outcome.exchange.bytes_received;
+        Ok(MeetOutcome {
+            bytes_sent: outcome.exchange.bytes_sent,
+            bytes_received: outcome.exchange.bytes_received,
+            retries: outcome.retries,
+        })
+    }
+
+    /// Pre-meetings probe: swap synopses with `target` and return theirs.
+    pub fn fetch_synopses(
+        &self,
+        target: NodeId,
+        transport: &dyn Transport,
+        policy: &RetryPolicy,
+    ) -> Result<PeerSynopses, TransportError> {
+        let request = Frame::SynopsisExchange(SynopsisPayload {
+            synopses: self.synopses(),
+            sketch: None,
+            bloom: None,
+        });
+        let outcome = request_with_retry(transport, target, &request, policy)?;
+        let remote = match outcome.exchange.reply {
+            Frame::SynopsisExchange(p) => p.synopses,
+            Frame::Error { detail, .. } => return Err(TransportError::Rejected(detail)),
+            other => {
+                return Err(TransportError::Wire(jxp_wire::WireError::Malformed(
+                    unexpected_reply(&other),
+                )))
+            }
+        };
+        let mut state = self.lock();
+        state.stats.bytes_out += outcome.exchange.bytes_sent;
+        state.stats.bytes_in += outcome.exchange.bytes_received;
+        Ok(remote)
+    }
+
+    /// Score a candidate partner from its synopses: the estimated
+    /// containment of the candidate's out-link targets in our local
+    /// fragment (paper §6 — peers that link into us teach us the most).
+    pub fn premeet_score(&self, remote: &PeerSynopses) -> f64 {
+        remote.inlink_containment_into(&self.lock().synopses)
+    }
+
+    /// Pick the best-scoring candidate above the configured containment
+    /// threshold, or `None` if nobody qualifies (caller falls back to a
+    /// random partner, as the paper's pre-meetings loop does).
+    pub fn select_by_synopses(
+        &self,
+        candidates: &[(NodeId, PeerSynopses)],
+        config: &PreMeetingsConfig,
+    ) -> Option<NodeId> {
+        let state = self.lock();
+        candidates
+            .iter()
+            .map(|(id, syn)| (*id, syn.inlink_containment_into(&state.synopses)))
+            .filter(|(_, score)| *score >= config.containment_threshold)
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(id, _)| id)
+    }
+
+    /// The payload this node would send right now (for tests/inspection).
+    pub fn current_payload(&self) -> MeetingPayload {
+        self.lock().peer.payload()
+    }
+}
+
+fn unexpected_reply(frame: &Frame) -> &'static str {
+    match frame {
+        Frame::Hello { .. } => "unexpected Hello reply",
+        Frame::MeetRequest(_) => "unexpected MeetRequest reply",
+        Frame::MeetReply(_) => "unexpected MeetReply reply",
+        Frame::SynopsisExchange(_) => "unexpected SynopsisExchange reply",
+        Frame::Ack { .. } => "unexpected Ack reply",
+        Frame::Error { .. } => "unexpected Error reply",
+    }
+}
+
+impl FrameHandler for JxpNode {
+    fn handle(&self, frame: Frame) -> Option<Frame> {
+        let inbound = encoded_len(&frame) as u64;
+        let reply = match frame {
+            Frame::Hello { .. } => {
+                let state = self.lock();
+                Frame::Hello {
+                    node_id: self.id,
+                    num_pages: state.peer.num_pages() as u64,
+                }
+            }
+            Frame::MeetRequest(payload) => {
+                let mut state = self.lock();
+                // Outgoing payload first — pre-absorption state.
+                let own = state.peer.payload();
+                match state.peer.try_absorb(&payload) {
+                    Ok(()) => {
+                        state.stats.meetings_served += 1;
+                        Frame::MeetReply(own)
+                    }
+                    Err(why) => Frame::Error {
+                        code: ErrorCode::BadRequest,
+                        detail: why,
+                    },
+                }
+            }
+            Frame::SynopsisExchange(_) => {
+                let state = self.lock();
+                Frame::SynopsisExchange(SynopsisPayload {
+                    synopses: state.synopses.clone(),
+                    sketch: None,
+                    bloom: None,
+                })
+            }
+            Frame::Ack { of } => Frame::Ack { of },
+            Frame::MeetReply(_) | Frame::Error { .. } => Frame::Error {
+                code: ErrorCode::BadRequest,
+                detail: "frame type is reply-only".to_string(),
+            },
+        };
+        let mut state = self.lock();
+        state.stats.bytes_in += inbound;
+        state.stats.bytes_out += encoded_len(&reply) as u64;
+        Some(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopback::LoopbackNetwork;
+    use jxp_core::config::JxpConfig;
+    use jxp_webgraph::{PageId, Subgraph};
+
+    fn two_fragment_nodes() -> (JxpNode, JxpNode) {
+        // A tiny 6-page world split across two peers with cross links.
+        let ga = Subgraph::from_adjacency(vec![
+            (PageId(0), vec![PageId(1)]),
+            (PageId(1), vec![PageId(2)]),
+            (PageId(2), vec![PageId(3)]),
+        ]);
+        let gb = Subgraph::from_adjacency(vec![
+            (PageId(3), vec![PageId(4)]),
+            (PageId(4), vec![PageId(5)]),
+            (PageId(5), vec![PageId(0)]),
+        ]);
+        let perms = MipsPermutations::generate(16, 7);
+        let a = JxpNode::new(1, JxpPeer::new(ga, 6, JxpConfig::default()), &perms);
+        let b = JxpNode::new(2, JxpPeer::new(gb, 6, JxpConfig::default()), &perms);
+        (a, b)
+    }
+
+    #[test]
+    fn meeting_over_loopback_updates_both_sides() {
+        let (a, b) = two_fragment_nodes();
+        let net = LoopbackNetwork::new();
+        let b = Arc::new(b);
+        net.register(2, Arc::clone(&b) as Arc<dyn FrameHandler>);
+
+        let world_a_before = a.with_peer(|p| p.world_score());
+        let outcome = a.meet(2, &net, &RetryPolicy::default()).unwrap();
+
+        let sa = a.stats();
+        assert_eq!(sa.meetings_attempted, 1);
+        assert_eq!(sa.meetings_completed, 1);
+        assert_eq!(sa.meetings_failed, 0);
+        assert_eq!(sa.bytes_out, outcome.bytes_sent);
+        assert_eq!(sa.bytes_in, outcome.bytes_received);
+
+        let sb = b.stats();
+        assert_eq!(sb.meetings_served, 1);
+        // Responder measured the same frames from the other side.
+        assert_eq!(sb.bytes_in, outcome.bytes_sent);
+        assert_eq!(sb.bytes_out, outcome.bytes_received);
+
+        // Absorbing B's payload teaches A about external pages, which
+        // changes its world-node composition.
+        let world_a_after = a.with_peer(|p| p.world_score());
+        assert!(
+            (world_a_after - world_a_before).abs() > 0.0,
+            "meeting had no effect on A's world node"
+        );
+    }
+
+    #[test]
+    fn payload_bytes_match_analytic_wire_size() {
+        let (a, b) = two_fragment_nodes();
+        let net = LoopbackNetwork::new();
+        net.register(2, Arc::new(b));
+        let expected_request = jxp_wire::HEADER_LEN as u64 + a.current_payload().wire_size() as u64;
+        let outcome = a.meet(2, &net, &RetryPolicy::default()).unwrap();
+        assert_eq!(outcome.bytes_sent, expected_request);
+    }
+
+    #[test]
+    fn failed_meeting_counts_and_returns_error() {
+        let (a, _) = two_fragment_nodes();
+        let net = LoopbackNetwork::new(); // nobody registered
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_delay: std::time::Duration::from_millis(1),
+            max_delay: std::time::Duration::from_millis(1),
+        };
+        assert!(a.meet(9, &net, &policy).is_err());
+        let s = a.stats();
+        assert_eq!(s.meetings_attempted, 1);
+        assert_eq!(s.meetings_failed, 1);
+        assert_eq!(s.meetings_completed, 0);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.bytes_out, 0);
+    }
+
+    #[test]
+    fn synopsis_exchange_and_premeet_scoring() {
+        let (a, b) = two_fragment_nodes();
+        let net = LoopbackNetwork::new();
+        let b_syn = b.synopses();
+        net.register(2, Arc::new(b));
+        let fetched = a.fetch_synopses(2, &net, &RetryPolicy::default()).unwrap();
+        assert_eq!(fetched, b_syn);
+        // B links into A (5 -> 0), so B must outscore a candidate with
+        // no links into A at all.
+        let score = a.premeet_score(&fetched);
+        assert!(score > 0.0, "expected positive containment, got {score}");
+    }
+
+    #[test]
+    fn hello_and_reply_only_frames() {
+        let (a, _) = two_fragment_nodes();
+        let reply = a
+            .handle(Frame::Hello {
+                node_id: 99,
+                num_pages: 0,
+            })
+            .unwrap();
+        assert_eq!(
+            reply,
+            Frame::Hello {
+                node_id: 1,
+                num_pages: 3
+            }
+        );
+        let reply = a.handle(Frame::MeetReply(a.current_payload())).unwrap();
+        assert!(matches!(reply, Frame::Error { .. }));
+    }
+}

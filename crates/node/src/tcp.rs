@@ -1,0 +1,262 @@
+//! Localhost TCP transport built on `std::net` and plain threads.
+//!
+//! One exchange = one connection: the initiator connects, writes one
+//! encoded frame, and reads one encoded frame back. Framing on the
+//! stream relies on the wire header — the reader pulls the fixed
+//! 12-byte header, learns the total frame length from the
+//! [`jxp_wire::WireError::Truncated`] `needed` field, then pulls the
+//! rest. All reads and the connect carry timeouts so a stalled or
+//! vanished peer surfaces as a [`TransportError`] instead of a hang.
+
+use crate::transport::{Exchange, FrameHandler, NodeId, Transport, TransportError};
+use jxp_wire::{decode_frame, encode_frame, Frame, WireError, HEADER_LEN};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Read exactly one wire frame from `stream` (header first, then the
+/// remainder announced by the header).
+fn read_frame(stream: &mut TcpStream) -> Result<(Frame, usize), TransportError> {
+    let mut buf = vec![0u8; HEADER_LEN];
+    read_fully(stream, &mut buf)?;
+    let needed = match decode_frame(&buf) {
+        Ok((frame, consumed)) => return Ok((frame, consumed)),
+        Err(WireError::Truncated { needed, .. }) => needed,
+        Err(e) => return Err(e.into()),
+    };
+    let start = buf.len();
+    buf.resize(needed, 0);
+    read_fully(stream, &mut buf[start..])?;
+    let (frame, consumed) = decode_frame(&buf)?;
+    Ok((frame, consumed))
+}
+
+fn read_fully(stream: &mut TcpStream, buf: &mut [u8]) -> Result<(), TransportError> {
+    stream.read_exact(buf).map_err(|e| match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => TransportError::Timeout,
+        _ => TransportError::Unreachable(format!("connection lost: {e}")),
+    })
+}
+
+/// A background acceptor answering frames with a [`FrameHandler`].
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Bind an ephemeral localhost port and start accepting. Each
+    /// connection is served on its own thread: one frame in, one frame
+    /// out (or none, if the handler stalls), then the connection closes.
+    pub fn spawn(handler: Arc<dyn FrameHandler>) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            let mut workers = Vec::new();
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = conn else { continue };
+                let handler = Arc::clone(&handler);
+                workers.push(std::thread::spawn(move || {
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                    let Ok((frame, _)) = read_frame(&mut stream) else {
+                        return;
+                    };
+                    // A stalling handler sends nothing: the connection
+                    // drops and the client's timeout/retry takes over.
+                    if let Some(reply) = handler.handle(frame) {
+                        let _ = stream.write_all(&encode_frame(&reply));
+                    }
+                }));
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        Ok(TcpServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address, for routing.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the acceptor thread.
+    pub fn shutdown(&mut self) {
+        if let Some(thread) = self.accept_thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Poke the listener so the blocking accept returns.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Timeouts applied to every TCP exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpConfig {
+    /// Limit on establishing the connection.
+    pub connect_timeout: Duration,
+    /// Limit on each blocking read while waiting for the reply.
+    pub io_timeout: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_millis(1500),
+        }
+    }
+}
+
+/// Client side: routes node ids to socket addresses.
+#[derive(Default)]
+pub struct TcpTransport {
+    routes: Mutex<HashMap<NodeId, SocketAddr>>,
+    config: TcpConfig,
+}
+
+impl TcpTransport {
+    /// Create a transport with the given timeouts.
+    pub fn new(config: TcpConfig) -> Self {
+        TcpTransport {
+            routes: Mutex::new(HashMap::new()),
+            config,
+        }
+    }
+
+    /// Map `id` to the address of its [`TcpServer`].
+    pub fn add_route(&self, id: NodeId, addr: SocketAddr) {
+        self.routes.lock().unwrap().insert(id, addr);
+    }
+}
+
+impl Transport for TcpTransport {
+    fn request(&self, peer: NodeId, frame: &Frame) -> Result<Exchange, TransportError> {
+        let addr = self
+            .routes
+            .lock()
+            .unwrap()
+            .get(&peer)
+            .copied()
+            .ok_or_else(|| TransportError::Unreachable(format!("no route to node {peer}")))?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)
+            .map_err(|e| TransportError::Unreachable(format!("connect to {addr}: {e}")))?;
+        stream
+            .set_read_timeout(Some(self.config.io_timeout))
+            .map_err(|e| TransportError::Unreachable(e.to_string()))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| TransportError::Unreachable(e.to_string()))?;
+
+        let request_bytes = encode_frame(frame);
+        stream
+            .write_all(&request_bytes)
+            .map_err(|e| TransportError::Unreachable(format!("send failed: {e}")))?;
+        let (reply, reply_len) = read_frame(&mut stream)?;
+        Ok(Exchange {
+            reply,
+            bytes_sent: request_bytes.len() as u64,
+            bytes_received: reply_len as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jxp_wire::encoded_len;
+    use std::sync::atomic::AtomicU32;
+
+    struct Echo;
+
+    impl FrameHandler for Echo {
+        fn handle(&self, frame: Frame) -> Option<Frame> {
+            Some(frame)
+        }
+    }
+
+    /// Stalls (drops the connection without replying) for the first
+    /// `stalls` requests, then echoes.
+    struct StallThenEcho {
+        stalls: AtomicU32,
+    }
+
+    impl FrameHandler for StallThenEcho {
+        fn handle(&self, frame: Frame) -> Option<Frame> {
+            let left = self.stalls.load(Ordering::SeqCst);
+            if left > 0 {
+                self.stalls.store(left - 1, Ordering::SeqCst);
+                return None;
+            }
+            Some(frame)
+        }
+    }
+
+    #[test]
+    fn tcp_roundtrip_reports_exact_codec_bytes() {
+        let server = TcpServer::spawn(Arc::new(Echo)).unwrap();
+        let transport = TcpTransport::new(TcpConfig::default());
+        transport.add_route(1, server.addr());
+        let req = Frame::Hello {
+            node_id: 9,
+            num_pages: 5,
+        };
+        let ex = transport.request(1, &req).unwrap();
+        assert_eq!(ex.reply, req);
+        assert_eq!(ex.bytes_sent, encoded_len(&req) as u64);
+        assert_eq!(ex.bytes_received, encoded_len(&req) as u64);
+    }
+
+    #[test]
+    fn dropped_reply_surfaces_as_error_then_retry_succeeds() {
+        let server = TcpServer::spawn(Arc::new(StallThenEcho {
+            stalls: AtomicU32::new(1),
+        }))
+        .unwrap();
+        let transport = TcpTransport::new(TcpConfig::default());
+        transport.add_route(2, server.addr());
+        let req = Frame::Ack { of: 1 };
+        assert!(transport.request(2, &req).is_err());
+        assert!(transport.request(2, &req).is_ok());
+    }
+
+    #[test]
+    fn unroutable_and_dead_peers_are_unreachable() {
+        let transport = TcpTransport::new(TcpConfig::default());
+        assert!(matches!(
+            transport.request(3, &Frame::Ack { of: 1 }).unwrap_err(),
+            TransportError::Unreachable(_)
+        ));
+        let addr = {
+            let mut server = TcpServer::spawn(Arc::new(Echo)).unwrap();
+            let addr = server.addr();
+            server.shutdown();
+            addr
+        };
+        transport.add_route(4, addr);
+        // The listener is gone; connect (or the read, if the OS still
+        // accepts briefly) must fail rather than hang.
+        assert!(transport.request(4, &Frame::Ack { of: 1 }).is_err());
+    }
+}

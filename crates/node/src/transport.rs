@@ -1,0 +1,271 @@
+//! Transport abstraction: how one node's frames reach another node.
+//!
+//! A transport is *synchronous request/response*: the JXP meeting protocol
+//! is strictly client-driven (the initiator sends a frame, the responder
+//! answers with exactly one frame), so the whole exchange maps onto one
+//! `request` call. Two implementations exist: a deterministic in-memory
+//! loopback ([`crate::loopback`]) and localhost TCP ([`crate::tcp`]).
+//! Both move **real encoded frames** through [`jxp_wire`], so the byte
+//! counts they report are measured codec output, not estimates.
+
+use jxp_wire::{Frame, WireError};
+use std::time::Duration;
+
+/// Stable identifier of a node within a cluster.
+pub type NodeId = u64;
+
+/// A completed request/response exchange, with the measured frame bytes
+/// in each direction (exactly [`jxp_wire::encoded_len`] of each frame).
+#[derive(Debug, Clone)]
+pub struct Exchange {
+    /// The responder's reply frame.
+    pub reply: Frame,
+    /// Bytes of the request frame as sent.
+    pub bytes_sent: u64,
+    /// Bytes of the reply frame as received.
+    pub bytes_received: u64,
+}
+
+/// Why an exchange failed.
+#[derive(Debug)]
+pub enum TransportError {
+    /// No route / connection to the peer (includes connections dropped
+    /// before a reply arrived).
+    Unreachable(String),
+    /// The peer accepted the request but no reply arrived in time.
+    Timeout,
+    /// The bytes that arrived do not decode (version mismatch, truncated
+    /// or corrupt frame).
+    Wire(WireError),
+    /// The peer replied with a protocol [`Frame::Error`]. Retrying will
+    /// not help, so the retry loop stops on this immediately.
+    Rejected(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Unreachable(why) => write!(f, "peer unreachable: {why}"),
+            TransportError::Timeout => write!(f, "timed out waiting for reply"),
+            TransportError::Wire(e) => write!(f, "wire error: {e}"),
+            TransportError::Rejected(why) => write!(f, "peer rejected request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        TransportError::Wire(e)
+    }
+}
+
+/// Send one frame to `peer` and wait for the single reply frame.
+pub trait Transport: Send + Sync {
+    /// Perform one request/response exchange.
+    fn request(&self, peer: NodeId, frame: &Frame) -> Result<Exchange, TransportError>;
+}
+
+/// Server side of a transport: turns one inbound frame into one reply.
+///
+/// Returning `None` models a stalled responder — the transport surfaces
+/// it to the initiator as a [`TransportError::Timeout`] (loopback) or a
+/// dropped connection (TCP), exercising the retry path.
+pub trait FrameHandler: Send + Sync {
+    /// Handle one decoded inbound frame.
+    fn handle(&self, frame: Frame) -> Option<Frame>;
+}
+
+/// Wraps a [`FrameHandler`] and swallows the next N inbound requests
+/// (the inner handler never runs and no reply is produced), simulating
+/// a stalled peer on any transport. Used by the cluster driver's fault
+/// injection and by tests.
+pub struct StallInjector {
+    inner: std::sync::Arc<dyn FrameHandler>,
+    stall_remaining: std::sync::atomic::AtomicU32,
+}
+
+impl StallInjector {
+    /// Wrap `inner` with no stalls pending.
+    pub fn new(inner: std::sync::Arc<dyn FrameHandler>) -> Self {
+        StallInjector {
+            inner,
+            stall_remaining: std::sync::atomic::AtomicU32::new(0),
+        }
+    }
+
+    /// Swallow the next `n` requests.
+    pub fn stall_next(&self, n: u32) {
+        self.stall_remaining
+            .fetch_add(n, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl FrameHandler for StallInjector {
+    fn handle(&self, frame: Frame) -> Option<Frame> {
+        use std::sync::atomic::Ordering;
+        let mut left = self.stall_remaining.load(Ordering::SeqCst);
+        while left > 0 {
+            match self.stall_remaining.compare_exchange(
+                left,
+                left - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return None,
+                Err(now) => left = now,
+            }
+        }
+        self.inner.handle(frame)
+    }
+}
+
+/// Bounded exponential backoff for failed exchanges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Backoff cap; doubling stops here.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (0-based): `base · 2^retry`,
+    /// capped at `max_delay`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(2u32.saturating_pow(retry.min(16)));
+        exp.min(self.max_delay)
+    }
+}
+
+/// Outcome of [`request_with_retry`].
+#[derive(Debug)]
+pub struct RetriedExchange {
+    /// The successful exchange.
+    pub exchange: Exchange,
+    /// Retries that were needed (0 = first attempt succeeded).
+    pub retries: u32,
+}
+
+/// Run one exchange under a [`RetryPolicy`], sleeping the backoff between
+/// attempts. Returns the last error if every attempt fails.
+pub fn request_with_retry(
+    transport: &dyn Transport,
+    peer: NodeId,
+    frame: &Frame,
+    policy: &RetryPolicy,
+) -> Result<RetriedExchange, TransportError> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(policy.backoff(attempt - 1));
+        }
+        match transport.request(peer, frame) {
+            Ok(exchange) => {
+                return Ok(RetriedExchange {
+                    exchange,
+                    retries: attempt,
+                })
+            }
+            Err(e) => {
+                let fatal = matches!(e, TransportError::Rejected(_));
+                last = Some(e);
+                if fatal {
+                    break;
+                }
+            }
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    struct FlakyTransport {
+        fail_first: u32,
+        calls: AtomicU32,
+    }
+
+    impl Transport for FlakyTransport {
+        fn request(&self, _peer: NodeId, frame: &Frame) -> Result<Exchange, TransportError> {
+            let n = self.calls.fetch_add(1, Ordering::SeqCst);
+            if n < self.fail_first {
+                return Err(TransportError::Timeout);
+            }
+            Ok(Exchange {
+                reply: frame.clone(),
+                bytes_sent: jxp_wire::encoded_len(frame) as u64,
+                bytes_received: jxp_wire::encoded_len(frame) as u64,
+            })
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(60),
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(20));
+        assert_eq!(p.backoff(2), Duration::from_millis(40));
+        assert_eq!(p.backoff(3), Duration::from_millis(60));
+        assert_eq!(p.backoff(10), Duration::from_millis(60));
+    }
+
+    #[test]
+    fn retry_survives_transient_failures() {
+        let t = FlakyTransport {
+            fail_first: 2,
+            calls: AtomicU32::new(0),
+        };
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+        };
+        let frame = Frame::Ack { of: 1 };
+        let out = request_with_retry(&t, 0, &frame, &policy).unwrap();
+        assert_eq!(out.retries, 2);
+        assert_eq!(
+            out.exchange.bytes_sent,
+            jxp_wire::encoded_len(&frame) as u64
+        );
+    }
+
+    #[test]
+    fn retry_gives_up_after_max_attempts() {
+        let t = FlakyTransport {
+            fail_first: 10,
+            calls: AtomicU32::new(0),
+        };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(1),
+        };
+        let err = request_with_retry(&t, 0, &Frame::Ack { of: 1 }, &policy).unwrap_err();
+        assert!(matches!(err, TransportError::Timeout));
+        assert_eq!(t.calls.load(Ordering::SeqCst), 3);
+    }
+}

@@ -94,8 +94,13 @@ pub struct EventStats {
     pub dropped: u64,
     /// Meetings initiated.
     pub initiated: u64,
-    /// Bytes delivered.
+    /// Bytes delivered (request and reply directions both count here,
+    /// each at its own delivery).
     pub bytes: u64,
+    /// Bytes put on the wire by senders — includes messages later lost,
+    /// because the sender pays for them either way. With zero loss this
+    /// equals `bytes` exactly.
+    pub bytes_sent: u64,
 }
 
 /// An asynchronous, discrete-event JXP network.
@@ -116,7 +121,10 @@ impl EventNetwork {
     /// Panics with fewer than two fragments or invalid timing parameters.
     pub fn new(fragments: Vec<Subgraph>, n_total: u64, config: EventSimConfig, seed: u64) -> Self {
         assert!(fragments.len() >= 2, "a network needs at least two peers");
-        assert!(config.mean_meeting_interval > 0.0, "interval must be positive");
+        assert!(
+            config.mean_meeting_interval > 0.0,
+            "interval must be positive"
+        );
         assert!(config.mean_latency >= 0.0, "latency must be non-negative");
         assert!(
             (0.0..1.0).contains(&config.drop_probability),
@@ -161,6 +169,7 @@ impl EventNetwork {
 
     fn send(&mut self, from: usize, to: usize, expects_reply: bool) {
         let payload = self.peers[from].payload();
+        self.stats.bytes_sent += payload.wire_size() as u64;
         if self.rng.gen_bool(self.config.drop_probability) {
             self.stats.dropped += 1;
             return;
@@ -272,9 +281,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(62);
         let mut frags: Vec<Vec<PageId>> = vec![Vec::new(); 8];
         for p in 0..n {
-            frags[rng.gen_range(0..8)].push(PageId(p));
+            frags[rng.gen_range(0..8usize)].push(PageId(p));
             if rng.gen_bool(0.3) {
-                frags[rng.gen_range(0..8)].push(PageId(p));
+                frags[rng.gen_range(0..8usize)].push(PageId(p));
             }
         }
         let subs = frags
@@ -299,6 +308,66 @@ mod tests {
         assert!(net.stats().delivered > 0);
         assert!(net.stats().bytes > 0);
         assert_eq!(net.stats().dropped, 0);
+    }
+
+    #[test]
+    fn lossless_sent_equals_delivered_bytes() {
+        let (cg, frags) = world();
+        let mut net = EventNetwork::new(
+            frags,
+            cg.graph.num_nodes() as u64,
+            EventSimConfig::default(), // drop_probability = 0
+            67,
+        );
+        // Drain in-flight messages too: run until the queue holds only
+        // Initiate events by stepping well past the last delivery.
+        net.run_events(501);
+        let s = net.stats().clone();
+        assert!(s.bytes_sent > 0);
+        // Everything sent is eventually delivered; any gap is messages
+        // still in flight, which is bounded by latency — so pin the two
+        // counters after the in-flight window has drained.
+        net.run_until(net.clock() + 100.0 * EventSimConfig::default().mean_latency);
+        let s = net.stats().clone();
+        assert_eq!(
+            s.bytes_sent,
+            s.bytes + in_flight_bytes(&net),
+            "sender-side and receiver-side accounting diverged"
+        );
+    }
+
+    /// Bytes of Deliver events still queued (sent but not yet received).
+    fn in_flight_bytes(net: &EventNetwork) -> u64 {
+        net.queue
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Deliver { payload, .. } => Some(payload.wire_size() as u64),
+                _ => None,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn lost_messages_cost_the_sender() {
+        let (cg, frags) = world();
+        let mut net = EventNetwork::new(
+            frags,
+            cg.graph.num_nodes() as u64,
+            EventSimConfig {
+                drop_probability: 0.5,
+                ..Default::default()
+            },
+            68,
+        );
+        net.run_events(400);
+        let s = net.stats();
+        assert!(s.dropped > 0, "loss model never fired");
+        assert!(
+            s.bytes_sent > s.bytes,
+            "lost messages must still be charged to the sender: sent {} vs delivered {}",
+            s.bytes_sent,
+            s.bytes
+        );
     }
 
     #[test]
@@ -356,7 +425,11 @@ mod tests {
                 seed,
             );
             net.run_events(300);
-            (net.clock(), net.stats().delivered, net.peers()[0].scores().to_vec())
+            (
+                net.clock(),
+                net.stats().delivered,
+                net.peers()[0].scores().to_vec(),
+            )
         };
         let a = run(9);
         let b = run(9);
@@ -376,12 +449,8 @@ mod tests {
         let truth = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
         let truth_ranking = jxp_core::evaluate::centralized_ranking(&truth);
 
-        let mut sync_net = crate::sim::Network::new(
-            frags.clone(),
-            n,
-            crate::sim::NetworkConfig::default(),
-            66,
-        );
+        let mut sync_net =
+            crate::sim::Network::new(frags.clone(), n, crate::sim::NetworkConfig::default(), 66);
         sync_net.run(200);
         let sync_f = metrics::footrule_distance(&sync_net.total_ranking(), &truth_ranking, 50);
 
@@ -389,8 +458,7 @@ mod tests {
         while async_net.stats().initiated < 200 {
             async_net.step();
         }
-        let async_f =
-            metrics::footrule_distance(&async_net.total_ranking(), &truth_ranking, 50);
+        let async_f = metrics::footrule_distance(&async_net.total_ranking(), &truth_ranking, 50);
         assert!(
             (async_f - sync_f).abs() < 0.1,
             "async {async_f} vs sync {sync_f}"

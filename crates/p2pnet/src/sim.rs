@@ -35,6 +35,11 @@ pub struct NetworkConfig {
     pub estimate_n: bool,
     /// FM-sketch buckets for the `N` estimation.
     pub fm_buckets: usize,
+    /// When `true`, every meeting's payloads travel through the real
+    /// `jxp-wire` codec (encode → decode on each direction) and the
+    /// recorded bytes are the exact frame lengths, header included —
+    /// the same numbers a [`jxp-wire`]-based deployment would measure.
+    pub route_via_wire: bool,
 }
 
 impl Default for NetworkConfig {
@@ -46,6 +51,7 @@ impl Default for NetworkConfig {
             mips_seed: 0x4D49_5053,
             estimate_n: false,
             fm_buckets: 256,
+            route_via_wire: false,
         }
     }
 }
@@ -164,34 +170,41 @@ impl Network {
         );
         debug_assert_ne!(initiator, partner);
         let (a, b) = pair_mut(&mut self.peers, initiator, partner);
-        let stats = meet(a, b);
-        // Piggybacked synopses add to the message size under pre-meetings.
-        let synopsis_bytes = if self.premeetings_cfg().is_some() {
-            self.synopses[initiator].wire_size() as u64
+        let stats = if self.config.route_via_wire {
+            meet_via_wire(a, b)
         } else {
-            0
+            meet(a, b)
+        };
+        // Piggybacked synopses add to the message size under pre-meetings.
+        // Each side ships its *own* synopses, so the two directions carry
+        // different synopsis sizes; the FM sketch rides along symmetrically.
+        let (syn_a, syn_b) = if self.premeetings_cfg().is_some() {
+            (
+                self.synopses[initiator].wire_size() as u64,
+                self.synopses[partner].wire_size() as u64,
+            )
+        } else {
+            (0, 0)
         };
         let sketch_bytes = self.counter.as_ref().map_or(0, |c| c.wire_size() as u64);
         self.bandwidth.record_meeting(
             initiator,
-            stats.bytes_a_to_b as u64 + synopsis_bytes + sketch_bytes,
+            stats.bytes_a_to_b as u64 + syn_a + sketch_bytes,
             partner,
-            stats.bytes_b_to_a as u64 + synopsis_bytes + sketch_bytes,
+            stats.bytes_b_to_a as u64 + syn_b + sketch_bytes,
         );
         if let Some(cfg) = self.premeetings_cfg().cloned() {
-            let before: u64 = self.states[initiator].premeeting_bytes
-                + self.states[partner].premeeting_bytes;
+            let before: u64 =
+                self.states[initiator].premeeting_bytes + self.states[partner].premeeting_bytes;
             observe_meeting(&mut self.states, &self.synopses, initiator, partner, &cfg);
-            let after: u64 = self.states[initiator].premeeting_bytes
-                + self.states[partner].premeeting_bytes;
+            let after: u64 =
+                self.states[initiator].premeeting_bytes + self.states[partner].premeeting_bytes;
             self.bandwidth.record_premeeting(after - before);
         }
         if let Some(counter) = &mut self.counter {
             counter.merge_pair(initiator, partner);
             for p in [initiator, partner] {
-                let est = counter
-                    .estimate(p)
-                    .max(self.peers[p].num_pages() as f64);
+                let est = counter.estimate(p).max(self.peers[p].num_pages() as f64);
                 self.peers[p].set_n_total(est);
             }
         }
@@ -279,6 +292,41 @@ impl Network {
     }
 }
 
+/// One meeting routed through the real wire codec: each payload is
+/// encoded as a `jxp-wire` frame and decoded on the receiving side, so
+/// the byte counts are exact frame lengths (12-byte header included)
+/// and any codec regression breaks the simulation loudly. The responder
+/// builds its reply from pre-absorption state, matching the networked
+/// protocol in `jxp-node`.
+fn meet_via_wire(a: &mut JxpPeer, b: &mut JxpPeer) -> MeetingStats {
+    use jxp_core::meeting::deliver;
+    use jxp_wire::{decode_frame, encode_frame, Frame};
+
+    let request = encode_frame(&Frame::MeetRequest(a.payload()));
+    let reply = encode_frame(&Frame::MeetReply(b.payload()));
+    let bytes_a_to_b = request.len();
+    let bytes_b_to_a = reply.len();
+
+    let (frame, _) = decode_frame(&request).expect("self-encoded request must decode");
+    let Frame::MeetRequest(payload_a) = frame else {
+        unreachable!("encoded a MeetRequest");
+    };
+    let merge_time_b = deliver(b, &payload_a);
+
+    let (frame, _) = decode_frame(&reply).expect("self-encoded reply must decode");
+    let Frame::MeetReply(payload_b) = frame else {
+        unreachable!("encoded a MeetReply");
+    };
+    let merge_time_a = deliver(a, &payload_b);
+
+    MeetingStats {
+        bytes_a_to_b,
+        bytes_b_to_a,
+        merge_time_a,
+        merge_time_b,
+    }
+}
+
 /// Mutable references to two distinct elements.
 fn pair_mut<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
     assert_ne!(i, j, "cannot borrow the same element twice");
@@ -348,10 +396,7 @@ mod tests {
         let early = metrics::footrule_distance(&net.total_ranking(), &truth_ranking, 50);
         net.run(150);
         let late = metrics::footrule_distance(&net.total_ranking(), &truth_ranking, 50);
-        assert!(
-            late < early,
-            "footrule did not improve: {early} → {late}"
-        );
+        assert!(late < early, "footrule did not improve: {early} → {late}");
         assert!(late < 0.35, "footrule after 150 meetings: {late}");
     }
 
@@ -400,7 +445,95 @@ mod tests {
         let spread_final: f64 = (0..net.num_peers())
             .map(|p| (net.peer(p).n_total() - covered).abs())
             .sum();
-        assert!(spread_final < spread_initial, "gossip did not tighten estimates");
+        assert!(
+            spread_final < spread_initial,
+            "gossip did not tighten estimates"
+        );
+    }
+
+    #[test]
+    fn bandwidth_pins_each_direction_to_its_own_payload_and_synopses() {
+        let (cg, frags) = small_world();
+        let config = NetworkConfig {
+            strategy: SelectionStrategy::PreMeetings(PreMeetingsConfig::default()),
+            ..Default::default()
+        };
+        let mut net = Network::new(frags, cg.graph.num_nodes() as u64, config, 17);
+        let record = net.step();
+        // Each side's logged bytes = its payload + its OWN synopses. A
+        // regression that charges one side's synopses to both directions
+        // (or drops a direction) breaks this equality.
+        let a = record.initiator;
+        let b = record.partner;
+        assert_eq!(
+            net.bandwidth().peer_history(a),
+            &[record.stats.bytes_a_to_b as u64 + net.synopses[a].wire_size() as u64]
+        );
+        assert_eq!(
+            net.bandwidth().peer_history(b),
+            &[record.stats.bytes_b_to_a as u64 + net.synopses[b].wire_size() as u64]
+        );
+        assert_eq!(
+            net.bandwidth().total_bytes(),
+            record.stats.total_bytes() as u64
+                + net.synopses[a].wire_size() as u64
+                + net.synopses[b].wire_size() as u64
+                + net.bandwidth().premeeting_bytes()
+        );
+    }
+
+    #[test]
+    fn wire_routed_meetings_add_exactly_one_header_per_direction() {
+        let (cg, frags) = small_world();
+        let n = cg.graph.num_nodes() as u64;
+        // Same seed ⇒ same initiator/partner and same pre-meeting state,
+        // so the only difference in the first meeting's byte counts must
+        // be the codec's fixed frame header, once per direction.
+        let mut direct = Network::new(frags.clone(), n, NetworkConfig::default(), 23);
+        let mut wired = Network::new(
+            frags,
+            n,
+            NetworkConfig {
+                route_via_wire: true,
+                ..Default::default()
+            },
+            23,
+        );
+        let d = direct.step();
+        let w = wired.step();
+        assert_eq!(d.initiator, w.initiator);
+        assert_eq!(d.partner, w.partner);
+        assert_eq!(
+            w.stats.bytes_a_to_b,
+            d.stats.bytes_a_to_b + jxp_wire::HEADER_LEN
+        );
+        assert_eq!(
+            w.stats.bytes_b_to_a,
+            d.stats.bytes_b_to_a + jxp_wire::HEADER_LEN
+        );
+    }
+
+    #[test]
+    fn wire_routed_network_converges_like_direct() {
+        let (cg, frags) = small_world();
+        let n = cg.graph.num_nodes() as u64;
+        let mut direct = Network::new(frags.clone(), n, NetworkConfig::default(), 29);
+        let mut wired = Network::new(
+            frags,
+            n,
+            NetworkConfig {
+                route_via_wire: true,
+                ..Default::default()
+            },
+            29,
+        );
+        direct.run(80);
+        wired.run(80);
+        // The codec is lossless, so routing through it must not change
+        // the resulting scores at all (same seed, same meetings).
+        for p in 0..direct.num_peers() {
+            assert_eq!(direct.peer(p).scores(), wired.peer(p).scores());
+        }
     }
 
     #[test]

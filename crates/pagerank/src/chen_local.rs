@@ -66,11 +66,8 @@ pub fn estimate_pagerank(
         }
     }
     let members: Vec<PageId> = dist.keys().copied().collect();
-    let index: FxHashMap<PageId, usize> = members
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (p, i))
-        .collect();
+    let index: FxHashMap<PageId, usize> =
+        members.iter().enumerate().map(|(i, &p)| (p, i)).collect();
 
     // ---- Fixed external inflow per member from unexpanded predecessors
     // (assumed to score 1/N each).

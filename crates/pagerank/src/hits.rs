@@ -202,7 +202,16 @@ mod tests {
         // one mega-hub: HITS authority high, PR moderate.
         let g = graph(
             7,
-            &[(0, 1), (0, 2), (0, 3), (1, 6), (2, 6), (3, 6), (4, 5), (5, 4)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 6),
+                (2, 6),
+                (3, 6),
+                (4, 5),
+                (5, 4),
+            ],
         );
         let h = hits(&g, &HitsConfig::default());
         let pr = crate::pagerank(&g, &crate::PageRankConfig::default());

@@ -33,10 +33,7 @@ pub fn footrule_distance(a: &Ranking, b: &Ranking, k: usize) -> f64 {
     let mut union: FxHashSet<PageId> = FxHashSet::default();
     union.extend(top_a.iter().copied());
     union.extend(top_b.iter().copied());
-    let sum: usize = union
-        .iter()
-        .map(|&p| pos(a, p).abs_diff(pos(b, p)))
-        .sum();
+    let sum: usize = union.iter().map(|&p| pos(a, p).abs_diff(pos(b, p))).sum();
     sum as f64 / (k * (k + 1)) as f64
 }
 
@@ -55,7 +52,9 @@ pub fn linear_score_error(approx: &Ranking, truth: &Ranking, k: usize) -> f64 {
     let sum: f64 = top
         .iter()
         .map(|&p| {
-            let t = truth.score(p).expect("page from truth.top_k must be scored");
+            let t = truth
+                .score(p)
+                .expect("page from truth.top_k must be scored");
             let a = approx.score(p).unwrap_or(0.0);
             (t - a).abs()
         })

@@ -84,11 +84,7 @@ pub fn personalized_pagerank(
 ///
 /// # Panics
 /// Panics if `seeds` is empty or references a page outside the graph.
-pub fn topic_pagerank(
-    g: &CsrGraph,
-    seeds: &[PageId],
-    config: &PageRankConfig,
-) -> PageRankResult {
+pub fn topic_pagerank(g: &CsrGraph, seeds: &[PageId], config: &PageRankConfig) -> PageRankResult {
     assert!(!seeds.is_empty(), "topic needs at least one seed page");
     let mut teleport = vec![0.0; g.num_nodes()];
     for &s in seeds {
@@ -145,9 +141,8 @@ mod tests {
         let seeds: Vec<PageId> = cg.pages_in_category(1).collect();
         let topic = topic_pagerank(&cg.graph, &seeds, &cfg);
         let global = pagerank(&cg.graph, &cfg);
-        let mass = |scores: &[f64]| -> f64 {
-            cg.pages_in_category(1).map(|p| scores[p.index()]).sum()
-        };
+        let mass =
+            |scores: &[f64]| -> f64 { cg.pages_in_category(1).map(|p| scores[p.index()]).sum() };
         assert!(
             mass(topic.scores()) > 2.0 * mass(global.scores()),
             "topic mass {} vs global {}",

@@ -97,6 +97,23 @@ impl MipsVector {
         MipsVector { mins, count }
     }
 
+    /// Reassemble a vector from its wire representation: the per-permutation
+    /// minima and the exact cardinality, as returned by [`Self::mins`] and
+    /// [`Self::count`]. Used by `jxp-wire` when decoding a synopsis frame.
+    ///
+    /// # Panics
+    /// Panics if `mins` is empty.
+    pub fn from_parts(mins: Vec<u64>, count: u64) -> Self {
+        assert!(!mins.is_empty(), "need at least one permutation");
+        MipsVector { mins, count }
+    }
+
+    /// The per-permutation minima (the vector's wire representation,
+    /// together with [`Self::count`]).
+    pub fn mins(&self) -> &[u64] {
+        &self.mins
+    }
+
     /// Exact cardinality of the summarized set (shipped with the vector).
     pub fn count(&self) -> u64 {
         self.count
@@ -108,9 +125,10 @@ impl MipsVector {
     }
 
     /// Size of this synopsis on the wire, in bytes: one `u64` per
-    /// permutation plus the cardinality.
+    /// permutation, plus the cardinality and a dimension prefix. Exactly
+    /// the length of the `jxp-wire` encoding (pinned by a test there).
     pub fn wire_size(&self) -> usize {
-        8 * self.mins.len() + 8
+        4 + 8 + 8 * self.mins.len()
     }
 
     /// Estimated resemblance `|A∩B| / |A∪B|` ∈ [0, 1]: the fraction of
@@ -259,7 +277,11 @@ mod tests {
         let direct = MipsVector::from_elements(&p, 0..600u64);
         // Min-vectors must agree exactly; counts are estimated.
         assert_eq!(u.mins, direct.mins);
-        assert!((u.count() as f64 - 600.0).abs() < 120.0, "count {}", u.count());
+        assert!(
+            (u.count() as f64 - 600.0).abs() < 120.0,
+            "count {}",
+            u.count()
+        );
     }
 
     #[test]
@@ -290,7 +312,7 @@ mod tests {
     fn wire_size_accounts_vector_and_count() {
         let p = MipsPermutations::generate(64, 1);
         let a = MipsVector::from_elements(&p, 0..5u64);
-        assert_eq!(a.wire_size(), 64 * 8 + 8);
+        assert_eq!(a.wire_size(), 4 + 8 + 64 * 8);
     }
 
     #[test]

@@ -44,10 +44,7 @@ impl DegreeHistogram {
 
     /// Largest degree present.
     pub fn max_degree(&self) -> usize {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0)
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
 
     /// `(degree, count)` pairs for all degrees with non-zero count.

@@ -29,7 +29,10 @@ impl CsrGraph {
     /// Panics (debug assertions) if the input is not sorted/deduplicated or
     /// references a node `>= n`.
     pub(crate) fn from_sorted_dedup_edges(n: usize, edges: &[(PageId, PageId)]) -> Self {
-        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges not sorted+dedup");
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges not sorted+dedup"
+        );
         let m = edges.len();
         let mut fwd_off = vec![0u32; n + 1];
         let mut rev_off = vec![0u32; n + 1];

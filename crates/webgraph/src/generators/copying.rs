@@ -20,7 +20,10 @@ pub fn copying_model(
     copy_prob: f64,
     rng: &mut impl Rng,
 ) -> CsrGraph {
-    assert!((0.0..=1.0).contains(&copy_prob), "copy_prob must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&copy_prob),
+        "copy_prob must be in [0,1]"
+    );
     let mut b = GraphBuilder::with_capacity(n * out_per_node);
     b.ensure_nodes(n);
     // adj[v] = out-links of v, needed to copy from prototypes.

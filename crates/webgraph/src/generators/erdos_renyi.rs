@@ -17,7 +17,10 @@ use rand::Rng;
 pub fn gnm(n: usize, m: usize, rng: &mut impl Rng) -> CsrGraph {
     assert!(n >= 1 || m == 0, "edges in an empty graph");
     let max_edges = n.saturating_mul(n.saturating_sub(1));
-    assert!(m <= max_edges, "requested {m} edges, only {max_edges} possible");
+    assert!(
+        m <= max_edges,
+        "requested {m} edges, only {max_edges} possible"
+    );
     let mut b = GraphBuilder::with_capacity(m);
     b.ensure_nodes(n);
     let mut chosen = crate::hash::FxHashSet::default();

@@ -14,7 +14,7 @@ use std::fmt;
 ///
 /// A newtype over `u32` so that page ids, peer ids and array indices cannot
 /// be confused with one another at compile time.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u32);
 
 impl PageId {

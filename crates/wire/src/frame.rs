@@ -1,0 +1,713 @@
+//! Frame layout and codecs.
+//!
+//! Every message travels as one **frame**:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic   b"JXPW"
+//! 4       2     version u16 LE (PROTOCOL_VERSION)
+//! 6       1     frame type
+//! 7       1     flags (reserved, must be 0)
+//! 8       4     body length u32 LE
+//! 12      n     body (frame-type specific, little-endian throughout)
+//! ```
+//!
+//! The body of [`Frame::MeetRequest`] / [`Frame::MeetReply`] is exactly
+//! `MeetingPayload::wire_size()` bytes — the analytic accounting that
+//! Figures 11/12 plot *is* the measured encoding (pinned by
+//! [`tests::meeting_body_is_exactly_wire_size`]); the fixed
+//! [`HEADER_LEN`]-byte header is the only framing overhead. Likewise the
+//! synopsis types encode to exactly their `wire_size()`.
+
+use bytes::{Buf, BufMut};
+use jxp_core::payload::{PagePayload, WorldPayload};
+use jxp_core::selection::PeerSynopses;
+use jxp_core::MeetingPayload;
+use jxp_synopses::bloom::BloomFilter;
+use jxp_synopses::fm_sketch::FmSketch;
+use jxp_synopses::mips::MipsVector;
+use jxp_webgraph::PageId;
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"JXPW";
+
+/// Current protocol version; bumped on any incompatible layout change.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Fixed frame-header length (magic + version + type + flags + body len).
+pub const HEADER_LEN: usize = 12;
+
+/// Largest body this implementation accepts (64 MiB): a cheap guard
+/// against allocating from a corrupt or hostile length field.
+pub const MAX_BODY_LEN: usize = 64 << 20;
+
+const TYPE_HELLO: u8 = 1;
+const TYPE_MEET_REQUEST: u8 = 2;
+const TYPE_MEET_REPLY: u8 = 3;
+const TYPE_SYNOPSIS_EXCHANGE: u8 = 4;
+const TYPE_ACK: u8 = 5;
+const TYPE_ERROR: u8 = 6;
+
+/// Decode failures. `Truncated` is retriable-by-reading-more when the
+/// input is a stream prefix; everything else is a protocol violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame does not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The sender speaks a different protocol version.
+    VersionMismatch {
+        /// Version found in the header.
+        got: u16,
+        /// Version this implementation speaks.
+        expected: u16,
+    },
+    /// Unknown frame-type byte.
+    UnknownFrameType(u8),
+    /// The input ends before the complete frame.
+    Truncated {
+        /// Bytes required (for the header, or header + body).
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// The declared body length exceeds [`MAX_BODY_LEN`].
+    OversizedBody(usize),
+    /// The body parsed, but not to its declared length, or a field
+    /// violated an invariant (non-zero flags, bad UTF-8, zero-dimension
+    /// synopsis, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            WireError::VersionMismatch { got, expected } => {
+                write!(f, "protocol version {got} (this peer speaks {expected})")
+            }
+            WireError::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated frame: need {needed} bytes, have {got}")
+            }
+            WireError::OversizedBody(n) => write!(f, "declared body of {n} bytes exceeds cap"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Error codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The peer is shutting down or refuses the meeting.
+    Refused,
+    /// The peer could not parse or validate what it received.
+    BadRequest,
+    /// The peer is currently in another meeting; try again later.
+    Busy,
+}
+
+impl ErrorCode {
+    fn to_u16(self) -> u16 {
+        match self {
+            ErrorCode::Refused => 1,
+            ErrorCode::BadRequest => 2,
+            ErrorCode::Busy => 3,
+        }
+    }
+
+    fn from_u16(v: u16) -> Result<Self, WireError> {
+        match v {
+            1 => Ok(ErrorCode::Refused),
+            2 => Ok(ErrorCode::BadRequest),
+            3 => Ok(ErrorCode::Busy),
+            _ => Err(WireError::Malformed("unknown error code")),
+        }
+    }
+}
+
+/// The synopses a peer publishes for pre-meetings selection and network
+/// size estimation, exchanged in one [`Frame::SynopsisExchange`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynopsisPayload {
+    /// The two MIPs vectors of §4.3 (`local`, `successors`).
+    pub synopses: PeerSynopses,
+    /// FM sketch of the sender's page set (gossiped `N` estimation).
+    pub sketch: Option<FmSketch>,
+    /// Bloom filter of the sender's page set (alternative overlap
+    /// synopsis; compared against MIPs in the integration tests).
+    pub bloom: Option<BloomFilter>,
+}
+
+impl SynopsisPayload {
+    /// Exact body length of the [`Frame::SynopsisExchange`] encoding.
+    pub fn wire_size(&self) -> usize {
+        self.synopses.wire_size()
+            + 1
+            + self.sketch.as_ref().map_or(0, FmSketch::wire_size)
+            + 1
+            + self.bloom.as_ref().map_or(0, BloomFilter::wire_size)
+    }
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Handshake: sender's node id and local fragment size.
+    Hello {
+        /// Sender's stable node identifier.
+        node_id: u64,
+        /// Number of pages in the sender's fragment.
+        num_pages: u64,
+    },
+    /// A meeting initiation carrying the initiator's full payload.
+    MeetRequest(MeetingPayload),
+    /// The responder's payload, completing the exchange.
+    MeetReply(MeetingPayload),
+    /// Synopses for pre-meetings partner scoring and `N` estimation.
+    SynopsisExchange(SynopsisPayload),
+    /// Positive acknowledgement of the frame type named in `of`.
+    Ack {
+        /// Frame-type byte being acknowledged.
+        of: u8,
+    },
+    /// Negative reply: the peer refuses or cannot process a frame.
+    Error {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => TYPE_HELLO,
+            Frame::MeetRequest(_) => TYPE_MEET_REQUEST,
+            Frame::MeetReply(_) => TYPE_MEET_REPLY,
+            Frame::SynopsisExchange(_) => TYPE_SYNOPSIS_EXCHANGE,
+            Frame::Ack { .. } => TYPE_ACK,
+            Frame::Error { .. } => TYPE_ERROR,
+        }
+    }
+
+    /// Exact body length of this frame's encoding.
+    pub fn body_len(&self) -> usize {
+        match self {
+            Frame::Hello { .. } => 8 + 8,
+            Frame::MeetRequest(p) | Frame::MeetReply(p) => p.wire_size(),
+            Frame::SynopsisExchange(s) => s.wire_size(),
+            Frame::Ack { .. } => 1,
+            Frame::Error { detail, .. } => 2 + 4 + detail.len(),
+        }
+    }
+}
+
+/// Exact length of [`encode_frame`]'s output for `frame`, without
+/// encoding: header plus body.
+pub fn encoded_len(frame: &Frame) -> usize {
+    HEADER_LEN + frame.body_len()
+}
+
+/// Encode one frame, header included.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let body_len = frame.body_len();
+    let mut buf = Vec::with_capacity(HEADER_LEN + body_len);
+    buf.put_slice(&MAGIC);
+    buf.put_u16_le(PROTOCOL_VERSION);
+    buf.put_u8(frame.type_byte());
+    buf.put_u8(0); // flags
+    buf.put_u32_le(body_len as u32);
+    match frame {
+        Frame::Hello { node_id, num_pages } => {
+            buf.put_u64_le(*node_id);
+            buf.put_u64_le(*num_pages);
+        }
+        Frame::MeetRequest(p) | Frame::MeetReply(p) => encode_meeting_payload(&mut buf, p),
+        Frame::SynopsisExchange(s) => {
+            encode_mips(&mut buf, &s.synopses.local);
+            encode_mips(&mut buf, &s.synopses.successors);
+            match &s.sketch {
+                Some(fm) => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(fm.num_buckets() as u32);
+                    for &w in fm.bitmaps() {
+                        buf.put_u64_le(w);
+                    }
+                }
+                None => buf.put_u8(0),
+            }
+            match &s.bloom {
+                Some(b) => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(b.words().len() as u32);
+                    buf.put_u32_le(b.num_hashes());
+                    buf.put_u64_le(b.inserted());
+                    for &w in b.words() {
+                        buf.put_u64_le(w);
+                    }
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        Frame::Ack { of } => buf.put_u8(*of),
+        Frame::Error { code, detail } => {
+            buf.put_u16_le(code.to_u16());
+            buf.put_u32_le(detail.len() as u32);
+            buf.put_slice(detail.as_bytes());
+        }
+    }
+    debug_assert_eq!(buf.len(), HEADER_LEN + body_len, "body_len out of sync");
+    buf
+}
+
+/// Decode one frame from the front of `input`. Returns the frame and the
+/// number of bytes consumed, so successive frames can be decoded from one
+/// buffer. A short `input` yields [`WireError::Truncated`] with the total
+/// length needed, letting stream readers fetch the remainder.
+pub fn decode_frame(input: &[u8]) -> Result<(Frame, usize), WireError> {
+    if input.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            got: input.len(),
+        });
+    }
+    let mut header = &input[..HEADER_LEN];
+    let mut magic = [0u8; 4];
+    header.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = header.get_u16_le();
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::VersionMismatch {
+            got: version,
+            expected: PROTOCOL_VERSION,
+        });
+    }
+    let frame_type = header.get_u8();
+    if header.get_u8() != 0 {
+        return Err(WireError::Malformed("non-zero flags"));
+    }
+    let body_len = header.get_u32_le() as usize;
+    if body_len > MAX_BODY_LEN {
+        return Err(WireError::OversizedBody(body_len));
+    }
+    let total = HEADER_LEN + body_len;
+    if input.len() < total {
+        return Err(WireError::Truncated {
+            needed: total,
+            got: input.len(),
+        });
+    }
+    let mut body = &input[HEADER_LEN..total];
+    let frame = match frame_type {
+        TYPE_HELLO => {
+            let node_id = take_u64(&mut body)?;
+            let num_pages = take_u64(&mut body)?;
+            Frame::Hello { node_id, num_pages }
+        }
+        TYPE_MEET_REQUEST => Frame::MeetRequest(decode_meeting_payload(&mut body)?),
+        TYPE_MEET_REPLY => Frame::MeetReply(decode_meeting_payload(&mut body)?),
+        TYPE_SYNOPSIS_EXCHANGE => {
+            let local = decode_mips(&mut body)?;
+            let successors = decode_mips(&mut body)?;
+            let sketch = match take_u8(&mut body)? {
+                0 => None,
+                1 => {
+                    let buckets = take_u32(&mut body)? as usize;
+                    if buckets == 0 {
+                        return Err(WireError::Malformed("zero-bucket FM sketch"));
+                    }
+                    let words = take_u64_vec(&mut body, buckets)?;
+                    Some(FmSketch::from_bitmaps(words))
+                }
+                _ => return Err(WireError::Malformed("bad sketch presence byte")),
+            };
+            let bloom = match take_u8(&mut body)? {
+                0 => None,
+                1 => {
+                    let words = take_u32(&mut body)? as usize;
+                    let num_hashes = take_u32(&mut body)?;
+                    let inserted = take_u64(&mut body)?;
+                    if words == 0 || num_hashes == 0 {
+                        return Err(WireError::Malformed("degenerate bloom filter"));
+                    }
+                    let bits = take_u64_vec(&mut body, words)?;
+                    Some(BloomFilter::from_parts(bits, num_hashes, inserted))
+                }
+                _ => return Err(WireError::Malformed("bad bloom presence byte")),
+            };
+            Frame::SynopsisExchange(SynopsisPayload {
+                synopses: PeerSynopses { local, successors },
+                sketch,
+                bloom,
+            })
+        }
+        TYPE_ACK => Frame::Ack {
+            of: take_u8(&mut body)?,
+        },
+        TYPE_ERROR => {
+            let code = ErrorCode::from_u16(take_u16(&mut body)?)?;
+            let len = take_u32(&mut body)? as usize;
+            if body.remaining() < len {
+                return Err(WireError::Malformed("error detail overruns body"));
+            }
+            let mut raw = vec![0u8; len];
+            body.copy_to_slice(&mut raw);
+            let detail =
+                String::from_utf8(raw).map_err(|_| WireError::Malformed("error detail utf-8"))?;
+            Frame::Error { code, detail }
+        }
+        other => return Err(WireError::UnknownFrameType(other)),
+    };
+    if body.has_remaining() {
+        return Err(WireError::Malformed("trailing bytes in body"));
+    }
+    Ok((frame, total))
+}
+
+fn encode_meeting_payload(buf: &mut Vec<u8>, p: &MeetingPayload) {
+    buf.put_f64_le(p.world_score);
+    buf.put_u32_le(p.pages.len() as u32);
+    for pp in &p.pages {
+        buf.put_u32_le(pp.page.0);
+        buf.put_f64_le(pp.score);
+        buf.put_u32_le(pp.succs.len() as u32);
+        for s in &pp.succs {
+            buf.put_u32_le(s.0);
+        }
+    }
+    buf.put_u32_le(p.world.len() as u32);
+    for wp in &p.world {
+        buf.put_u32_le(wp.src.0);
+        buf.put_u32_le(wp.out_degree);
+        buf.put_f64_le(wp.score);
+        buf.put_u32_le(wp.targets.len() as u32);
+        for t in &wp.targets {
+            buf.put_u32_le(t.0);
+        }
+    }
+    buf.put_u32_le(p.world_dangling.len() as u32);
+    for &(page, score) in &p.world_dangling {
+        buf.put_u32_le(page.0);
+        buf.put_f64_le(score);
+    }
+}
+
+fn decode_meeting_payload(body: &mut &[u8]) -> Result<MeetingPayload, WireError> {
+    let world_score = take_f64(body)?;
+    let num_pages = take_u32(body)? as usize;
+    check_claimed(body, num_pages, 16)?;
+    let mut pages = Vec::with_capacity(num_pages);
+    for _ in 0..num_pages {
+        let page = PageId(take_u32(body)?);
+        let score = take_f64(body)?;
+        let num_succs = take_u32(body)? as usize;
+        check_claimed(body, num_succs, 4)?;
+        let mut succs = Vec::with_capacity(num_succs);
+        for _ in 0..num_succs {
+            succs.push(PageId(take_u32(body)?));
+        }
+        pages.push(PagePayload { page, score, succs });
+    }
+    let num_world = take_u32(body)? as usize;
+    check_claimed(body, num_world, 20)?;
+    let mut world = Vec::with_capacity(num_world);
+    for _ in 0..num_world {
+        let src = PageId(take_u32(body)?);
+        let out_degree = take_u32(body)?;
+        let score = take_f64(body)?;
+        let num_targets = take_u32(body)? as usize;
+        check_claimed(body, num_targets, 4)?;
+        let mut targets = Vec::with_capacity(num_targets);
+        for _ in 0..num_targets {
+            targets.push(PageId(take_u32(body)?));
+        }
+        world.push(WorldPayload {
+            src,
+            out_degree,
+            score,
+            targets,
+        });
+    }
+    let num_dangling = take_u32(body)? as usize;
+    check_claimed(body, num_dangling, 12)?;
+    let mut world_dangling = Vec::with_capacity(num_dangling);
+    for _ in 0..num_dangling {
+        let page = PageId(take_u32(body)?);
+        let score = take_f64(body)?;
+        world_dangling.push((page, score));
+    }
+    Ok(MeetingPayload {
+        pages,
+        world,
+        world_dangling,
+        world_score,
+    })
+}
+
+fn encode_mips(buf: &mut Vec<u8>, v: &MipsVector) {
+    buf.put_u32_le(v.dims() as u32);
+    buf.put_u64_le(v.count());
+    for &m in v.mins() {
+        buf.put_u64_le(m);
+    }
+}
+
+fn decode_mips(body: &mut &[u8]) -> Result<MipsVector, WireError> {
+    let dims = take_u32(body)? as usize;
+    if dims == 0 {
+        return Err(WireError::Malformed("zero-dimension MIPs vector"));
+    }
+    let count = take_u64(body)?;
+    let mins = take_u64_vec(body, dims)?;
+    Ok(MipsVector::from_parts(mins, count))
+}
+
+/// Reject length fields that claim more elements than the remaining body
+/// could possibly hold (each element is at least `min_elem` bytes), before
+/// `Vec::with_capacity` turns a corrupt length into a huge allocation.
+fn check_claimed(body: &&[u8], claimed: usize, min_elem: usize) -> Result<(), WireError> {
+    if claimed > body.remaining() / min_elem {
+        return Err(WireError::Malformed("length field overruns body"));
+    }
+    Ok(())
+}
+
+macro_rules! take {
+    ($name:ident, $t:ty, $get:ident, $n:expr) => {
+        fn $name(body: &mut &[u8]) -> Result<$t, WireError> {
+            if body.remaining() < $n {
+                return Err(WireError::Malformed("field overruns body"));
+            }
+            Ok(body.$get())
+        }
+    };
+}
+
+take!(take_u8, u8, get_u8, 1);
+take!(take_u16, u16, get_u16_le, 2);
+take!(take_u32, u32, get_u32_le, 4);
+take!(take_u64, u64, get_u64_le, 8);
+take!(take_f64, f64, get_f64_le, 8);
+
+fn take_u64_vec(body: &mut &[u8], n: usize) -> Result<Vec<u64>, WireError> {
+    if body.remaining() < n * 8 {
+        return Err(WireError::Malformed("u64 array overruns body"));
+    }
+    Ok((0..n).map(|_| body.get_u64_le()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jxp_synopses::mips::MipsPermutations;
+
+    fn sample_payload() -> MeetingPayload {
+        MeetingPayload {
+            pages: vec![
+                PagePayload {
+                    page: PageId(0),
+                    score: 0.25,
+                    succs: vec![PageId(1), PageId(7)],
+                },
+                PagePayload {
+                    page: PageId(1),
+                    score: 0.5,
+                    succs: vec![],
+                },
+            ],
+            world: vec![WorldPayload {
+                src: PageId(7),
+                out_degree: 3,
+                score: 0.125,
+                targets: vec![PageId(0)],
+            }],
+            world_dangling: vec![(PageId(9), 0.0625)],
+            world_score: 0.0625,
+        }
+    }
+
+    fn sample_synopses() -> SynopsisPayload {
+        let perms = MipsPermutations::generate(16, 5);
+        let local = MipsVector::from_elements(&perms, 0..40u64);
+        let successors = MipsVector::from_elements(&perms, 20..90u64);
+        let mut sketch = FmSketch::new(32);
+        let mut bloom = BloomFilter::new(256, 4);
+        for x in 0..40u64 {
+            sketch.insert(x);
+            bloom.insert(x);
+        }
+        SynopsisPayload {
+            synopses: PeerSynopses { local, successors },
+            sketch: Some(sketch),
+            bloom: Some(bloom),
+        }
+    }
+
+    #[test]
+    fn meeting_body_is_exactly_wire_size() {
+        let p = sample_payload();
+        let frame = Frame::MeetRequest(p.clone());
+        let encoded = encode_frame(&frame);
+        assert_eq!(encoded.len(), HEADER_LEN + p.wire_size());
+        assert_eq!(encoded.len(), encoded_len(&frame));
+    }
+
+    #[test]
+    fn synopsis_body_is_exactly_wire_sizes() {
+        let s = sample_synopses();
+        let expected = s.synopses.local.wire_size()
+            + s.synopses.successors.wire_size()
+            + 1
+            + s.sketch.as_ref().unwrap().wire_size()
+            + 1
+            + s.bloom.as_ref().unwrap().wire_size();
+        let frame = Frame::SynopsisExchange(s);
+        assert_eq!(encode_frame(&frame).len(), HEADER_LEN + expected);
+    }
+
+    #[test]
+    fn meeting_roundtrip_preserves_payload() {
+        let p = sample_payload();
+        let encoded = encode_frame(&Frame::MeetReply(p.clone()));
+        let (decoded, used) = decode_frame(&encoded).unwrap();
+        assert_eq!(used, encoded.len());
+        match decoded {
+            Frame::MeetReply(q) => assert_eq!(p, q),
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn synopsis_roundtrip_preserves_estimates() {
+        let s = sample_synopses();
+        let encoded = encode_frame(&Frame::SynopsisExchange(s.clone()));
+        let (decoded, _) = decode_frame(&encoded).unwrap();
+        let Frame::SynopsisExchange(d) = decoded else {
+            panic!("wrong frame");
+        };
+        assert_eq!(d.synopses.local, s.synopses.local);
+        assert_eq!(d.synopses.successors, s.synopses.successors);
+        assert_eq!(d.sketch, s.sketch);
+        assert_eq!(d.bloom, s.bloom);
+    }
+
+    #[test]
+    fn successive_frames_decode_from_one_buffer() {
+        let mut buf = encode_frame(&Frame::Hello {
+            node_id: 3,
+            num_pages: 99,
+        });
+        buf.extend_from_slice(&encode_frame(&Frame::Ack { of: TYPE_HELLO }));
+        let (first, used) = decode_frame(&buf).unwrap();
+        assert!(matches!(first, Frame::Hello { node_id: 3, .. }));
+        let (second, used2) = decode_frame(&buf[used..]).unwrap();
+        assert!(matches!(second, Frame::Ack { of: TYPE_HELLO }));
+        assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn error_frame_roundtrips() {
+        let encoded = encode_frame(&Frame::Error {
+            code: ErrorCode::Busy,
+            detail: "in another meeting".into(),
+        });
+        let (decoded, _) = decode_frame(&encoded).unwrap();
+        match decoded {
+            Frame::Error { code, detail } => {
+                assert_eq!(code, ErrorCode::Busy);
+                assert_eq!(detail, "in another meeting");
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_header_and_body_are_reported() {
+        let encoded = encode_frame(&Frame::Hello {
+            node_id: 1,
+            num_pages: 2,
+        });
+        assert_eq!(
+            decode_frame(&encoded[..5]),
+            Err(WireError::Truncated {
+                needed: HEADER_LEN,
+                got: 5
+            })
+        );
+        assert_eq!(
+            decode_frame(&encoded[..HEADER_LEN + 3]),
+            Err(WireError::Truncated {
+                needed: encoded.len(),
+                got: HEADER_LEN + 3
+            })
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_detected() {
+        let mut encoded = encode_frame(&Frame::Ack { of: 1 });
+        encoded[4] = 0xFF; // clobber version
+        assert_eq!(
+            decode_frame(&encoded),
+            Err(WireError::VersionMismatch {
+                got: u16::from_le_bytes([0xFF, 0x00]),
+                expected: PROTOCOL_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_unknown_type_are_detected() {
+        let mut encoded = encode_frame(&Frame::Ack { of: 1 });
+        encoded[0] = b'X';
+        assert!(matches!(
+            decode_frame(&encoded),
+            Err(WireError::BadMagic(_))
+        ));
+        let mut encoded = encode_frame(&Frame::Ack { of: 1 });
+        encoded[6] = 0x7F;
+        assert_eq!(
+            decode_frame(&encoded),
+            Err(WireError::UnknownFrameType(0x7F))
+        );
+    }
+
+    #[test]
+    fn corrupt_length_field_is_rejected_without_allocating() {
+        let p = sample_payload();
+        let mut encoded = encode_frame(&Frame::MeetRequest(p));
+        // Clobber the page-count field (first u32 after world_score).
+        let off = HEADER_LEN + 8;
+        encoded[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_frame(&encoded),
+            Err(WireError::Malformed("length field overruns body"))
+        );
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected() {
+        let mut encoded = encode_frame(&Frame::Ack { of: 1 });
+        encoded[8..12].copy_from_slice(&(MAX_BODY_LEN as u32 + 1).to_le_bytes());
+        assert_eq!(
+            decode_frame(&encoded),
+            Err(WireError::OversizedBody(MAX_BODY_LEN + 1))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_in_body_are_rejected() {
+        let mut encoded = encode_frame(&Frame::Ack { of: 1 });
+        encoded.push(0xAB);
+        encoded[8..12].copy_from_slice(&2u32.to_le_bytes());
+        assert_eq!(
+            decode_frame(&encoded),
+            Err(WireError::Malformed("trailing bytes in body"))
+        );
+    }
+}

@@ -1,0 +1,10 @@
+#![deny(missing_docs)]
+//! Wire protocol for JXP meetings: a versioned, length-prefixed binary
+//! framing plus codecs for every message exchanged between peers.
+
+pub mod frame;
+
+pub use frame::{
+    decode_frame, encode_frame, encoded_len, ErrorCode, Frame, SynopsisPayload, WireError,
+    HEADER_LEN, MAGIC, MAX_BODY_LEN, PROTOCOL_VERSION,
+};

@@ -1,0 +1,177 @@
+//! Property tests: every frame type must survive encode → decode
+//! unchanged, report its length exactly, and the decoder must reject
+//! truncations and version clobbering at every position.
+
+use jxp_core::payload::{MeetingPayload, PagePayload, WorldPayload};
+use jxp_core::selection::PeerSynopses;
+use jxp_synopses::bloom::BloomFilter;
+use jxp_synopses::fm_sketch::FmSketch;
+use jxp_synopses::mips::MipsVector;
+use jxp_webgraph::PageId;
+use jxp_wire::{
+    decode_frame, encode_frame, encoded_len, ErrorCode, Frame, SynopsisPayload, WireError,
+    HEADER_LEN,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn page_ids() -> impl Strategy<Value = Vec<PageId>> {
+    vec(0u32..50_000, 0..6).prop_map(|v| v.into_iter().map(PageId).collect())
+}
+
+fn meeting_payloads() -> impl Strategy<Value = MeetingPayload> {
+    let pages = vec((0u32..50_000, -1.0f64..1.0, page_ids()), 0..5).prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(page, score, succs)| PagePayload {
+                page: PageId(page),
+                score,
+                succs,
+            })
+            .collect::<Vec<_>>()
+    });
+    let world =
+        vec((0u32..50_000, 0u32..100, -1.0f64..1.0, page_ids()), 0..5).prop_map(|entries| {
+            entries
+                .into_iter()
+                .map(|(src, out_degree, score, targets)| WorldPayload {
+                    src: PageId(src),
+                    out_degree,
+                    score,
+                    targets,
+                })
+                .collect::<Vec<_>>()
+        });
+    let dangling = vec((0u32..50_000, 0.0f64..1.0), 0..4).prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(p, s)| (PageId(p), s))
+            .collect::<Vec<_>>()
+    });
+    (pages, world, dangling, 0.0f64..1.0).prop_map(|(pages, world, world_dangling, world_score)| {
+        MeetingPayload {
+            pages,
+            world,
+            world_dangling,
+            world_score,
+        }
+    })
+}
+
+fn mips_vectors() -> impl Strategy<Value = MipsVector> {
+    (vec(0u64..u64::MAX, 1..40), 0u64..10_000)
+        .prop_map(|(mins, count)| MipsVector::from_parts(mins, count))
+}
+
+fn synopsis_payloads() -> impl Strategy<Value = SynopsisPayload> {
+    let optional_sketch = (0u8..2, vec(0u64..u64::MAX, 1..16))
+        .prop_map(|(on, bitmaps)| (on == 1).then(|| FmSketch::from_bitmaps(bitmaps)));
+    let optional_bloom = (0u8..2, vec(0u64..u64::MAX, 1..16), 1u32..8, 0u64..1000).prop_map(
+        |(on, bits, hashes, inserted)| {
+            (on == 1).then(|| BloomFilter::from_parts(bits, hashes, inserted))
+        },
+    );
+    (
+        mips_vectors(),
+        mips_vectors(),
+        optional_sketch,
+        optional_bloom,
+    )
+        .prop_map(|(local, successors, sketch, bloom)| SynopsisPayload {
+            synopses: PeerSynopses { local, successors },
+            sketch,
+            bloom,
+        })
+}
+
+/// One strategy covering every frame type: the selector picks a variant
+/// and the components feed it.
+fn frames() -> impl Strategy<Value = Frame> {
+    (
+        0u8..6,
+        (0u64..u64::MAX, 0u64..1_000_000),
+        meeting_payloads(),
+        synopsis_payloads(),
+        0u8..=255,
+        vec(32u8..127, 0..40),
+    )
+        .prop_map(
+            |(selector, (node_id, num_pages), meeting, synopsis, ack_of, detail)| match selector {
+                0 => Frame::Hello { node_id, num_pages },
+                1 => Frame::MeetRequest(meeting),
+                2 => Frame::MeetReply(meeting),
+                3 => Frame::SynopsisExchange(synopsis),
+                4 => Frame::Ack { of: ack_of },
+                _ => Frame::Error {
+                    code: ErrorCode::Busy,
+                    detail: String::from_utf8(detail).unwrap(),
+                },
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn every_frame_roundtrips(frame in frames()) {
+        let bytes = encode_frame(&frame);
+        prop_assert_eq!(bytes.len(), encoded_len(&frame));
+        let (decoded, consumed) = decode_frame(&bytes).expect("decode");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected(frame in frames(), cut in 0.0f64..1.0) {
+        let bytes = encode_frame(&frame);
+        // Cut anywhere strictly before the end, header included.
+        let keep = (bytes.len() as f64 * cut) as usize;
+        prop_assert!(keep < bytes.len());
+        match decode_frame(&bytes[..keep]) {
+            Err(WireError::Truncated { needed, got }) => {
+                prop_assert_eq!(got, keep);
+                // The reported requirement never exceeds the true frame
+                // length and always asks for more than we gave.
+                prop_assert!(needed > keep);
+                prop_assert!(needed <= bytes.len());
+            }
+            other => prop_assert!(false, "expected Truncated, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected(frame in frames(), version in 0u16..1000) {
+        let mut bytes = encode_frame(&frame);
+        let bad = if version == jxp_wire::PROTOCOL_VERSION { version + 1 } else { version };
+        bytes[4..6].copy_from_slice(&bad.to_le_bytes());
+        match decode_frame(&bytes) {
+            Err(WireError::VersionMismatch { got, expected }) => {
+                prop_assert_eq!(got, bad);
+                prop_assert_eq!(expected, jxp_wire::PROTOCOL_VERSION);
+            }
+            other => prop_assert!(false, "expected VersionMismatch, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn meeting_body_length_always_matches_wire_size(payload in meeting_payloads()) {
+        let frame = Frame::MeetRequest(payload);
+        let bytes = encode_frame(&frame);
+        if let Frame::MeetRequest(p) = &frame {
+            prop_assert_eq!(bytes.len(), HEADER_LEN + p.wire_size());
+        }
+    }
+
+    #[test]
+    fn magic_clobber_is_rejected(frame in frames(), pos in 0usize..4, bad in 0u8..=255) {
+        let mut bytes = encode_frame(&frame);
+        if bytes[pos] == bad {
+            // ensure an actual change
+            bytes[pos] = bad.wrapping_add(1);
+        } else {
+            bytes[pos] = bad;
+        }
+        prop_assert!(matches!(decode_frame(&bytes), Err(WireError::BadMagic(_))));
+    }
+}

@@ -33,9 +33,9 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(72);
     let mut pages: Vec<Vec<PageId>> = vec![Vec::new(); 20];
     for p in 0..n as u32 {
-        pages[rng.gen_range(0..20)].push(PageId(p));
+        pages[rng.gen_range(0..20usize)].push(PageId(p));
         if rng.gen_bool(0.3) {
-            pages[rng.gen_range(0..20)].push(PageId(p));
+            pages[rng.gen_range(0..20usize)].push(PageId(p));
         }
     }
     let fragments: Vec<Subgraph> = pages
@@ -45,8 +45,8 @@ fn main() {
 
     let config = EventSimConfig {
         mean_meeting_interval: 10.0,
-        mean_latency: 4.0,      // latency ≈ 40% of the meeting interval
-        drop_probability: 0.3,  // drop almost a third of all payloads
+        mean_latency: 4.0,     // latency ≈ 40% of the meeting interval
+        drop_probability: 0.3, // drop almost a third of all payloads
         ..Default::default()
     };
     println!(

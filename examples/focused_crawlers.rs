@@ -70,7 +70,10 @@ fn main() {
         13,
     );
 
-    println!("\n{:>9} {:>10} {:>14} {:>10}", "meetings", "footrule", "linear error", "MB sent");
+    println!(
+        "\n{:>9} {:>10} {:>14} {:>10}",
+        "meetings", "footrule", "linear error", "MB sent"
+    );
     for _ in 0..10 {
         net.run(150);
         let ranking = net.total_ranking();
@@ -95,5 +98,8 @@ fn main() {
         );
     }
     let overlap = metrics::top_k_overlap(&ranking, &truth_ranking, 100);
-    println!("\ntop-100 overlap with centralized PageRank: {:.0}%", overlap * 100.0);
+    println!(
+        "\ntop-100 overlap with centralized PageRank: {:.0}%",
+        overlap * 100.0
+    );
 }

@@ -66,9 +66,21 @@ fn main() {
 
     // Fifteen topical queries, routed to the 6 most promising peers each.
     let queries = corpus.make_queries(15, &mut StdRng::seed_from_u64(25));
-    let rows = table2(&corpus, &indexes, &jxp_ranking, &queries, 6, 50, 10, (0.6, 0.4));
+    let rows = table2(
+        &corpus,
+        &indexes,
+        &jxp_ranking,
+        &queries,
+        6,
+        50,
+        10,
+        (0.6, 0.4),
+    );
 
-    println!("\n{:<12} {:>8} {:>22}", "query", "tf*idf", "0.6 tf*idf + 0.4 JXP");
+    println!(
+        "\n{:<12} {:>8} {:>22}",
+        "query", "tf*idf", "0.6 tf*idf + 0.4 JXP"
+    );
     for r in &rows {
         println!(
             "{:<12} {:>7.0}% {:>21.0}%",
@@ -79,8 +91,10 @@ fn main() {
     }
     let (t, f) = averages(&rows);
     println!("{:<12} {:>7.0}% {:>21.0}%", "average", t * 100.0, f * 100.0);
-    println!("\nauthority-aware ranking changed average precision@10 by {:+.0} points",
-        (f - t) * 100.0);
+    println!(
+        "\nauthority-aware ranking changed average precision@10 by {:+.0} points",
+        (f - t) * 100.0
+    );
 
     // Bonus — the paper's §7 future-work item, implemented: JXP scores can
     // also guide *query routing* (which peers to ask), not just result

@@ -14,9 +14,20 @@ fn main() {
     // A small Web: page 0 is the hub everyone links to.
     let mut b = GraphBuilder::new();
     for (src, dst) in [
-        (1, 0), (2, 0), (3, 0), (4, 0), (5, 0),
-        (0, 1), (1, 2), (2, 3), (3, 4), (4, 5),
-        (5, 6), (6, 7), (7, 0), (6, 0),
+        (1, 0),
+        (2, 0),
+        (3, 0),
+        (4, 0),
+        (5, 0),
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (5, 6),
+        (6, 7),
+        (7, 0),
+        (6, 0),
     ] {
         b.add_edge(PageId(src), PageId(dst));
     }
@@ -33,13 +44,23 @@ fn main() {
     // Three autonomous peers with overlapping crawls.
     let cfg = JxpConfig::default(); // light-weight merging + take-max
     let mut peers = vec![
-        JxpPeer::new(Subgraph::from_pages(&web, (0..4).map(PageId)), n, cfg.clone()),
-        JxpPeer::new(Subgraph::from_pages(&web, (2..6).map(PageId)), n, cfg.clone()),
+        JxpPeer::new(
+            Subgraph::from_pages(&web, (0..4).map(PageId)),
+            n,
+            cfg.clone(),
+        ),
+        JxpPeer::new(
+            Subgraph::from_pages(&web, (2..6).map(PageId)),
+            n,
+            cfg.clone(),
+        ),
         JxpPeer::new(Subgraph::from_pages(&web, [6, 7, 0].map(PageId)), n, cfg),
     ];
 
-    println!("\npeer 0's initial view of hub page 0: {:.4} (underestimate)",
-        peers[0].score(PageId(0)).unwrap());
+    println!(
+        "\npeer 0's initial view of hub page 0: {:.4} (underestimate)",
+        peers[0].score(PageId(0)).unwrap()
+    );
 
     // Random-ish meeting schedule: every pair meets repeatedly.
     for round in 1..=30 {

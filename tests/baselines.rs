@@ -42,9 +42,9 @@ fn jxp_on_overlap_competitive_with_blockrank_on_disjoint() {
     let mut rng = StdRng::seed_from_u64(92);
     let mut pages: Vec<Vec<PageId>> = vec![Vec::new(); 12];
     for p in 0..n as u32 {
-        pages[rng.gen_range(0..12)].push(PageId(p));
+        pages[rng.gen_range(0..12usize)].push(PageId(p));
         if rng.gen_bool(0.35) {
-            pages[rng.gen_range(0..12)].push(PageId(p));
+            pages[rng.gen_range(0..12usize)].push(PageId(p));
         }
     }
     let fragments: Vec<Subgraph> = pages
@@ -66,7 +66,11 @@ fn jxp_on_overlap_competitive_with_blockrank_on_disjoint() {
     // BlockRank on its best-case (category-aligned, disjoint) partition.
     let aligned: Vec<u32> = cg.category_of.iter().map(|&c| c as u32).collect();
     let block_best = footrule_distance(
-        &ranking_of(&block_pagerank(&cg.graph, &aligned, &PageRankConfig::default())),
+        &ranking_of(&block_pagerank(
+            &cg.graph,
+            &aligned,
+            &PageRankConfig::default(),
+        )),
         &truth_ranking,
         60,
     );
@@ -74,7 +78,11 @@ fn jxp_on_overlap_competitive_with_blockrank_on_disjoint() {
     // network would actually give it).
     let blind: Vec<u32> = (0..n as u32).map(|p| p % 12).collect();
     let block_blind = footrule_distance(
-        &ranking_of(&block_pagerank(&cg.graph, &blind, &PageRankConfig::default())),
+        &ranking_of(&block_pagerank(
+            &cg.graph,
+            &blind,
+            &PageRankConfig::default(),
+        )),
         &truth_ranking,
         60,
     );

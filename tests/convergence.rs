@@ -73,9 +73,10 @@ fn max_abs_error(peers: &[JxpPeer], truth: &[f64]) -> f64 {
     peers
         .iter()
         .flat_map(|peer| {
-            peer.scores().iter().enumerate().map(move |(i, &a)| {
-                (a - truth[peer.graph().page_at(i).index()]).abs()
-            })
+            peer.scores()
+                .iter()
+                .enumerate()
+                .map(move |(i, &a)| (a - truth[peer.graph().page_at(i).index()]).abs())
         })
         .fold(0.0, f64::max)
 }
@@ -222,17 +223,11 @@ fn single_page_peers_work() {
     let truth = pagerank(&g, &PageRankConfig::default()).into_scores();
     let cfg = JxpConfig::optimized();
     let mut peers: Vec<JxpPeer> = (0..4)
-        .map(|p| {
-            JxpPeer::new(
-                Subgraph::from_pages(&g, [PageId(p)]),
-                4,
-                cfg.clone(),
-            )
-        })
+        .map(|p| JxpPeer::new(Subgraph::from_pages(&g, [PageId(p)]), 4, cfg.clone()))
         .collect();
     let mut rng = StdRng::seed_from_u64(11);
     for _ in 0..300 {
-        let i = rng.gen_range(0..4);
+        let i = rng.gen_range(0..4usize);
         let mut j = rng.gen_range(0..3);
         if j >= i {
             j += 1;

@@ -137,7 +137,10 @@ fn premeetings_add_synopsis_bytes() {
     // MIPs vectors on top of the payloads.
     let r = random_net.bandwidth().total_bytes();
     let p = pre_net.bandwidth().total_bytes();
-    assert!(p > r, "pre-meetings should ship extra synopsis bytes ({p} vs {r})");
+    assert!(
+        p > r,
+        "pre-meetings should ship extra synopsis bytes ({p} vs {r})"
+    );
 }
 
 #[test]
@@ -192,8 +195,7 @@ fn local_stability_signal_tracks_global_convergence() {
         detectors[rec.initiator].observe(net.peer(rec.initiator));
         detectors[rec.partner].observe(net.peer(rec.partner));
         if first_mostly_stable.is_none() && stable_fraction(&detectors) > 0.8 {
-            let f =
-                metrics::footrule_distance(&net.total_ranking(), &truth_ranking, 60);
+            let f = metrics::footrule_distance(&net.total_ranking(), &truth_ranking, 60);
             first_mostly_stable = Some((net.meetings(), f));
         }
     }

@@ -45,7 +45,10 @@ fn leave_snapshot_rejoin_preserves_knowledge() {
     // Peer 0 leaves, taking a snapshot with it.
     let departing = net.remove_peer(0);
     let world_size_at_leave = departing.world().len();
-    assert!(world_size_at_leave > 0, "peer left before learning anything");
+    assert!(
+        world_size_at_leave > 0,
+        "peer left before learning anything"
+    );
     let bytes = snapshot::save(&departing);
 
     // The network moves on without it.
@@ -86,10 +89,15 @@ fn warm_rejoin_keeps_network_accuracy() {
     let n = cg.graph.num_nodes() as u64;
     let truth = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
     let truth_ranking = jxp::core::evaluate::centralized_ranking(&truth);
-    let mut net = Network::new(frags, n, NetworkConfig {
-        jxp: JxpConfig::optimized(),
-        ..Default::default()
-    }, 85);
+    let mut net = Network::new(
+        frags,
+        n,
+        NetworkConfig {
+            jxp: JxpConfig::optimized(),
+            ..Default::default()
+        },
+        85,
+    );
     net.run(300);
     let before = metrics::footrule_distance(&net.total_ranking(), &truth_ranking, 60);
 

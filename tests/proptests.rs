@@ -11,12 +11,7 @@ use proptest::prelude::*;
 
 /// Strategy: a random directed graph as an edge list over `n` nodes.
 fn arb_graph(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
-    (2..=max_nodes).prop_flat_map(move |n| {
-        (
-            Just(n),
-            vec((0..n, 0..n), 1..=max_edges),
-        )
-    })
+    (2..=max_nodes).prop_flat_map(move |n| (Just(n), vec((0..n, 0..n), 1..=max_edges)))
 }
 
 fn build(n: u32, edges: &[(u32, u32)]) -> jxp::webgraph::CsrGraph {

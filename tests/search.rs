@@ -138,7 +138,10 @@ fn fusion_weights_interpolate_between_rankings() {
         .into_iter()
         .map(|h| h.page)
         .collect();
-    assert_eq!(pure_tfidf, fused_all_tfidf, "weight (1,0) must equal tf·idf order");
+    assert_eq!(
+        pure_tfidf, fused_all_tfidf,
+        "weight (1,0) must equal tf·idf order"
+    );
     let fused_all_jxp: Vec<_> = rank_by_fusion(&hits, &w.jxp_ranking, 0.0, 1.0)
         .into_iter()
         .map(|h| h.page)

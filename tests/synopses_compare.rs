@@ -54,9 +54,9 @@ fn wire_size_tradeoffs_are_as_documented() {
     // for the parameters the reproduction uses.
     let perms = MipsPermutations::generate(64, 7);
     let (mips, bloom, fm) = synopsize(&perms, 0..2000u64);
-    assert_eq!(mips.wire_size(), 64 * 8 + 8); // 520 B
+    assert_eq!(mips.wire_size(), 4 + 8 + 64 * 8); // 524 B
     assert!(bloom.wire_size() > mips.wire_size());
-    assert_eq!(fm.wire_size(), 256 * 8);
+    assert_eq!(fm.wire_size(), 4 + 256 * 8);
     // MIPs additionally supports containment, which Bloom's bit-level
     // statistics only reach through two cardinality estimates.
     let (mips_b, _, _) = synopsize(&perms, 1000..3000u64);

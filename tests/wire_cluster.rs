@@ -1,0 +1,213 @@
+//! End-to-end tests of the networked runtime: clusters of `jxp-node`
+//! peers meeting over the real `jxp-wire` codec on both transports,
+//! with fault injection, exact byte accounting, and convergence checks.
+
+use jxp_core::config::JxpConfig;
+use jxp_core::peer::JxpPeer;
+use jxp_node::{
+    run_cluster, ClusterConfig, FrameHandler, JxpNode, LoopbackNetwork, RetryPolicy, StallPlan,
+    TcpConfig, TcpServer, TcpTransport, TransportKind,
+};
+use jxp_pagerank::{pagerank, PageRankConfig};
+use jxp_synopses::mips::MipsPermutations;
+use jxp_webgraph::generators::{CategorizedGraph, CategorizedParams};
+use jxp_webgraph::{PageId, Subgraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A small categorized world split into `n` contiguous fragments, plus
+/// its centralized PageRank truth.
+fn world(n: usize) -> (Vec<Subgraph>, u64, Vec<f64>) {
+    let cg = CategorizedGraph::generate(
+        &CategorizedParams {
+            num_categories: 3,
+            nodes_per_category: 60,
+            intra_out_per_node: 3,
+            cross_fraction: 0.25,
+        },
+        &mut StdRng::seed_from_u64(77),
+    );
+    let total = cg.graph.num_nodes();
+    let per = total.div_ceil(n);
+    let frags = (0..n)
+        .map(|i| {
+            let lo = i * per;
+            let hi = ((i + 1) * per).min(total);
+            Subgraph::from_pages(&cg.graph, (lo..hi).map(|p| PageId(p as u32)))
+        })
+        .collect();
+    let truth = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
+    (frags, total as u64, truth)
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 4,
+        base_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(10),
+    }
+}
+
+#[test]
+fn loopback_cluster_converges_toward_centralized_pagerank() {
+    let (frags, n_total, truth) = world(6);
+    let short = ClusterConfig {
+        meetings: 6,
+        seed: 5,
+        ..ClusterConfig::default()
+    };
+    let long = ClusterConfig {
+        meetings: 240,
+        seed: 5,
+        ..ClusterConfig::default()
+    };
+    let early = run_cluster(
+        frags.clone(),
+        n_total,
+        JxpConfig::default(),
+        &short,
+        Some(&truth),
+    );
+    let late = run_cluster(frags, n_total, JxpConfig::default(), &long, Some(&truth));
+    assert_eq!(late.meetings_completed, 240);
+    assert_eq!(late.meetings_failed, 0);
+    let (e, l) = (early.footrule.unwrap(), late.footrule.unwrap());
+    assert!(l < e, "footrule did not improve over the wire: {e} → {l}");
+    assert!(l < 0.3, "footrule after 240 wire meetings: {l}");
+}
+
+#[test]
+fn loopback_cluster_is_deterministic_per_seed() {
+    let (frags, n_total, truth) = world(4);
+    let config = ClusterConfig {
+        meetings: 40,
+        seed: 11,
+        ..ClusterConfig::default()
+    };
+    let run = |frags: Vec<Subgraph>| {
+        run_cluster(frags, n_total, JxpConfig::default(), &config, Some(&truth))
+    };
+    let a = run(frags.clone());
+    let b = run(frags);
+    assert_eq!(a.bytes_total, b.bytes_total);
+    assert_eq!(a.footrule, b.footrule);
+    assert_eq!(a.per_node.len(), b.per_node.len());
+    for (x, y) in a.per_node.iter().zip(&b.per_node) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn tcp_cluster_with_stalled_peer_survives_via_retry() {
+    let (frags, n_total, truth) = world(8);
+    let config = ClusterConfig {
+        meetings: 200,
+        transport: TransportKind::Tcp,
+        seed: 13,
+        retry: fast_retry(),
+        stall: Some(StallPlan {
+            node_index: 1,
+            at_meeting: 0,
+            count: 3,
+        }),
+        ..ClusterConfig::default()
+    };
+    let report = run_cluster(frags, n_total, JxpConfig::default(), &config, Some(&truth));
+    assert_eq!(report.num_nodes, 8);
+    // The stall must be survived, not fatal: every meeting completes.
+    assert_eq!(report.meetings_attempted, 200);
+    assert_eq!(report.meetings_completed, 200);
+    assert_eq!(report.meetings_failed, 0);
+    assert!(report.bytes_total > 0);
+    assert!(report.footrule.unwrap() < 0.4);
+}
+
+#[test]
+fn tcp_meeting_bytes_match_encoded_len_exactly() {
+    let (frags, n_total, _) = world(2);
+    let perms = MipsPermutations::generate(64, 3);
+    let mut frags = frags.into_iter();
+    let server_node = Arc::new(JxpNode::new(
+        0,
+        JxpPeer::new(frags.next().unwrap(), n_total, JxpConfig::default()),
+        &perms,
+    ));
+    let client = JxpNode::new(
+        1,
+        JxpPeer::new(frags.next().unwrap(), n_total, JxpConfig::default()),
+        &perms,
+    );
+    let server = TcpServer::spawn(Arc::clone(&server_node) as Arc<dyn FrameHandler>).expect("bind");
+    let transport = TcpTransport::new(TcpConfig::default());
+    transport.add_route(0, server.addr());
+
+    // Capture both payloads *before* the meeting: the request is the
+    // client's pre-meeting payload, the reply is the server's (computed
+    // pre-absorption, per the protocol).
+    let expected_request =
+        jxp_wire::encoded_len(&jxp_wire::Frame::MeetRequest(client.current_payload()));
+    let expected_reply =
+        jxp_wire::encoded_len(&jxp_wire::Frame::MeetReply(server_node.current_payload()));
+
+    // wire_size() is exactly the frame body: the header is the only delta.
+    assert_eq!(
+        expected_request,
+        jxp_wire::HEADER_LEN + client.current_payload().wire_size()
+    );
+
+    let outcome = client.meet(0, &transport, &fast_retry()).expect("meeting");
+    assert_eq!(outcome.bytes_sent, expected_request as u64);
+    assert_eq!(outcome.bytes_received, expected_reply as u64);
+    // Node counters carry the same measured numbers.
+    let s = client.stats();
+    assert_eq!(s.bytes_out, expected_request as u64);
+    assert_eq!(s.bytes_in, expected_reply as u64);
+}
+
+#[test]
+fn loopback_and_tcp_agree_on_wire_bytes() {
+    let (frags, n_total, _) = world(4);
+    let base = ClusterConfig {
+        meetings: 24,
+        seed: 19,
+        retry: fast_retry(),
+        ..ClusterConfig::default()
+    };
+    let loopback = run_cluster(frags.clone(), n_total, JxpConfig::default(), &base, None);
+    let tcp = run_cluster(
+        frags,
+        n_total,
+        JxpConfig::default(),
+        &ClusterConfig {
+            transport: TransportKind::Tcp,
+            ..base
+        },
+        None,
+    );
+    // Same seed ⇒ same meeting schedule ⇒ byte-identical traffic: the
+    // transport moves frames, it does not change them.
+    assert_eq!(loopback.meetings_completed, tcp.meetings_completed);
+    assert_eq!(loopback.bytes_total, tcp.bytes_total);
+}
+
+#[test]
+fn exhausted_retries_fail_the_meeting_but_not_the_run() {
+    let (frags, n_total, _) = world(3);
+    let perms = MipsPermutations::generate(32, 9);
+    let mut it = frags.into_iter();
+    let a = JxpNode::new(
+        0,
+        JxpPeer::new(it.next().unwrap(), n_total, JxpConfig::default()),
+        &perms,
+    );
+    let net = LoopbackNetwork::new();
+    // Peer 1 is never registered: every attempt is unreachable.
+    let err = a.meet(1, &net, &fast_retry()).unwrap_err();
+    assert!(matches!(err, jxp_node::TransportError::Unreachable(_)));
+    let s = a.stats();
+    assert_eq!(s.meetings_failed, 1);
+    assert_eq!(s.retries, 3); // max_attempts 4 ⇒ 3 retries spent
+    assert_eq!(s.bytes_out, 0, "failed exchanges must not count bytes");
+}

@@ -1,0 +1,236 @@
+#![deny(missing_docs)]
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The build environment of this repository has no access to a crates.io
+//! registry (see `vendor/README.md`), so this crate supports the subset of
+//! the criterion API the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! It is a plain wall-clock runner: each benchmark is warmed up briefly,
+//! then timed over enough iterations to fill a short measurement window,
+//! and the mean time per iteration is printed. There is no outlier
+//! rejection, no regression analysis, and no HTML report — good enough to
+//! keep benches compiling and give ballpark numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARM_UP_ITERS: u64 = 3;
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+const MAX_MEASURE_ITERS: u64 = 10_000;
+
+/// Identifier for one benchmark within a group: a function name and/or a
+/// parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id combining a function name with a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// How much setup output [`Bencher::iter_batched`] keeps alive at once.
+/// The distinction is meaningless for this runner (every iteration gets a
+/// fresh batch); the variants exist for source compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timing handle passed to every benchmark closure.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration, filled in by `iter`/`iter_batched`.
+    elapsed_per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` over repeated calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARM_UP_ITERS {
+            black_box(routine());
+        }
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= TARGET_MEASURE || iters >= MAX_MEASURE_ITERS {
+                break;
+            }
+        }
+        self.elapsed_per_iter = Some(start.elapsed() / iters as u32);
+    }
+
+    /// Time `routine` over repeated calls, excluding the time spent in
+    /// `setup` producing each call's fresh input.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..WARM_UP_ITERS {
+            black_box(routine(setup()));
+        }
+        let mut iters: u64 = 0;
+        let mut busy = Duration::ZERO;
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            busy += t.elapsed();
+            iters += 1;
+            if start.elapsed() >= TARGET_MEASURE || iters >= MAX_MEASURE_ITERS {
+                break;
+            }
+        }
+        self.elapsed_per_iter = Some(busy / iters as u32);
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed_per_iter: None,
+    };
+    f(&mut b);
+    match b.elapsed_per_iter {
+        Some(d) => println!("bench {label:<48} {d:>12.2?}/iter"),
+        None => println!("bench {label:<48} (no measurement)"),
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        run_one(&format!("{}/{}", self.name, id), f);
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+    }
+
+    /// Finish the group (a no-op here; real criterion emits the report).
+    pub fn finish(self) {}
+}
+
+/// Benchmark runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        run_one(&id.to_string(), f);
+    }
+}
+
+/// Bundle benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point invoking one or more [`criterion_group!`] runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_a_measurement() {
+        let mut b = Bencher {
+            elapsed_per_iter: None,
+        };
+        b.iter(|| black_box(2u64 + 2));
+        assert!(b.elapsed_per_iter.is_some());
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            elapsed_per_iter: None,
+        };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.elapsed_per_iter.is_some());
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(99).to_string(), "99");
+    }
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sample", |b| b.iter(|| black_box(1)));
+    }
+
+    criterion_group!(group_runs, sample_bench);
+
+    #[test]
+    fn group_macro_builds_runner() {
+        group_runs();
+    }
+}

@@ -1,0 +1,347 @@
+#![deny(missing_docs)]
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment of this repository has no access to a crates.io
+//! registry, so the handful of external dependencies are vendored as
+//! minimal API-compatible implementations (see `vendor/README.md`). This
+//! crate supports the subset the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with range, tuple, [`Just`] and
+//!   [`collection::vec`] strategies plus `prop_map` / `prop_flat_map`;
+//! * the [`proptest!`] macro running each property over a configurable
+//!   number of deterministically seeded random cases;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] reporting the failing case.
+//!
+//! Two deliberate simplifications against the real crate: failing inputs
+//! are **not shrunk** (the failing case's seed and index are printed
+//! instead, which is enough to reproduce it deterministically), and the
+//! case RNG is seeded from the test's module path and name rather than a
+//! persisted regression file.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+
+/// Runner configuration: how many random cases each property executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case (carried out of the test body by
+/// [`prop_assert!`] and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    /// Human-readable description of the violated assertion.
+    pub message: String,
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Value-generation strategy: maps a seeded RNG to a test input.
+pub trait Strategy {
+    /// The generated input type.
+    type Value;
+
+    /// Generate one input.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derive a second strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy yielding a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Deterministic per-case RNG: a stable hash of the test's identity and
+/// the case index, so reruns generate identical inputs without any
+/// persisted state.
+pub fn case_rng(test_id: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_id.bytes().chain(case.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError {
+                message: format!($($fmt)+),
+            });
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError {
+                message: format!($($fmt)+),
+            });
+        }
+    }};
+}
+
+/// Fail the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// Define property tests: each `fn` runs its body over `cases` random
+/// inputs drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let test_id = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng = $crate::case_rng(test_id, case);
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn case_rng_is_deterministic_and_distinct() {
+        use rand::RngCore;
+        let a = crate::case_rng("t", 0).next_u64();
+        let b = crate::case_rng("t", 0).next_u64();
+        let c = crate::case_rng("t", 1).next_u64();
+        let d = crate::case_rng("u", 0).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn strategies_compose() {
+        let mut rng = crate::case_rng("compose", 0);
+        let s = (1u32..5).prop_flat_map(|n| (Just(n), crate::collection::vec(0..n, 1..=4usize)));
+        for _ in 0..100 {
+            let (n, v) = s.generate(&mut rng);
+            assert!((1..5).contains(&n));
+            assert!((1..=4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < n));
+        }
+        let m = (0..10u32).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            assert_eq!(m.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn addition_commutes(a in 0..1000u32, b in 0..1000u32) {
+            prop_assert_eq!(a + b, b + a);
+            prop_assert!(a + b >= a, "sum shrank");
+            prop_assert_ne!(a + b, a.wrapping_sub(1).wrapping_sub(b));
+        }
+
+        #[test]
+        fn tuple_patterns_bind((x, y) in (0..10u32, 0..10u32), scale in 1..4usize) {
+            prop_assert!(x < 10 && y < 10);
+            prop_assert!((1..4).contains(&scale));
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_info() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+
+                #[allow(unused)]
+                fn always_fails(x in 0..10u32) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let msg = *result
+            .expect_err("should panic")
+            .downcast::<String>()
+            .unwrap();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("case 0/4"), "{msg}");
+    }
+}

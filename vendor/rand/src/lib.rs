@@ -1,0 +1,440 @@
+#![deny(missing_docs)]
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment of this repository has no access to a crates.io
+//! registry, so the handful of external dependencies are vendored as
+//! minimal API-compatible implementations (see `vendor/README.md`). This
+//! crate provides the subset the workspace uses: [`rngs::StdRng`] (seeded
+//! deterministically via [`SeedableRng::seed_from_u64`]), the [`Rng`]
+//! extension trait (`gen_range`, `gen_bool`, `gen`), and
+//! [`seq::SliceRandom`] (`shuffle`, `choose_multiple`).
+//!
+//! The generator is **xoshiro256++**, not the real crate's ChaCha12 —
+//! output streams differ from upstream `rand 0.8`, but every consumer in
+//! this workspace only relies on determinism-per-seed and statistical
+//! uniformity, never on exact stream values.
+
+/// Core generator interface: a source of uniformly random bits.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be constructed from a small deterministic seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose entire stream is a function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64 step — used to expand a `u64` seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Unbiased uniform draw from `[0, span)` by rejection sampling.
+fn uniform_u64(rng: &mut impl RngCore, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Accept only draws below the largest multiple of `span`, so the
+    // final modulo is exactly uniform.
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+/// Uniform draw from `[0, 1)` with 53 bits of precision.
+fn uniform_f64(rng: &mut impl RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A half-open range that `Rng::gen_range` can sample from.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_single(self, rng: &mut impl RngCore) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single(self, rng: &mut impl RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let v = uniform_u64(rng, span);
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single(self, rng: &mut impl RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let v = uniform_u64(rng, span + 1);
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single(self, rng: &mut impl RngCore) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + (self.end - self.start) * uniform_f64(rng);
+        // Floating rounding may hit `end`; clamp back into the half-open
+        // interval.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_single(self, rng: &mut impl RngCore) -> f32 {
+        let v = (std::ops::Range {
+            start: self.start as f64,
+            end: self.end as f64,
+        })
+        .sample_single(rng) as f32;
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample_single(self, rng: &mut impl RngCore) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        start + (end - start) * uniform_f64(rng)
+    }
+}
+
+impl SampleRange<f32> for std::ops::RangeInclusive<f32> {
+    fn sample_single(self, rng: &mut impl RngCore) -> f32 {
+        (*self.start() as f64..=*self.end() as f64).sample_single(rng) as f32
+    }
+}
+
+/// A type `Rng::gen` can produce from the standard uniform distribution.
+pub trait StandardSample {
+    /// Draw one sample.
+    fn standard_sample(rng: &mut impl RngCore) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample(rng: &mut impl RngCore) -> Self {
+        uniform_f64(rng)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample(rng: &mut impl RngCore) -> Self {
+        uniform_f64(rng) as f32
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample(rng: &mut impl RngCore) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample(rng: &mut impl RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// User-facing extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open (or inclusive) range.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0, 1]");
+        uniform_f64(self) < p
+    }
+
+    /// Sample from the standard uniform distribution of `T`.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: **xoshiro256++**.
+    ///
+    /// Small, fast, passes BigCrush; all simulator randomness flows
+    /// through it, seeded explicitly for reproducible experiments.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; splitmix of any seed
+            // cannot produce four zeros, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Random selection and permutation over slices.
+
+    use super::{uniform_u64, RngCore};
+
+    /// Shuffling and sampling-without-replacement over slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// `amount` distinct elements in random order (all of them, if the
+        /// slice is shorter than `amount`).
+        fn choose_multiple<'a, R: RngCore>(
+            &'a self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_u64(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose_multiple<'a, R: RngCore>(
+            &'a self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&'a T> {
+            let amount = amount.min(self.len());
+            // Partial Fisher–Yates over an index vector.
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            for i in 0..amount {
+                let j = i + uniform_u64(rng, (idx.len() - i) as u64) as usize;
+                idx.swap(i, j);
+            }
+            idx[..amount]
+                .iter()
+                .map(|&i| &self[i])
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(va[0], c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0..2.0f64);
+            assert!((-2.0..2.0).contains(&f));
+            let i = rng.gen_range(0..=5u32);
+            assert!(i <= 5);
+        }
+        // Tiny spans stay exact.
+        assert_eq!(rng.gen_range(7..8u32), 7);
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!(0..1000).any(|_| rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn standard_samples_are_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order");
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_complete_when_short() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let v: Vec<u32> = (0..50).collect();
+        let picked: Vec<u32> = v.choose_multiple(&mut rng, 10).copied().collect();
+        assert_eq!(picked.len(), 10);
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "duplicates in sample");
+        let all: Vec<u32> = v.choose_multiple(&mut rng, 500).copied().collect();
+        assert_eq!(all.len(), 50);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = rng.gen_range(5..5usize);
+    }
+}
