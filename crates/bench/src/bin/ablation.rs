@@ -34,7 +34,7 @@ fn main() {
                 combine,
                 ..JxpConfig::default()
             };
-            let mut net = build_network(&ds, cfg, SelectionStrategy::Random, 31);
+            let mut net = build_network(&ds, cfg, SelectionStrategy::Random, 31, ctx.threads);
             let samples =
                 run_convergence(&mut net, &ds, ctx.meetings, ctx.meetings.max(1), ctx.top_k);
             let last = samples.last().unwrap();

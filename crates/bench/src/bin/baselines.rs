@@ -62,8 +62,14 @@ fn main() {
     };
 
     // ---- JXP on arbitrarily overlapping fragments (its home turf).
-    let mut net = build_network(&ds, JxpConfig::optimized(), SelectionStrategy::Random, 77);
-    net.run(ctx.meetings);
+    let mut net = build_network(
+        &ds,
+        JxpConfig::optimized(),
+        SelectionStrategy::Random,
+        77,
+        ctx.threads,
+    );
+    net.run_parallel(ctx.meetings);
     let (jxp_f, _) = report(
         "JXP (overlapping fragments)",
         &net.total_ranking(),

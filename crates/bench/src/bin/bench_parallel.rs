@@ -1,0 +1,147 @@
+//! Serial-vs-parallel wall clock of the round-based meeting engine on
+//! the Figure 4 workload (baseline JXP, Amazon collection, 100 peers,
+//! random meetings).
+//!
+//! For each thread count the run executes the *identical* meeting
+//! schedule — the engine's results are bit-identical for every worker
+//! count, which this binary also verifies via a score hash — so the
+//! comparison is pure wall clock. Results are printed and written to
+//! `BENCH_parallel.json` in the current directory (`JXP_RESULTS` moves
+//! it next to the CSV artifacts instead).
+
+use jxp_bench::{build_network, load_dataset, ExperimentCtx};
+use jxp_core::selection::SelectionStrategy;
+use jxp_core::JxpConfig;
+use jxp_p2pnet::Network;
+use jxp_webgraph::generators::amazon_2005;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// FNV-1a over the bit patterns of every peer's score list: any
+/// cross-thread-count divergence, down to the last ulp, changes it.
+fn score_hash(net: &Network) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for peer in net.peers() {
+        for s in peer.scores() {
+            for b in s.to_bits().to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+fn main() {
+    let ctx = ExperimentCtx::from_env(1200);
+    println!(
+        "== Parallel meeting engine: fig04 workload (scale {}, {} meetings) ==",
+        ctx.scale, ctx.meetings
+    );
+    let ds = load_dataset(&amazon_2005(), ctx.scale);
+    println!(
+        "dataset: {} pages, {} links, {} peers",
+        ds.cg.graph.num_nodes(),
+        ds.cg.graph.num_edges(),
+        ds.fragments.len()
+    );
+
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // JXP_THREADS pins the sweep to {1, N} (CI uses this to produce a
+    // serial-only artifact); unset/0 sweeps 1, 2, 4 and all cores.
+    let mut thread_counts = if ctx.threads != 0 {
+        vec![1usize, ctx.threads]
+    } else {
+        let mut t = vec![1usize, 2, 4];
+        if !t.contains(&available) {
+            t.push(available);
+        }
+        t.retain(|&t| t <= available.max(4));
+        t
+    };
+    thread_counts.dedup();
+
+    println!(
+        "{:>8} {:>10} {:>9} {:>7} {:>18}",
+        "threads", "seconds", "speedup", "rounds", "score hash"
+    );
+    let mut results: Vec<(usize, f64, u64, u64)> = Vec::new();
+    let mut serial_secs = 0.0f64;
+    for &threads in &thread_counts {
+        let mut net = build_network(
+            &ds,
+            JxpConfig::baseline(),
+            SelectionStrategy::Random,
+            4,
+            threads,
+        );
+        let start = Instant::now();
+        let report = net.run_parallel(ctx.meetings);
+        let secs = start.elapsed().as_secs_f64();
+        if threads == 1 {
+            serial_secs = secs;
+        }
+        let hash = score_hash(&net);
+        let speedup = serial_secs / secs;
+        println!(
+            "{:>8} {:>10.3} {:>8.2}x {:>7} {:>18}",
+            threads,
+            secs,
+            speedup,
+            report.rounds,
+            format!("{hash:016x}")
+        );
+        results.push((threads, secs, report.rounds, hash));
+    }
+
+    let baseline_hash = results[0].3;
+    for &(threads, _, _, hash) in &results {
+        assert_eq!(
+            hash, baseline_hash,
+            "scores diverged at {threads} threads — the engine lost determinism"
+        );
+    }
+    println!("score hashes identical across all thread counts ✓");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"workload\": \"fig04 baseline JXP, amazon\",");
+    let _ = writeln!(json, "  \"host_cores\": {available},");
+    let _ = writeln!(json, "  \"scale\": {},", ctx.scale);
+    let _ = writeln!(json, "  \"meetings\": {},", ctx.meetings);
+    let _ = writeln!(json, "  \"peers\": {},", ds.fragments.len());
+    let _ = writeln!(json, "  \"score_hash\": \"{baseline_hash:016x}\",");
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, &(threads, secs, rounds, _)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {threads}, \"seconds\": {secs:.4}, \
+             \"speedup\": {:.3}, \"rounds\": {rounds}}}{comma}",
+            serial_secs / secs
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    let path = std::env::var("JXP_RESULTS")
+        .map(|d| std::path::PathBuf::from(d).join("BENCH_parallel.json"))
+        .unwrap_or_else(|_| std::path::PathBuf::from("BENCH_parallel.json"));
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    std::fs::write(&path, &json).expect("write BENCH_parallel.json");
+    println!("[json] {}", path.display());
+
+    if let Some(&(_, four_secs, _, _)) = results.iter().find(|r| r.0 == 4) {
+        let speedup = serial_secs / four_secs;
+        println!("speedup at 4 threads: {speedup:.2}x");
+        if available >= 4 {
+            assert!(
+                speedup >= 1.5,
+                "expected parallel speedup at 4 threads, measured {speedup:.2}x"
+            );
+        }
+    }
+}

@@ -26,7 +26,13 @@ fn main() {
         ds.cg.graph.num_nodes(),
         ds.cg.graph.num_edges()
     );
-    let mut net = build_network(&ds, JxpConfig::baseline(), SelectionStrategy::Random, 4);
+    let mut net = build_network(
+        &ds,
+        JxpConfig::baseline(),
+        SelectionStrategy::Random,
+        4,
+        ctx.threads,
+    );
     let samples = run_convergence(&mut net, &ds, ctx.meetings, ctx.sample_every, ctx.top_k);
     print_samples(
         "baseline JXP (full merge, averaging, random meetings)",

@@ -24,7 +24,13 @@ fn main() {
         ds.cg.graph.num_nodes(),
         ds.cg.graph.num_edges()
     );
-    let mut net = build_network(&ds, JxpConfig::baseline(), SelectionStrategy::Random, 5);
+    let mut net = build_network(
+        &ds,
+        JxpConfig::baseline(),
+        SelectionStrategy::Random,
+        5,
+        ctx.threads,
+    );
     let samples = run_convergence(&mut net, &ds, ctx.meetings, ctx.sample_every, ctx.top_k);
     print_samples(
         "baseline JXP (full merge, averaging, random meetings)",

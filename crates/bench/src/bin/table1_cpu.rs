@@ -36,7 +36,9 @@ fn measure(ds: &jxp_bench::Dataset, merge: MergeMode, meetings: usize) -> Vec<Pe
         combine: CombineMode::Average,
         ..JxpConfig::default()
     };
-    let mut net = build_network(ds, cfg, SelectionStrategy::Random, 21);
+    // Serial stepping: this experiment times each merge individually, so
+    // concurrent meetings would contend for cores and skew the numbers.
+    let mut net = build_network(ds, cfg, SelectionStrategy::Random, 21, 1);
     let mut costs = vec![PeerCost::default(); net.num_peers()];
     for _ in 0..meetings {
         let rec = net.step();

@@ -41,7 +41,7 @@ pub fn merging_comparison(ctx: &ExperimentCtx, dataset: &str) {
             combine: CombineMode::Average,
             ..JxpConfig::default()
         };
-        let mut net = build_network(&ds, cfg, SelectionStrategy::Random, 6);
+        let mut net = build_network(&ds, cfg, SelectionStrategy::Random, 6, ctx.threads);
         let samples = run_convergence(&mut net, &ds, ctx.meetings, ctx.sample_every, ctx.top_k);
         print_samples(label, &samples);
         let suffix = if merge == MergeMode::Full {
@@ -95,7 +95,7 @@ pub fn combine_comparison(ctx: &ExperimentCtx, dataset: &str) {
             combine,
             ..JxpConfig::default()
         };
-        let mut net = build_network(&ds, cfg, SelectionStrategy::Random, 8);
+        let mut net = build_network(&ds, cfg, SelectionStrategy::Random, 8, ctx.threads);
         let samples = run_convergence(&mut net, &ds, ctx.meetings, ctx.sample_every, ctx.top_k);
         print_samples(label, &samples);
         let suffix = if combine == CombineMode::Average {
@@ -158,7 +158,10 @@ pub fn selection_comparison(ctx: &ExperimentCtx, dataset: &str) {
                     let ds = &ds;
                     let strategy = strategy.clone();
                     move || {
-                        let mut net = build_network(ds, JxpConfig::optimized(), strategy, 9 + seed);
+                        // Serial meeting rounds here: the seed sweep is
+                        // the parallel axis, one run per core already.
+                        let mut net =
+                            build_network(ds, JxpConfig::optimized(), strategy, 9 + seed, 1);
                         run_convergence(&mut net, ds, ctx.meetings, ctx.sample_every, ctx.top_k)
                     }
                 })
@@ -261,8 +264,14 @@ pub fn msgsize(ctx: &ExperimentCtx, dataset: &str) {
             SelectionStrategy::PreMeetings(PreMeetingsConfig::default()),
         ),
     ] {
-        let mut net = build_network(&ds, JxpConfig::optimized(), strategy.clone(), 11);
-        net.run(ctx.meetings);
+        let mut net = build_network(
+            &ds,
+            JxpConfig::optimized(),
+            strategy.clone(),
+            11,
+            ctx.threads,
+        );
+        net.run_parallel(ctx.meetings);
         let log = net.bandwidth();
         println!("\n  {label}: per-peer meeting number vs message KB (q1 / median / q3)");
         println!(

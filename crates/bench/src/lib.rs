@@ -23,8 +23,10 @@
 //! Experiments run at a configurable **scale** (`JXP_SCALE`, default 0.2)
 //! of the paper's dataset sizes so the default `run_all` finishes in
 //! minutes on a laptop; `JXP_SCALE=1.0` reproduces the full 55k/104k-page
-//! setups. `JXP_MEETINGS` overrides the meeting budget. Results are
-//! printed and written as CSV under `results/`.
+//! setups. `JXP_MEETINGS` overrides the meeting budget and `JXP_THREADS`
+//! the meeting-engine worker count (default all cores; results are
+//! bit-identical for every value, see `jxp_p2pnet::parallel`). Results
+//! are printed and written as CSV under `results/`.
 
 pub mod drivers;
 pub mod plot;
@@ -52,6 +54,10 @@ pub struct ExperimentCtx {
     pub sample_every: usize,
     /// Top-k for footrule / linear-error metrics.
     pub top_k: usize,
+    /// Meeting-engine worker threads (`0` = available parallelism).
+    /// Purely a wall-clock knob: the round-based engine produces
+    /// bit-identical results for every value.
+    pub threads: usize,
     /// Output directory for CSV files.
     pub out_dir: PathBuf,
 }
@@ -74,6 +80,10 @@ impl ExperimentCtx {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(((1000.0 * scale) as usize).max(100));
+        let threads = std::env::var("JXP_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
         let out_dir = std::env::var("JXP_RESULTS")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("results"));
@@ -82,6 +92,7 @@ impl ExperimentCtx {
             meetings,
             sample_every: (meetings / 30).max(1),
             top_k,
+            threads,
             out_dir,
         }
     }
@@ -232,7 +243,10 @@ pub struct SamplePoint {
 }
 
 /// Run `total` meetings on `net`, sampling both §6.2 error metrics every
-/// `sample_every` meetings (plus meeting 0).
+/// `sample_every` meetings (plus meeting 0). Meetings go through the
+/// round-based engine ([`Network::run_parallel`]), so experiments use
+/// every core while staying exactly reproducible: the engine's results
+/// are bit-identical for every thread count.
 pub fn run_convergence(
     net: &mut Network,
     ds: &Dataset,
@@ -254,7 +268,7 @@ pub fn run_convergence(
     let mut done = 0;
     while done < total {
         let step = sample_every.min(total - done);
-        net.run(step);
+        net.run_parallel(step);
         done += step;
         samples.push(sample(net));
     }
@@ -293,16 +307,20 @@ pub fn print_samples(label: &str, samples: &[SamplePoint]) {
 }
 
 /// Build a [`Network`] over the dataset's 100-peer layout with the given
-/// JXP config and selection strategy.
+/// JXP config and selection strategy. `threads` is the meeting-engine
+/// worker count (`0` = available parallelism; results do not depend on
+/// it).
 pub fn build_network(
     ds: &Dataset,
     jxp: JxpConfig,
     strategy: SelectionStrategy,
     seed: u64,
+    threads: usize,
 ) -> Network {
     let config = NetworkConfig {
         jxp,
         strategy,
+        threads,
         ..Default::default()
     };
     Network::new(
@@ -363,7 +381,7 @@ mod tests {
     #[test]
     fn tiny_end_to_end_convergence() {
         let ds = load_dataset(&amazon_2005(), 0.01);
-        let mut net = build_network(&ds, JxpConfig::default(), SelectionStrategy::Random, 1);
+        let mut net = build_network(&ds, JxpConfig::default(), SelectionStrategy::Random, 1, 1);
         let samples = run_convergence(&mut net, &ds, 60, 20, 50);
         assert_eq!(samples.len(), 4);
         assert!(samples[0].meetings == 0);

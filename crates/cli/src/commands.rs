@@ -48,8 +48,10 @@ pub fn pagerank_cmd(args: &ParsedArgs) -> Result<(), String> {
     let g = io::load_binary(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
     let top: usize = args.get_or("top", 10)?;
     let epsilon: f64 = args.get_or("epsilon", 0.85)?;
+    let threads: usize = args.get_or("threads", 0)?;
     let cfg = PageRankConfig {
         epsilon,
+        threads,
         ..Default::default()
     };
     let solver = args.get_choice("solver", &["power", "gauss-seidel"], "power")?;
@@ -92,6 +94,7 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
         _ => SelectionStrategy::Random,
     };
     let estimate_n = args.get_choice("estimate-n", &["yes", "no"], "no")? == "yes";
+    let threads: usize = args.get_or("threads", 0)?;
     let fragments = assign_by_crawlers(
         &cg,
         &CrawlerParams {
@@ -123,6 +126,7 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
             jxp,
             strategy,
             estimate_n,
+            threads,
             ..Default::default()
         },
         seed,
@@ -131,13 +135,18 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
         println!("peers estimate N by FM-sketch gossip (no global knowledge)");
     }
     println!(
+        "round-based meeting engine, {} worker threads (results are \
+         thread-count-invariant)",
+        jxp_pagerank::par::resolve_threads(threads)
+    );
+    println!(
         "{:>9} {:>10} {:>14} {:>10}",
         "meetings", "footrule", "linear error", "MB"
     );
     let mut done = 0;
     while done < meetings {
         let step = sample.min(meetings - done);
-        net.run(step);
+        net.run_parallel(step);
         done += step;
         let r = net.total_ranking();
         println!(
@@ -201,6 +210,7 @@ pub fn cluster(args: &ParsedArgs) -> Result<(), String> {
         .parse()?;
     let premeetings = args.get_choice("premeetings", &["yes", "no"], "no")? == "yes";
     let stall: u32 = args.get_or("stall", 0)?;
+    let threads: usize = args.get_or("threads", 0)?;
 
     let cg = generate_graph_with_scale(args, 0.05)?;
     let n = cg.graph.num_nodes();
@@ -218,16 +228,18 @@ pub fn cluster(args: &ParsedArgs) -> Result<(), String> {
             at_meeting: 0,
             count: stall,
         }),
+        threads,
         ..ClusterConfig::default()
     };
     println!(
-        "{} pages, {} nodes over {:?}, {} meetings{}",
+        "{} pages, {} nodes over {:?}, {} meetings, {} worker threads{}",
         n,
         fragments.len(),
         transport,
         meetings,
+        jxp_pagerank::par::resolve_threads(threads),
         if stall > 0 {
-            format!(" (stalling node 1 for {stall} requests)")
+            format!(" (stalling node 1 for {stall} requests, serial rounds)")
         } else {
             String::new()
         }

@@ -28,18 +28,20 @@ commands:
              --seed N, --out FILE (graph.jxpg), --edge-list FILE (optional)
   pagerank   compute centralized PageRank over a graph file
              --graph FILE, --top K (10), --solver power|gauss-seidel,
-             --epsilon 0.85
+             --epsilon 0.85, --threads N (0 = all cores; power solver)
   simulate   run a JXP P2P network and report convergence
              --dataset amazon|web, --scale (0.05), --meetings N (600),
              --merge light|full, --combine max|avg,
              --strategy random|premeetings, --estimate-n yes|no,
-             --sample N, --top K, --seed N
+             --sample N, --top K, --seed N,
+             --threads N (0 = all cores; results thread-count-invariant)
   search     run the Minerva search experiment (Table 2 style)
              --scale (0.05), --queries N (10), --meetings N (400), --seed N
   cluster    run N networked nodes through M meetings over the wire codec
              --peers N (8), --meetings M (200), --transport loopback|tcp,
              --premeetings yes|no, --stall K (stall node 1 for K requests),
-             --dataset, --scale (0.05), --seed N, --top K
+             --dataset, --scale (0.05), --seed N, --top K,
+             --threads N (0 = all cores; results thread-count-invariant)
   node       single-node TCP demo: serve a fragment on an ephemeral port
              and run hello + synopsis probe + meeting against it
              --dataset, --scale (0.02), --seed N, --duration SECS (0)";
@@ -126,9 +128,25 @@ mod tests {
     }
 
     #[test]
+    fn simulate_with_explicit_threads() {
+        run(&argv(
+            "simulate --dataset amazon --scale 0.01 --meetings 30 --threads 2 --sample 15 --top 20",
+        ))
+        .unwrap();
+    }
+
+    #[test]
     fn cluster_loopback_smoke() {
         run(&argv(
             "cluster --peers 4 --meetings 24 --scale 0.01 --transport loopback",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn cluster_with_explicit_threads() {
+        run(&argv(
+            "cluster --peers 4 --meetings 16 --scale 0.01 --transport loopback --threads 2",
         ))
         .unwrap();
     }

@@ -183,21 +183,33 @@ pub fn extended_pagerank(
         iterations += 1;
         let dangling_mass: f64 = topo.dangling.iter().map(|&i| curr[i as usize]).sum();
         let base = (1.0 - eps) * inv_n_total + eps * dangling_mass * inv_n_total;
-        let mut to_world = 0.0;
-        for i in 0..n {
-            let mut sum = 0.0;
-            for &j in &topo.rev_adj[topo.rev_off[i] as usize..topo.rev_off[i + 1] as usize] {
-                sum += curr[j as usize] * topo.inv_out[j as usize];
-            }
-            next[i] = base + eps * (sum + curr_w * p_wi[i]);
-            to_world += curr[i] * topo.ext_ratio[i];
-        }
+        // Pull-based chunked update: each chunk writes its disjoint slice
+        // of `next` and returns `[to_world, l1_delta]` partials, folded
+        // in chunk order — bit-identical for any thread count (see
+        // `jxp_pagerank::par`).
+        let curr_ref = &curr;
+        let p_wi_ref = &p_wi;
+        let partials: Vec<[f64; 2]> =
+            jxp_pagerank::par::chunked_fill(&mut next, cfg.threads, |start, chunk| {
+                let mut to_world = 0.0;
+                let mut delta = 0.0;
+                for (k, out) in chunk.iter_mut().enumerate() {
+                    let i = start + k;
+                    let mut sum = 0.0;
+                    for &j in &topo.rev_adj[topo.rev_off[i] as usize..topo.rev_off[i + 1] as usize]
+                    {
+                        sum += curr_ref[j as usize] * topo.inv_out[j as usize];
+                    }
+                    *out = base + eps * (sum + curr_w * p_wi_ref[i]);
+                    to_world += curr_ref[i] * topo.ext_ratio[i];
+                    delta += (curr_ref[i] - *out).abs();
+                }
+                [to_world, delta]
+            });
+        let to_world: f64 = partials.iter().map(|p| p[0]).sum();
         let next_w = (1.0 - eps) * world_jump
             + eps * (to_world + curr_w * p_ww + dangling_mass * world_jump);
-        let mut delta = (curr_w - next_w).abs();
-        for i in 0..n {
-            delta += (curr[i] - next[i]).abs();
-        }
+        let delta = (curr_w - next_w).abs() + partials.iter().map(|p| p[1]).sum::<f64>();
         std::mem::swap(&mut curr, &mut next);
         curr_w = next_w;
         if delta < cfg.pr_tolerance {
@@ -367,6 +379,45 @@ mod tests {
             warm.iterations,
             cold.iterations
         );
+    }
+
+    #[test]
+    fn parallel_extended_pagerank_is_bit_identical_to_serial() {
+        // A fragment spanning several par chunks (n > 2·CHUNK) with
+        // external links, dangling pages and world inflow.
+        let n = jxp_pagerank::par::CHUNK * 2 + 57;
+        let mut b = GraphBuilder::new();
+        for i in 0..n as u32 {
+            if i % 89 == 0 {
+                continue; // dangling
+            }
+            b.add_edge(PageId(i), PageId((i + 1) % n as u32));
+            if i % 3 == 0 {
+                b.add_edge(PageId(i), PageId(n as u32 + i)); // external
+            }
+        }
+        let g = b.build();
+        let f = Subgraph::from_pages(&g, (0..n as u32).map(PageId));
+        let t = LocalTopology::build(&f);
+        let n_total = 2.0 * n as f64;
+        let inflow: Vec<f64> = (0..n)
+            .map(|i| if i % 11 == 0 { 1e-4 } else { 0.0 })
+            .collect();
+        let init = vec![0.5 / n as f64; n];
+        let serial = extended_pagerank(&t, n_total, &inflow, &init, 0.5, &JxpConfig::default());
+        for threads in [2, 8] {
+            let cfg = JxpConfig {
+                threads,
+                ..Default::default()
+            };
+            let par = extended_pagerank(&t, n_total, &inflow, &init, 0.5, &cfg);
+            assert_eq!(
+                serial.scores, par.scores,
+                "scores diverge at {threads} threads"
+            );
+            assert_eq!(serial.world_score.to_bits(), par.world_score.to_bits());
+            assert_eq!(serial.iterations, par.iterations);
+        }
     }
 
     #[test]

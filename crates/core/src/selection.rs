@@ -151,11 +151,15 @@ impl SelectorState {
     }
 
     fn cache_peer(&mut self, peer: usize, max_cache: usize) {
-        if !self.cached.contains(&peer) {
-            self.cached.push(peer);
-            if self.cached.len() > max_cache {
-                self.cached.remove(0); // evict oldest
-            }
+        // A re-confirmed peer moves to the back: the evict-oldest policy
+        // must measure *recency of confirmation*, not first insertion, or
+        // a peer that was just re-validated as good gets evicted first.
+        if let Some(pos) = self.cached.iter().position(|&p| p == peer) {
+            self.cached.remove(pos);
+        }
+        self.cached.push(peer);
+        if self.cached.len() > max_cache {
+            self.cached.remove(0); // evict least recently confirmed
         }
     }
 
@@ -163,13 +167,18 @@ impl SelectorState {
         if self.met.contains(&peer) {
             return; // already drained; only cache revisits return to it
         }
-        if let Some(e) = self.candidates.iter_mut().find(|(p, _)| *p == peer) {
-            e.1 = e.1.max(score);
-        } else {
-            self.candidates.push((peer, score));
+        // `total_cmp` keeps a total order even when a degenerate/empty
+        // synopsis yields a NaN containment estimate.
+        if let Some(pos) = self.candidates.iter().position(|(p, _)| *p == peer) {
+            if self.candidates[pos].1.total_cmp(&score).is_ge() {
+                return; // existing score is at least as good
+            }
+            self.candidates.remove(pos);
         }
-        self.candidates
-            .sort_unstable_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let at = self
+            .candidates
+            .partition_point(|(_, s)| s.total_cmp(&score).is_lt());
+        self.candidates.insert(at, (peer, score));
     }
 
     fn mark_met(&mut self, peer: usize) {
@@ -219,8 +228,17 @@ pub fn select_partner(
                 return random_other(me, num_peers, rng);
             }
             if !state.cached.is_empty() && rng.gen_bool(cfg.revisit_probability) {
-                state.revisit_selections += 1;
-                return state.cached[rng.gen_range(0..state.cached.len())];
+                // A cached id must pass the same guards as a candidate:
+                // under churn (swap-remove renumbering) a cached peer may
+                // have departed (`>= num_peers`) or become this peer's own
+                // index. On failure the stale id is pruned and selection
+                // falls through to the next source.
+                let pick = state.cached[rng.gen_range(0..state.cached.len())];
+                if pick != me && pick < num_peers {
+                    state.revisit_selections += 1;
+                    return pick;
+                }
+                state.cached.retain(|&p| p != me && p < num_peers);
             }
             while let Some((peer, _)) = state.candidates.pop() {
                 if peer != me && peer < num_peers {
@@ -431,6 +449,104 @@ mod tests {
         // Oldest evicted, newest kept.
         assert!(state.cached().contains(&99));
         assert!(!state.cached().contains(&0));
+    }
+
+    #[test]
+    fn cache_revisit_guards_stale_ids_after_shrink() {
+        // Regression: the cache-revisit path used to return cached ids
+        // unguarded — under churn a departed peer's id indexed out of
+        // bounds in the simulator, and a renumbered id could equal `me`.
+        let cfg = PreMeetingsConfig {
+            random_every_k: 0,
+            revisit_probability: 1.0, // always try the cache first
+            ..Default::default()
+        };
+        let strategy = SelectionStrategy::PreMeetings(cfg);
+        let mut state = SelectorState::default();
+        state.cache_peer(7, 32); // valid only while num_peers > 7
+        state.cache_peer(9, 32);
+        let mut rng = StdRng::seed_from_u64(11);
+        // The network shrank to 4 peers: both cached ids are stale. The
+        // selection must fall through to a random partner, never panic,
+        // never return an out-of-range id or `me`.
+        for _ in 0..50 {
+            let p = select_partner(&mut state, &strategy, 2, 4, &mut rng);
+            assert!(p < 4, "returned departed peer {p}");
+            assert_ne!(p, 2, "peer scheduled to meet itself");
+        }
+        // Stale ids were pruned once detected.
+        assert!(state.cached().is_empty());
+    }
+
+    #[test]
+    fn cache_revisit_prunes_own_index_after_renumbering() {
+        let cfg = PreMeetingsConfig {
+            random_every_k: 0,
+            revisit_probability: 1.0,
+            ..Default::default()
+        };
+        let strategy = SelectionStrategy::PreMeetings(cfg);
+        let mut state = SelectorState::default();
+        // Swap-remove renumbering can make a cached id equal `me`.
+        state.cache_peer(3, 32);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..20 {
+            let p = select_partner(&mut state, &strategy, 3, 8, &mut rng);
+            assert_ne!(p, 3);
+        }
+        assert!(state.cached().is_empty());
+    }
+
+    #[test]
+    fn nan_candidate_score_does_not_panic() {
+        // Regression: `partial_cmp().unwrap()` in add_candidate panicked
+        // when a degenerate synopsis produced a NaN containment estimate.
+        let mut state = SelectorState::default();
+        state.add_candidate(1, 0.4);
+        state.add_candidate(2, f64::NAN);
+        state.add_candidate(3, 0.7);
+        state.add_candidate(4, 0.1);
+        assert_eq!(state.candidates().len(), 4);
+        // Non-NaN candidates keep their relative order (ascending, best
+        // last); the queue stays fully usable.
+        let non_nan: Vec<usize> = state
+            .candidates()
+            .iter()
+            .filter(|(_, s)| !s.is_nan())
+            .map(|&(p, _)| p)
+            .collect();
+        assert_eq!(non_nan, vec![4, 1, 3]);
+    }
+
+    #[test]
+    fn add_candidate_keeps_best_score_and_position() {
+        let mut state = SelectorState::default();
+        state.add_candidate(1, 0.2);
+        state.add_candidate(2, 0.5);
+        // Re-adding with a worse score changes nothing.
+        state.add_candidate(2, 0.1);
+        assert_eq!(state.candidates(), &[(1, 0.2), (2, 0.5)]);
+        // Re-adding with a better score repositions the entry.
+        state.add_candidate(1, 0.9);
+        assert_eq!(state.candidates(), &[(2, 0.5), (1, 0.9)]);
+    }
+
+    #[test]
+    fn recached_peer_refreshes_recency_before_eviction() {
+        // Regression: `cache_peer` ignored an already-cached peer, so the
+        // evict-oldest policy would evict a peer that was just
+        // re-confirmed as good.
+        let mut state = SelectorState::default();
+        state.cache_peer(1, 3);
+        state.cache_peer(2, 3);
+        state.cache_peer(3, 3);
+        // Peer 1 is re-confirmed: it must move to the back …
+        state.cache_peer(1, 3);
+        assert_eq!(state.cached(), &[2, 3, 1]);
+        // … so the next eviction removes 2 (least recently confirmed),
+        // not the just-revalidated 1.
+        state.cache_peer(4, 3);
+        assert_eq!(state.cached(), &[3, 1, 4]);
     }
 
     #[test]

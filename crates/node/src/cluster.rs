@@ -70,6 +70,16 @@ pub struct ClusterConfig {
     pub stall: Option<StallPlan>,
     /// Min-wise permutations per synopsis vector.
     pub mips_dims: usize,
+    /// Worker threads executing each meeting round (`0` = the machine's
+    /// available parallelism, `1` = serial). The schedule is always drawn
+    /// serially and partitioned into rounds of **node-disjoint** pairs:
+    /// two in-flight meetings sharing a node would interleave their lock
+    /// acquisitions nondeterministically (a node answers inbound requests
+    /// while its own exchange is in flight), so disjointness is what
+    /// makes the results bit-identical for every value of this knob. A
+    /// [`StallPlan`] forces serial round execution so the injector
+    /// swallows exactly the scheduled requests.
+    pub threads: usize,
 }
 
 impl Default for ClusterConfig {
@@ -82,6 +92,7 @@ impl Default for ClusterConfig {
             retry: RetryPolicy::default(),
             stall: None,
             mips_dims: 64,
+            threads: 1,
         }
     }
 }
@@ -193,13 +204,19 @@ pub fn run_cluster(
         Vec::new()
     };
 
+    // Draw the whole schedule serially (round-robin initiators, seeded
+    // partner choice), partitioned into rounds of node-disjoint pairs; a
+    // drawn pair that conflicts with its round carries over to open the
+    // next one, so the executed sequence is exactly the drawn sequence.
+    // Disjoint meetings commute — each touches only its two nodes — so
+    // executing a round concurrently is bit-identical to replaying it
+    // serially in schedule order, for every thread count.
+    let threads = jxp_pagerank::par::resolve_threads(config.threads);
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rounds: Vec<Vec<(usize, usize, NodeId)>> = Vec::new();
+    let mut round: Vec<(usize, usize, NodeId)> = Vec::new();
+    let mut busy = vec![false; num_nodes];
     for m in 0..config.meetings {
-        if let Some(plan) = config.stall {
-            if plan.at_meeting == m {
-                injectors[plan.node_index].stall_next(plan.count);
-            }
-        }
         let initiator = m % num_nodes;
         let target = pick_target(
             initiator,
@@ -210,8 +227,55 @@ pub fn run_cluster(
             &premeet_cfg,
             &mut rng,
         );
-        // Failures are part of the experiment: counted, never fatal.
-        let _ = nodes[initiator].meet(target, transport.as_ref(), &config.retry);
+        if busy[initiator] || busy[target as usize] {
+            rounds.push(std::mem::take(&mut round));
+            busy.fill(false);
+        }
+        busy[initiator] = true;
+        busy[target as usize] = true;
+        round.push((m, initiator, target));
+    }
+    if !round.is_empty() {
+        rounds.push(round);
+    }
+
+    // Stall injection must see requests in schedule order to swallow
+    // exactly the planned ones, so it pins execution to one worker.
+    let workers = if config.stall.is_some() { 1 } else { threads };
+    for round in rounds {
+        let arm_stall = |m: usize| {
+            if let Some(plan) = config.stall {
+                if plan.at_meeting == m {
+                    injectors[plan.node_index].stall_next(plan.count);
+                }
+            }
+        };
+        if workers.min(round.len()) <= 1 {
+            for (m, initiator, target) in round {
+                arm_stall(m);
+                // Failures are part of the experiment: counted, never fatal.
+                let _ = nodes[initiator].meet(target, transport.as_ref(), &config.retry);
+            }
+        } else {
+            let num_buckets = workers.min(round.len());
+            let mut buckets: Vec<Vec<(usize, NodeId)>> =
+                (0..num_buckets).map(|_| Vec::new()).collect();
+            for (k, (_, initiator, target)) in round.into_iter().enumerate() {
+                buckets[k % num_buckets].push((initiator, target));
+            }
+            let nodes = &nodes;
+            let transport = transport.as_ref();
+            let retry = &config.retry;
+            std::thread::scope(|scope| {
+                for bucket in buckets {
+                    scope.spawn(move || {
+                        for (initiator, target) in bucket {
+                            let _ = nodes[initiator].meet(target, transport, retry);
+                        }
+                    });
+                }
+            });
+        }
     }
 
     let per_node: Vec<NodeStats> = nodes.iter().map(|n| n.stats()).collect();
@@ -324,6 +388,39 @@ mod tests {
         assert_eq!(report.meetings_completed, 12);
         assert_eq!(report.meetings_failed, 0);
         assert!(report.retries >= 1, "expected recorded retries");
+    }
+
+    #[test]
+    fn cluster_results_are_identical_across_thread_counts() {
+        let (frags, n_total) = ring_fragments(4);
+        let truth = vec![1.0 / 12.0; 12];
+        let run = |threads: usize| {
+            let config = ClusterConfig {
+                meetings: 24,
+                seed: 11,
+                threads,
+                ..ClusterConfig::default()
+            };
+            run_cluster(
+                frags.clone(),
+                n_total,
+                JxpConfig::default(),
+                &config,
+                Some(&truth),
+            )
+        };
+        let want = run(1);
+        assert_eq!(want.meetings_completed, 24);
+        for threads in [2, 4] {
+            let got = run(threads);
+            assert_eq!(got.footrule, want.footrule, "{threads} threads");
+            for (g, w) in got.per_node.iter().zip(&want.per_node) {
+                assert_eq!(g.meetings_attempted, w.meetings_attempted);
+                assert_eq!(g.meetings_completed, w.meetings_completed);
+                assert_eq!(g.bytes_out, w.bytes_out, "{threads} threads");
+                assert_eq!(g.bytes_in, w.bytes_in, "{threads} threads");
+            }
+        }
     }
 
     #[test]

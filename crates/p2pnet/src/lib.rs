@@ -19,15 +19,20 @@
 //!   idealized atomic meetings;
 //! * [`count`] — gossip-based estimation of the global page count `N`
 //!   with duplicate-insensitive FM sketches (the "work without knowing N"
-//!   modification mentioned in §3).
+//!   modification mentioned in §3);
+//! * [`parallel`] — the deterministic round-based parallel meeting
+//!   engine: meetings on disjoint peer pairs run concurrently with
+//!   results bit-identical to the sequential replay of the same schedule.
 
 pub mod assign;
 pub mod bandwidth;
 pub mod churn;
 pub mod count;
 pub mod event;
+pub mod parallel;
 pub mod sim;
 
 pub use assign::{assign_by_crawlers, minerva_fragments, CrawlerParams};
 pub use bandwidth::BandwidthLog;
+pub use parallel::ParallelRunReport;
 pub use sim::{Network, NetworkConfig};

@@ -1,0 +1,333 @@
+//! Deterministic round-based parallel meeting engine.
+//!
+//! The paper's §3 premise is that JXP meetings happen "asynchronously and
+//! independently of each other" — concurrency is the algorithm's native
+//! shape, and two meetings that share no peer commute exactly: each one
+//! reads and writes only its two peers' state. This module exploits that:
+//!
+//! 1. **Schedule serially.** A round is drawn on the simulator thread
+//!    with the seeded RNG and the normal [`SelectionStrategy`] machinery
+//!    (`initiator ~ U(peers)`, partner via `select_partner`), greedily
+//!    accepting pairs until a drawn pair conflicts with the round's
+//!    **matching** (shares an endpoint). The conflicting pair is not
+//!    discarded — it carries over as the first meeting of the next round,
+//!    so the executed meeting sequence is exactly the drawn sequence.
+//! 2. **Execute concurrently.** The round's pairs are pairwise disjoint,
+//!    so each meeting gets true `&mut JxpPeer` borrows of its two peers
+//!    (handed out safely via take-from-slot splitting) and the meetings
+//!    run on `std::thread::scope` workers.
+//! 3. **Account serially.** Bandwidth, pre-meetings bookkeeping, gossip
+//!    merges and the meeting counter replay in schedule order through the
+//!    same code path as [`Network::step`].
+//!
+//! **Determinism argument.** All randomness is consumed in phase 1 on one
+//! thread; phase 2 touches pairwise-disjoint state, so its result is
+//! independent of execution order and interleaving (each meeting performs
+//! the identical float operations it would perform alone); phase 3 is
+//! serial in schedule order. Hence the final state is **bit-identical**
+//! for every thread count, including the serial fallback — which is the
+//! canonical sequential replay of the same schedule. This is verified by
+//! tests at 1/2/8 threads and enforced in CI.
+//!
+//! The only observable difference vs. the one-at-a-time [`Network::run`]
+//! loop is *scheduling granularity*: within a round, partner selection
+//! sees the selector state as of the round's start (candidates queued by
+//! a meeting of the same round become visible one round later). That
+//! matches the paper's asynchronous model — a peer cannot observe the
+//! outcome of a meeting that is still in flight.
+//!
+//! [`SelectionStrategy`]: jxp_core::selection::SelectionStrategy
+
+use crate::sim::{meet_via_wire, Network};
+use jxp_core::meeting::{meet, MeetingStats};
+use jxp_core::selection::select_partner;
+use jxp_core::JxpPeer;
+use jxp_pagerank::par::resolve_threads;
+use rand::Rng;
+
+/// Summary of one [`Network::run_parallel`] invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParallelRunReport {
+    /// Meetings executed (== the requested count).
+    pub meetings: u64,
+    /// Rounds the schedule was partitioned into.
+    pub rounds: u64,
+    /// Size of the largest round (meetings executed concurrently).
+    pub max_round: usize,
+    /// Worker threads used for round execution.
+    pub threads: usize,
+}
+
+impl Network {
+    /// Draw the next round: a greedy maximal matching of disjoint
+    /// `(initiator, partner)` pairs, at most `budget` of them. `pending`
+    /// carries the pair whose draw closed the previous round.
+    fn draw_round(
+        &mut self,
+        budget: usize,
+        pending: &mut Option<(usize, usize)>,
+    ) -> Vec<(usize, usize)> {
+        let n = self.peers.len();
+        let mut busy = vec![false; n];
+        let mut pairs = Vec::new();
+        if let Some((i, p)) = pending.take() {
+            busy[i] = true;
+            busy[p] = true;
+            pairs.push((i, p));
+        }
+        while pairs.len() < budget {
+            let initiator = self.rng.gen_range(0..n);
+            let partner = select_partner(
+                &mut self.states[initiator],
+                &self.config.strategy,
+                initiator,
+                n,
+                &mut self.rng,
+            );
+            debug_assert_ne!(initiator, partner);
+            if busy[initiator] || busy[partner] {
+                // The matching is maximal for this draw sequence; the
+                // conflicting pair opens the next round.
+                *pending = Some((initiator, partner));
+                break;
+            }
+            busy[initiator] = true;
+            busy[partner] = true;
+            pairs.push((initiator, partner));
+        }
+        pairs
+    }
+
+    /// Execute one round of pairwise-disjoint meetings on up to
+    /// `threads` scoped workers, returning per-pair stats in schedule
+    /// order.
+    fn execute_round(&mut self, pairs: &[(usize, usize)], threads: usize) -> Vec<MeetingStats> {
+        let via_wire = self.config.route_via_wire;
+        let run_one = |a: &mut JxpPeer, b: &mut JxpPeer| {
+            if via_wire {
+                meet_via_wire(a, b)
+            } else {
+                meet(a, b)
+            }
+        };
+        // Hand out disjoint `&mut JxpPeer` pairs: every peer reference
+        // sits in a take-once slot, so a non-disjoint schedule is a
+        // loud panic instead of undefined behavior.
+        let mut slots: Vec<Option<&mut JxpPeer>> = self.peers.iter_mut().map(Some).collect();
+        let mut results: Vec<Option<MeetingStats>> = pairs.iter().map(|_| None).collect();
+        let mut tasks: Vec<(&mut JxpPeer, &mut JxpPeer, &mut Option<MeetingStats>)> = pairs
+            .iter()
+            .zip(results.iter_mut())
+            .map(|(&(i, j), slot)| {
+                let a = slots[i].take().expect("round pairs must be disjoint");
+                let b = slots[j].take().expect("round pairs must be disjoint");
+                (a, b, slot)
+            })
+            .collect();
+        let workers = threads.min(tasks.len()).max(1);
+        if workers == 1 {
+            for (a, b, slot) in tasks {
+                *slot = Some(run_one(a, b));
+            }
+        } else {
+            // Round-robin deal; meetings commute, so placement only
+            // affects wall clock, never results.
+            let mut buckets: Vec<Vec<_>> = (0..workers).map(|_| Vec::new()).collect();
+            for (k, task) in tasks.drain(..).enumerate() {
+                buckets[k % workers].push(task);
+            }
+            let run_one = &run_one;
+            std::thread::scope(|scope| {
+                for bucket in buckets {
+                    scope.spawn(move || {
+                        for (a, b, slot) in bucket {
+                            *slot = Some(run_one(a, b));
+                        }
+                    });
+                }
+            });
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every pair executed"))
+            .collect()
+    }
+
+    /// Run `count` meetings through the round-based parallel engine,
+    /// using [`NetworkConfig::threads`](crate::sim::NetworkConfig)
+    /// workers (`0` = available parallelism).
+    ///
+    /// The resulting scores, bandwidth log and selector statistics are
+    /// **bit-identical** for every thread count (see the module docs for
+    /// the argument); only wall-clock time differs.
+    pub fn run_parallel(&mut self, count: usize) -> ParallelRunReport {
+        let threads = resolve_threads(self.config.threads);
+        let mut report = ParallelRunReport {
+            threads,
+            ..Default::default()
+        };
+        let mut pending = None;
+        while (report.meetings as usize) < count {
+            let budget = count - report.meetings as usize;
+            let pairs = self.draw_round(budget, &mut pending);
+            debug_assert!(!pairs.is_empty(), "a round always holds >= 1 pair");
+            let stats = self.execute_round(&pairs, threads);
+            for (&(initiator, partner), s) in pairs.iter().zip(&stats) {
+                self.account_meeting(initiator, partner, s);
+            }
+            report.rounds += 1;
+            report.max_round = report.max_round.max(pairs.len());
+            report.meetings += pairs.len() as u64;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::CrawlerParams;
+    use crate::sim::NetworkConfig;
+    use jxp_core::selection::{PreMeetingsConfig, SelectionStrategy};
+    use jxp_webgraph::generators::{CategorizedGraph, CategorizedParams};
+    use jxp_webgraph::Subgraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_world() -> (CategorizedGraph, Vec<Subgraph>) {
+        let cg = CategorizedGraph::generate(
+            &CategorizedParams {
+                num_categories: 3,
+                nodes_per_category: 80,
+                intra_out_per_node: 4,
+                cross_fraction: 0.2,
+            },
+            &mut StdRng::seed_from_u64(21),
+        );
+        let params = CrawlerParams {
+            peers_per_category: 3,
+            seeds_per_peer: 4,
+            max_depth: 3,
+            ..Default::default()
+        };
+        let frags = crate::assign::assign_by_crawlers(&cg, &params, &mut StdRng::seed_from_u64(22));
+        (cg, frags)
+    }
+
+    fn net_with(threads: usize, config: NetworkConfig) -> Network {
+        let (cg, frags) = small_world();
+        let config = NetworkConfig { threads, ..config };
+        Network::new(frags, cg.graph.num_nodes() as u64, config, 77)
+    }
+
+    type Fingerprint = (Vec<Vec<u64>>, Vec<u64>, (usize, usize, usize, usize));
+
+    fn fingerprint(net: &Network) -> Fingerprint {
+        let scores: Vec<Vec<u64>> = net
+            .peers()
+            .iter()
+            .map(|p| p.scores().iter().map(|s| s.to_bits()).collect())
+            .collect();
+        let history: Vec<u64> = (0..net.num_peers())
+            .flat_map(|p| net.bandwidth().peer_history(p).iter().copied())
+            .collect();
+        (scores, history, net.selection_stats())
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_across_thread_counts() {
+        for config in [
+            NetworkConfig::default(),
+            NetworkConfig {
+                strategy: SelectionStrategy::PreMeetings(PreMeetingsConfig::default()),
+                ..Default::default()
+            },
+            NetworkConfig {
+                estimate_n: true,
+                ..Default::default()
+            },
+            NetworkConfig {
+                route_via_wire: true,
+                ..Default::default()
+            },
+        ] {
+            let mut serial = net_with(1, config.clone());
+            serial.run_parallel(120);
+            let want = fingerprint(&serial);
+            for threads in [2, 8] {
+                let mut par = net_with(threads, config.clone());
+                let report = par.run_parallel(120);
+                assert_eq!(report.meetings, 120);
+                assert_eq!(report.threads, threads);
+                assert_eq!(
+                    fingerprint(&par),
+                    want,
+                    "nondeterminism at {threads} threads ({config:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_batch_more_than_one_meeting() {
+        let mut net = net_with(4, NetworkConfig::default());
+        let report = net.run_parallel(100);
+        assert_eq!(report.meetings, 100);
+        assert!(
+            report.rounds < 100,
+            "9 peers should batch >1 meeting per round ({report:?})"
+        );
+        assert!(report.max_round >= 2);
+        assert_eq!(net.meetings(), 100);
+    }
+
+    #[test]
+    fn two_peer_network_degenerates_to_serial_rounds() {
+        let (cg, frags) = small_world();
+        let mut net = Network::new(
+            frags.into_iter().take(2).collect(),
+            cg.graph.num_nodes() as u64,
+            NetworkConfig {
+                threads: 4,
+                ..Default::default()
+            },
+            5,
+        );
+        let report = net.run_parallel(10);
+        assert_eq!(report.meetings, 10);
+        assert_eq!(report.max_round, 1);
+        assert_eq!(net.meetings(), 10);
+    }
+
+    #[test]
+    fn parallel_run_converges_like_sequential() {
+        use jxp_pagerank::{metrics, pagerank, PageRankConfig};
+        let (cg, frags) = small_world();
+        let truth = pagerank(&cg.graph, &PageRankConfig::default());
+        let truth_ranking = jxp_core::evaluate::centralized_ranking(truth.scores());
+        let mut net = Network::new(
+            frags,
+            cg.graph.num_nodes() as u64,
+            NetworkConfig::default(),
+            7,
+        );
+        let early = metrics::footrule_distance(&net.total_ranking(), &truth_ranking, 50);
+        net.run_parallel(200);
+        let late = metrics::footrule_distance(&net.total_ranking(), &truth_ranking, 50);
+        assert!(late < early, "footrule did not improve: {early} → {late}");
+        assert!(late < 0.35, "footrule after 200 parallel meetings: {late}");
+    }
+
+    #[test]
+    fn run_and_run_parallel_can_interleave() {
+        // The engines share all state; switching between them mid-run
+        // keeps every invariant (counters, bandwidth, selector state).
+        let mut net = net_with(4, NetworkConfig::default());
+        net.run(15);
+        let report = net.run_parallel(30);
+        net.run(5);
+        assert_eq!(report.meetings, 30);
+        assert_eq!(net.meetings(), 50);
+        assert!(net.bandwidth().total_bytes() > 0);
+    }
+}

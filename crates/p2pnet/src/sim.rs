@@ -40,6 +40,11 @@ pub struct NetworkConfig {
     /// recorded bytes are the exact frame lengths, header included —
     /// the same numbers a [`jxp-wire`]-based deployment would measure.
     pub route_via_wire: bool,
+    /// Worker threads for [`Network::run_parallel`] rounds (`0` = the
+    /// machine's available parallelism, `1` = serial). Scores are
+    /// bit-identical for every value — see [`crate::parallel`]. The
+    /// sequential [`Network::step`]/[`Network::run`] path ignores it.
+    pub threads: usize,
 }
 
 impl Default for NetworkConfig {
@@ -52,6 +57,7 @@ impl Default for NetworkConfig {
             estimate_n: false,
             fm_buckets: 256,
             route_via_wire: false,
+            threads: 0,
         }
     }
 }
@@ -69,16 +75,16 @@ pub struct MeetingRecord {
 
 /// A simulated P2P network of JXP peers.
 pub struct Network {
-    peers: Vec<JxpPeer>,
-    synopses: Vec<PeerSynopses>,
-    states: Vec<SelectorState>,
-    counter: Option<GossipCounter>,
+    pub(crate) peers: Vec<JxpPeer>,
+    pub(crate) synopses: Vec<PeerSynopses>,
+    pub(crate) states: Vec<SelectorState>,
+    pub(crate) counter: Option<GossipCounter>,
     perms: MipsPermutations,
-    config: NetworkConfig,
+    pub(crate) config: NetworkConfig,
     default_n: u64,
-    rng: StdRng,
-    bandwidth: BandwidthLog,
-    meetings: u64,
+    pub(crate) rng: StdRng,
+    pub(crate) bandwidth: BandwidthLog,
+    pub(crate) meetings: u64,
 }
 
 impl Network {
@@ -175,6 +181,27 @@ impl Network {
         } else {
             meet(a, b)
         };
+        self.account_meeting(initiator, partner, &stats);
+        MeetingRecord {
+            initiator,
+            partner,
+            stats,
+        }
+    }
+
+    /// Post-meeting bookkeeping shared by the sequential [`step`] path
+    /// and the round-based parallel engine ([`crate::parallel`]):
+    /// bandwidth accounting, pre-meetings synopsis exchange, FM-sketch
+    /// gossip, and the global meeting counter. Always runs serially, in
+    /// schedule order, so both paths account identically.
+    ///
+    /// [`step`]: Network::step
+    pub(crate) fn account_meeting(
+        &mut self,
+        initiator: usize,
+        partner: usize,
+        stats: &MeetingStats,
+    ) {
         // Piggybacked synopses add to the message size under pre-meetings.
         // Each side ships its *own* synopses, so the two directions carry
         // different synopsis sizes; the FM sketch rides along symmetrically.
@@ -209,11 +236,6 @@ impl Network {
             }
         }
         self.meetings += 1;
-        MeetingRecord {
-            initiator,
-            partner,
-            stats,
-        }
     }
 
     /// Run `count` meetings.
@@ -298,7 +320,7 @@ impl Network {
 /// and any codec regression breaks the simulation loudly. The responder
 /// builds its reply from pre-absorption state, matching the networked
 /// protocol in `jxp-node`.
-fn meet_via_wire(a: &mut JxpPeer, b: &mut JxpPeer) -> MeetingStats {
+pub(crate) fn meet_via_wire(a: &mut JxpPeer, b: &mut JxpPeer) -> MeetingStats {
     use jxp_core::meeting::deliver;
     use jxp_wire::{decode_frame, encode_frame, Frame};
 

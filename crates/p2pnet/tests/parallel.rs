@@ -1,0 +1,132 @@
+//! Integration tests of the round-based parallel meeting engine through
+//! the crate's public API: thread-count invariance of a full workload,
+//! and the engine surviving churn combined with the pre-meetings
+//! strategy (the combination that exercises the selector's cache-revisit
+//! and candidate paths while peer indices shift underneath them).
+
+use jxp_core::evaluate::centralized_ranking;
+use jxp_core::selection::{PreMeetingsConfig, SelectionStrategy};
+use jxp_p2pnet::assign::{assign_by_crawlers, CrawlerParams};
+use jxp_p2pnet::{Network, NetworkConfig};
+use jxp_pagerank::metrics::footrule_distance;
+use jxp_pagerank::{pagerank, PageRankConfig};
+use jxp_webgraph::generators::{CategorizedGraph, CategorizedParams};
+use jxp_webgraph::Subgraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset() -> (CategorizedGraph, Vec<Subgraph>) {
+    let cg = CategorizedGraph::generate(
+        &CategorizedParams {
+            num_categories: 4,
+            nodes_per_category: 120,
+            intra_out_per_node: 4,
+            cross_fraction: 0.2,
+        },
+        &mut StdRng::seed_from_u64(71),
+    );
+    let params = CrawlerParams {
+        peers_per_category: 4,
+        seeds_per_peer: 4,
+        max_depth: 3,
+        ..Default::default()
+    };
+    let frags = assign_by_crawlers(&cg, &params, &mut StdRng::seed_from_u64(72));
+    (cg, frags)
+}
+
+fn premeetings_config(threads: usize) -> NetworkConfig {
+    NetworkConfig {
+        strategy: SelectionStrategy::PreMeetings(PreMeetingsConfig::default()),
+        threads,
+        ..NetworkConfig::default()
+    }
+}
+
+/// The same scripted churn scenario, replayed at a given thread count:
+/// run, a peer joins, run, a peer leaves (renumbering the last one), run.
+fn churn_scenario(threads: usize) -> Network {
+    let (cg, frags) = dataset();
+    let spare = frags[0].clone();
+    let mut net = Network::new(
+        frags,
+        cg.graph.num_nodes() as u64,
+        premeetings_config(threads),
+        31,
+    );
+    net.run_parallel(60);
+    net.add_peer(spare);
+    net.run_parallel(60);
+    net.remove_peer(2);
+    net.run_parallel(60);
+    net
+}
+
+fn score_bits(net: &Network) -> Vec<Vec<u64>> {
+    net.peers()
+        .iter()
+        .map(|p| p.scores().iter().map(|s| s.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn churn_with_premeetings_survives_parallel_rounds() {
+    let net = churn_scenario(4);
+    assert_eq!(net.meetings(), 180);
+    assert_eq!(net.num_peers(), 16);
+    // remove_peer resets every SelectorState (cached ids go stale under
+    // swap-remove renumbering), so only the post-churn meetings count.
+    let (selections, _, _, _) = net.selection_stats();
+    assert_eq!(selections, 60);
+    assert!(net.bandwidth().total_bytes() > 0);
+}
+
+#[test]
+fn churn_scenario_is_bit_identical_across_thread_counts() {
+    let baseline = churn_scenario(1);
+    let want = score_bits(&baseline);
+    let want_stats = baseline.selection_stats();
+    for threads in [2, 8] {
+        let net = churn_scenario(threads);
+        assert_eq!(
+            score_bits(&net),
+            want,
+            "scores diverged at {threads} threads"
+        );
+        assert_eq!(net.selection_stats(), want_stats);
+    }
+}
+
+#[test]
+fn footrule_is_bit_identical_across_thread_counts() {
+    let (cg, frags) = dataset();
+    let truth = pagerank(&cg.graph, &PageRankConfig::default());
+    let truth_ranking = centralized_ranking(truth.scores());
+    let run = |threads: usize| {
+        let mut net = Network::new(
+            frags.clone(),
+            cg.graph.num_nodes() as u64,
+            NetworkConfig {
+                threads,
+                ..NetworkConfig::default()
+            },
+            13,
+        );
+        net.run_parallel(250);
+        (
+            footrule_distance(&net.total_ranking(), &truth_ranking, 100).to_bits(),
+            score_bits(&net),
+        )
+    };
+    let (serial_footrule, serial_scores) = run(1);
+    assert!(
+        f64::from_bits(serial_footrule) < 0.4,
+        "engine failed to converge: footrule {}",
+        f64::from_bits(serial_footrule)
+    );
+    for threads in [2, 8] {
+        let (footrule, scores) = run(threads);
+        assert_eq!(footrule, serial_footrule, "{threads} threads");
+        assert_eq!(scores, serial_scores, "{threads} threads");
+    }
+}

@@ -40,6 +40,7 @@ pub mod gauss_seidel;
 pub mod hits;
 pub mod metrics;
 pub mod opic;
+pub mod par;
 pub mod personalized;
 pub mod power;
 pub mod ranking;

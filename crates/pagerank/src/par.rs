@@ -1,0 +1,152 @@
+//! Deterministic fixed-chunk parallel execution.
+//!
+//! Every parallel numeric loop in the workspace must be **bit-identical**
+//! to its serial execution — the repo's determinism guarantee (same seed →
+//! same scores, regardless of hardware). Two rules make that true here:
+//!
+//! 1. **Chunk boundaries are fixed** ([`CHUNK`] elements), independent of
+//!    the thread count. Each chunk's floating-point operations are then
+//!    the same no matter which thread runs it, or whether any thread runs
+//!    it at all (serial fallback).
+//! 2. **Reductions happen in chunk-index order** on the calling thread:
+//!    each chunk returns a partial value, and the caller folds the
+//!    partials `partial[0] + partial[1] + …`. The association of the sum
+//!    never depends on scheduling.
+//!
+//! Writes are *pull-based and disjoint*: chunk `c` writes only
+//! `out[c·CHUNK .. (c+1)·CHUNK]`, reading shared immutable state, so the
+//! borrow checker proves data-race freedom via `split_at_mut`-style
+//! chunking — no locks, no atomics, no unsafe.
+
+/// Fixed chunk width of all deterministic parallel loops.
+///
+/// Small enough to load-balance across threads on the paper's graph
+/// sizes, large enough that per-chunk overhead is negligible. Changing it
+/// changes the floating-point association of chunk reductions (still
+/// deterministic, but a different fixed point in the last ulp), so it is
+/// a single workspace-wide constant.
+pub const CHUNK: usize = 4096;
+
+/// Resolve a thread-count knob: `0` means "use the machine's available
+/// parallelism", anything else is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Fill `out` chunk by chunk with `fill(chunk_start, chunk_slice) ->
+/// partial`, using up to `threads` scoped threads, and return the per-
+/// chunk partials **in chunk order**.
+///
+/// `fill` receives the global start index of its chunk and the chunk's
+/// mutable output slice; it must derive everything else from shared
+/// immutable captures. The result is bit-identical for every `threads`
+/// value (including the inline serial path) by the rules in the module
+/// docs.
+pub fn chunked_fill<P, F>(out: &mut [f64], threads: usize, fill: F) -> Vec<P>
+where
+    P: Send + Default,
+    F: Fn(usize, &mut [f64]) -> P + Sync,
+{
+    let n = out.len();
+    let num_chunks = n.div_ceil(CHUNK).max(1);
+    let threads = resolve_threads(threads).min(num_chunks).max(1);
+    if threads == 1 || num_chunks == 1 {
+        // Serial path: same chunking, same per-chunk arithmetic.
+        return out
+            .chunks_mut(CHUNK)
+            .enumerate()
+            .map(|(c, chunk)| fill(c * CHUNK, chunk))
+            .collect();
+    }
+    let mut partials: Vec<P> = (0..num_chunks).map(|_| P::default()).collect();
+    // Deal chunks round-robin so threads interleave over the index space
+    // (consecutive chunks often have correlated cost in web graphs).
+    let mut buckets: Vec<Vec<(usize, &mut [f64], &mut P)>> =
+        (0..threads).map(|_| Vec::new()).collect();
+    for (c, (chunk, slot)) in out.chunks_mut(CHUNK).zip(partials.iter_mut()).enumerate() {
+        buckets[c % threads].push((c * CHUNK, chunk, slot));
+    }
+    let fill = &fill;
+    std::thread::scope(|scope| {
+        for bucket in buckets {
+            scope.spawn(move || {
+                for (start, chunk, slot) in bucket {
+                    *slot = fill(start, chunk);
+                }
+            });
+        }
+    });
+    partials
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_threads_zero_is_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn chunked_fill_covers_every_element() {
+        let n = CHUNK * 2 + 17; // three chunks, last one ragged
+        let mut out = vec![0.0; n];
+        let partials = chunked_fill(&mut out, 4, |start, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (start + k) as f64;
+            }
+            chunk.len() as f64
+        });
+        assert_eq!(partials.len(), 3);
+        assert_eq!(partials.iter().sum::<f64>(), n as f64);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f64);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let n = CHUNK * 3 + 5;
+        let input: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let run = |threads: usize| {
+            let mut out = vec![0.0; n];
+            let partials = chunked_fill(&mut out, threads, |start, chunk| {
+                let mut acc = 0.0;
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = input[start + k].sqrt() * 0.37 + acc;
+                    acc += *v;
+                }
+                acc
+            });
+            (out, partials)
+        };
+        let (serial, sp) = run(1);
+        for threads in [2, 3, 8] {
+            let (par, pp) = run(threads);
+            assert_eq!(serial, par, "outputs differ at {threads} threads");
+            assert_eq!(sp, pp, "partials differ at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_fine() {
+        let mut out: Vec<f64> = Vec::new();
+        let partials = chunked_fill(&mut out, 8, |_, _| 1.0f64);
+        assert!(partials.is_empty());
+        let mut one = vec![0.0];
+        let partials = chunked_fill(&mut one, 8, |start, chunk| {
+            chunk[0] = 42.0;
+            start as f64
+        });
+        assert_eq!(one, vec![42.0]);
+        assert_eq!(partials, vec![0.0]);
+    }
+}

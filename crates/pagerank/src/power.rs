@@ -28,6 +28,10 @@ pub struct PageRankConfig {
     pub tolerance: f64,
     /// Hard cap on iterations (protects against pathological inputs).
     pub max_iterations: usize,
+    /// Worker threads for the pull-based update (`0` = the machine's
+    /// available parallelism, `1` = serial). The result is bit-identical
+    /// for every value — see [`crate::par`].
+    pub threads: usize,
 }
 
 impl Default for PageRankConfig {
@@ -36,6 +40,7 @@ impl Default for PageRankConfig {
             epsilon: 0.85,
             tolerance: 1e-10,
             max_iterations: 200,
+            threads: 1,
         }
     }
 }
@@ -145,18 +150,25 @@ pub fn pagerank(g: &CsrGraph, config: &PageRankConfig) -> PageRankResult {
         // Dangling mass is spread uniformly over all pages.
         let dangling_mass: f64 = dangling.iter().map(|&v| curr[v as usize]).sum();
         let base = (1.0 - eps) * uniform + eps * dangling_mass * uniform;
-        for (q, out) in next.iter_mut().enumerate() {
-            let mut sum = 0.0;
-            for p in g.predecessors(PageId(q as u32)) {
-                sum += curr[p.index()] * inv_out[p.index()];
+        // Pull-based chunked update: each chunk writes its own disjoint
+        // slice of `next` and returns its L1-delta partial; partials are
+        // folded in chunk order so the result is bit-identical for any
+        // thread count (see `crate::par`).
+        let curr_ref = &curr;
+        let partials = crate::par::chunked_fill(&mut next, config.threads, |start, chunk| {
+            let mut delta = 0.0;
+            for (k, out) in chunk.iter_mut().enumerate() {
+                let q = start + k;
+                let mut sum = 0.0;
+                for p in g.predecessors(PageId(q as u32)) {
+                    sum += curr_ref[p.index()] * inv_out[p.index()];
+                }
+                *out = base + eps * sum;
+                delta += (curr_ref[q] - *out).abs();
             }
-            *out = base + eps * sum;
-        }
-        let delta: f64 = curr
-            .iter()
-            .zip(next.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+            delta
+        });
+        let delta: f64 = partials.iter().sum();
         std::mem::swap(&mut curr, &mut next);
         if delta < config.tolerance {
             converged = true;
@@ -288,6 +300,42 @@ mod tests {
             ..Default::default()
         };
         let _ = pagerank(&g, &cfg);
+    }
+
+    #[test]
+    fn parallel_pagerank_is_bit_identical_to_serial() {
+        // A graph spanning several chunks so the parallel path really
+        // engages (n > 2·CHUNK), with hubs, chords and dangling pages.
+        let n = crate::par::CHUNK * 2 + 123;
+        let mut b = GraphBuilder::new();
+        b.ensure_nodes(n);
+        for i in 0..n as u32 {
+            if i % 97 == 0 {
+                continue; // dangling page
+            }
+            b.add_edge(PageId(i), PageId((i + 1) % n as u32));
+            b.add_edge(PageId(i), PageId((i * 7 + 13) % n as u32));
+            if i % 5 == 0 {
+                b.add_edge(PageId(i), PageId(0)); // hub
+            }
+        }
+        let g = b.build();
+        let serial = pagerank(&g, &PageRankConfig::default());
+        for threads in [2, 4, 8] {
+            let par = pagerank(
+                &g,
+                &PageRankConfig {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                serial.scores(),
+                par.scores(),
+                "scores diverge at {threads} threads"
+            );
+            assert_eq!(serial.iterations(), par.iterations());
+        }
     }
 
     #[test]
