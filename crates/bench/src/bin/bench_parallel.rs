@@ -9,34 +9,24 @@
 //! `BENCH_parallel.json` in the current directory (`JXP_RESULTS` moves
 //! it next to the CSV artifacts instead).
 
-use jxp_bench::{build_network, load_dataset, ExperimentCtx};
+use jxp_bench::{build_network, load_dataset, score_hash, ExperimentCtx};
 use jxp_core::selection::SelectionStrategy;
 use jxp_core::JxpConfig;
-use jxp_p2pnet::Network;
+use jxp_telemetry::TelemetryHub;
 use jxp_webgraph::generators::amazon_2005;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// FNV-1a over the bit patterns of every peer's score list: any
-/// cross-thread-count divergence, down to the last ulp, changes it.
-fn score_hash(net: &Network) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for peer in net.peers() {
-        for s in peer.scores() {
-            for b in s.to_bits().to_le_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        }
-    }
-    h
-}
-
 fn main() {
     let ctx = ExperimentCtx::from_env(1200);
+    // JXP_METRICS=1 attaches a telemetry hub to every run; the score
+    // hash must not move (CI diffs it against a metrics-off run).
+    let metrics_on = std::env::var("JXP_METRICS").is_ok_and(|v| !v.is_empty() && v != "0");
     println!(
-        "== Parallel meeting engine: fig04 workload (scale {}, {} meetings) ==",
-        ctx.scale, ctx.meetings
+        "== Parallel meeting engine: fig04 workload (scale {}, {} meetings{}) ==",
+        ctx.scale,
+        ctx.meetings,
+        if metrics_on { ", telemetry on" } else { "" }
     );
     let ds = load_dataset(&amazon_2005(), ctx.scale);
     println!(
@@ -75,6 +65,9 @@ fn main() {
             4,
             threads,
         );
+        if metrics_on {
+            net.attach_telemetry(TelemetryHub::shared());
+        }
         let start = Instant::now();
         let report = net.run_parallel(ctx.meetings);
         let secs = start.elapsed().as_secs_f64();
@@ -109,6 +102,7 @@ fn main() {
     let _ = writeln!(json, "  \"scale\": {},", ctx.scale);
     let _ = writeln!(json, "  \"meetings\": {},", ctx.meetings);
     let _ = writeln!(json, "  \"peers\": {},", ds.fragments.len());
+    let _ = writeln!(json, "  \"telemetry\": {metrics_on},");
     let _ = writeln!(json, "  \"score_hash\": \"{baseline_hash:016x}\",");
     let _ = writeln!(json, "  \"runs\": [");
     for (i, &(threads, secs, rounds, _)) in results.iter().enumerate() {

@@ -7,11 +7,27 @@ use jxp_p2pnet::assign::{assign_by_crawlers, minerva_fragments, CrawlerParams};
 use jxp_p2pnet::{Network, NetworkConfig};
 use jxp_pagerank::gauss_seidel::pagerank_gauss_seidel;
 use jxp_pagerank::{metrics, pagerank, PageRankConfig};
+use jxp_telemetry::{TelemetryHub, TelemetrySnapshot};
 use jxp_webgraph::generators::{amazon_2005, web_crawl_2005, CategorizedGraph, DatasetPreset};
 use jxp_webgraph::{io, Subgraph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
+use std::sync::Arc;
+
+/// Write a telemetry snapshot as JSON (the `jxp-cli metrics` input
+/// format) to `path`.
+fn write_metrics(path: &str, snapshot: &TelemetrySnapshot) -> Result<(), String> {
+    std::fs::write(path, snapshot.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+    println!(
+        "metrics: wrote {} counters, {} gauges, {} histograms, {} events to {path}",
+        snapshot.metrics.counters.len(),
+        snapshot.metrics.gauges.len(),
+        snapshot.metrics.histograms.len(),
+        snapshot.events.len()
+    );
+    Ok(())
+}
 
 fn preset(args: &ParsedArgs) -> Result<DatasetPreset, String> {
     match args.get_choice("dataset", &["amazon", "web"], "amazon")? {
@@ -95,6 +111,7 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
     };
     let estimate_n = args.get_choice("estimate-n", &["yes", "no"], "no")? == "yes";
     let threads: usize = args.get_or("threads", 0)?;
+    let metrics_out = args.get("metrics-out");
     let fragments = assign_by_crawlers(
         &cg,
         &CrawlerParams {
@@ -131,6 +148,10 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
         },
         seed,
     );
+    let hub = metrics_out.is_some().then(TelemetryHub::shared);
+    if let Some(hub) = &hub {
+        net.attach_telemetry(Arc::clone(hub));
+    }
     if estimate_n {
         println!("peers estimate N by FM-sketch gossip (no global knowledge)");
     }
@@ -156,6 +177,9 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
             metrics::linear_score_error(&r, &truth_ranking, top),
             net.bandwidth().total_bytes() as f64 / 1e6
         );
+    }
+    if let (Some(path), Some(hub)) = (metrics_out, &hub) {
+        write_metrics(path, &hub.snapshot())?;
     }
     Ok(())
 }
@@ -211,6 +235,8 @@ pub fn cluster(args: &ParsedArgs) -> Result<(), String> {
     let premeetings = args.get_choice("premeetings", &["yes", "no"], "no")? == "yes";
     let stall: u32 = args.get_or("stall", 0)?;
     let threads: usize = args.get_or("threads", 0)?;
+    let metrics_out = args.get("metrics-out");
+    let stats_endpoint = args.get_choice("stats-endpoint", &["yes", "no"], "no")? == "yes";
 
     let cg = generate_graph_with_scale(args, 0.05)?;
     let n = cg.graph.num_nodes();
@@ -229,6 +255,8 @@ pub fn cluster(args: &ParsedArgs) -> Result<(), String> {
             count: stall,
         }),
         threads,
+        telemetry: metrics_out.is_some() || stats_endpoint,
+        stats_endpoint,
         ..ClusterConfig::default()
     };
     println!(
@@ -282,8 +310,39 @@ pub fn cluster(args: &ParsedArgs) -> Result<(), String> {
             s.bytes_out
         );
     }
+    if let Some(wire) = &report.wire_stats {
+        println!("stats endpoint sweep (StatsRequest over the wire, one reply per node):");
+        println!(
+            "{:>5} {:>9} {:>9} {:>12} {:>12}",
+            "node", "initiated", "served", "bytes in", "bytes out"
+        );
+        for s in wire {
+            println!(
+                "{:>5} {:>9} {:>9} {:>12} {:>12}",
+                s.node_id, s.meetings_attempted, s.meetings_served, s.bytes_in, s.bytes_out
+            );
+        }
+    }
+    if let (Some(path), Some(snapshot)) = (metrics_out, &report.telemetry) {
+        write_metrics(path, snapshot)?;
+    }
     if report.meetings_failed > 0 && report.meetings_completed == 0 {
         return Err("every meeting failed — transport is broken".to_string());
+    }
+    Ok(())
+}
+
+/// `jxp-cli metrics` — render a saved telemetry snapshot.
+pub fn metrics_cmd(args: &ParsedArgs) -> Result<(), String> {
+    let path = args.require("in")?;
+    let format = args.get_choice("format", &["table", "prom", "json"], "table")?;
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let snapshot =
+        TelemetrySnapshot::from_json(&raw).map_err(|e| format!("parsing {path}: {e}"))?;
+    match format {
+        "prom" => print!("{}", snapshot.to_prometheus()),
+        "json" => println!("{}", snapshot.to_json()),
+        _ => print!("{}", snapshot.render_table()),
     }
     Ok(())
 }
@@ -295,7 +354,6 @@ pub fn node(args: &ParsedArgs) -> Result<(), String> {
     use jxp_core::JxpPeer;
     use jxp_node::{JxpNode, RetryPolicy, TcpConfig, TcpServer, TcpTransport};
     use jxp_synopses::mips::MipsPermutations;
-    use std::sync::Arc;
 
     let seed: u64 = args.get_or("seed", 42)?;
     let duration: u64 = args.get_or("duration", 0)?;

@@ -34,14 +34,19 @@ commands:
              --merge light|full, --combine max|avg,
              --strategy random|premeetings, --estimate-n yes|no,
              --sample N, --top K, --seed N,
-             --threads N (0 = all cores; results thread-count-invariant)
+             --threads N (0 = all cores; results thread-count-invariant),
+             --metrics-out FILE (write a telemetry JSON snapshot)
   search     run the Minerva search experiment (Table 2 style)
              --scale (0.05), --queries N (10), --meetings N (400), --seed N
   cluster    run N networked nodes through M meetings over the wire codec
              --peers N (8), --meetings M (200), --transport loopback|tcp,
              --premeetings yes|no, --stall K (stall node 1 for K requests),
              --dataset, --scale (0.05), --seed N, --top K,
-             --threads N (0 = all cores; results thread-count-invariant)
+             --threads N (0 = all cores; results thread-count-invariant),
+             --metrics-out FILE (write a telemetry JSON snapshot),
+             --stats-endpoint yes|no (serve + sweep StatsRequest frames)
+  metrics    render a telemetry snapshot written by --metrics-out
+             --in FILE, --format table|prom|json (table)
   node       single-node TCP demo: serve a fragment on an ephemeral port
              and run hello + synopsis probe + meeting against it
              --dataset, --scale (0.02), --seed N, --duration SECS (0)";
@@ -57,6 +62,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "simulate" => commands::simulate(&parsed),
         "search" => commands::search(&parsed),
         "cluster" => commands::cluster(&parsed),
+        "metrics" => commands::metrics_cmd(&parsed),
         "node" => commands::node(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -165,6 +171,56 @@ mod tests {
             "cluster --peers 3 --meetings 12 --scale 0.01 --premeetings yes",
         ))
         .unwrap();
+    }
+
+    #[test]
+    fn simulate_metrics_out_roundtrips_through_metrics_command() {
+        let dir = std::env::temp_dir().join("jxp_cli_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sim_metrics.json");
+        run(&argv(&format!(
+            "simulate --dataset amazon --scale 0.01 --meetings 30 --sample 15 --top 20 \
+             --metrics-out {}",
+            path.display()
+        )))
+        .unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let snap = jxp_telemetry::TelemetrySnapshot::from_json(&raw).unwrap();
+        assert_eq!(snap.metrics.counters["jxp_sim_meetings_total"], 30);
+        for format in ["table", "prom", "json"] {
+            run(&argv(&format!(
+                "metrics --in {} --format {format}",
+                path.display()
+            )))
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn cluster_metrics_out_and_stats_endpoint() {
+        let dir = std::env::temp_dir().join("jxp_cli_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cluster_metrics.json");
+        run(&argv(&format!(
+            "cluster --peers 3 --meetings 12 --scale 0.01 --transport loopback \
+             --stats-endpoint yes --metrics-out {}",
+            path.display()
+        )))
+        .unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let snap = jxp_telemetry::TelemetrySnapshot::from_json(&raw).unwrap();
+        assert!(snap.metrics.counters["jxp_cluster_rounds_total"] > 0);
+    }
+
+    #[test]
+    fn metrics_command_rejects_missing_and_garbage_input() {
+        assert!(run(&argv("metrics --format table")).is_err()); // missing --in
+        assert!(run(&argv("metrics --in /nonexistent/metrics.json")).is_err());
+        let dir = std::env::temp_dir().join("jxp_cli_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("garbage.json");
+        std::fs::write(&bad, "not json").unwrap();
+        assert!(run(&argv(&format!("metrics --in {}", bad.display()))).is_err());
     }
 
     #[test]

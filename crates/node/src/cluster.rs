@@ -5,7 +5,7 @@
 //! path keeps a run alive when a peer stalls mid-experiment.
 
 use crate::loopback::LoopbackNetwork;
-use crate::node::{JxpNode, NodeStats};
+use crate::node::{JxpNode, NodeMetrics, NodeStats};
 use crate::tcp::{TcpConfig, TcpServer, TcpTransport};
 use crate::transport::{FrameHandler, NodeId, RetryPolicy, StallInjector, Transport};
 use jxp_core::config::JxpConfig;
@@ -13,7 +13,9 @@ use jxp_core::evaluate::{centralized_ranking, total_ranking};
 use jxp_core::selection::{PeerSynopses, PreMeetingsConfig};
 use jxp_pagerank::metrics::footrule_distance;
 use jxp_synopses::mips::MipsPermutations;
+use jxp_telemetry::{Event, TelemetryHub, TelemetrySnapshot};
 use jxp_webgraph::Subgraph;
+use jxp_wire::StatsPayload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -80,6 +82,13 @@ pub struct ClusterConfig {
     /// [`StallPlan`] forces serial round execution so the injector
     /// swallows exactly the scheduled requests.
     pub threads: usize,
+    /// Collect telemetry: per-node registry counters plus a structured
+    /// event stream, snapshotted into [`ClusterReport::telemetry`].
+    /// Observation-only — results are bit-identical either way.
+    pub telemetry: bool,
+    /// Enable every node's wire stats endpoint and sweep it after the
+    /// run into [`ClusterReport::wire_stats`].
+    pub stats_endpoint: bool,
 }
 
 impl Default for ClusterConfig {
@@ -93,6 +102,8 @@ impl Default for ClusterConfig {
             stall: None,
             mips_dims: 64,
             threads: 1,
+            telemetry: false,
+            stats_endpoint: false,
         }
     }
 }
@@ -116,6 +127,14 @@ pub struct ClusterReport {
     pub footrule: Option<f64>,
     /// Per-node counter snapshots.
     pub per_node: Vec<NodeStats>,
+    /// Telemetry snapshot (when [`ClusterConfig::telemetry`] was set),
+    /// taken at the same instant as `per_node` — counter totals match
+    /// the `NodeStats` sums exactly.
+    pub telemetry: Option<TelemetrySnapshot>,
+    /// Counter snapshots fetched over the wire via `StatsRequest` (when
+    /// [`ClusterConfig::stats_endpoint`] was set), one per node. Fetched
+    /// after `per_node`, so the first fetch mirrors it exactly.
+    pub wire_stats: Option<Vec<StatsPayload>>,
 }
 
 /// Run a full cluster experiment over `fragments` (one per node).
@@ -138,17 +157,28 @@ pub fn run_cluster(
     let num_nodes = fragments.len();
     let perms = MipsPermutations::generate(config.mips_dims, config.seed ^ 0x5a5a);
 
+    let hub = config.telemetry.then(TelemetryHub::shared);
     let nodes: Vec<Arc<JxpNode>> = fragments
         .into_iter()
         .enumerate()
         .map(|(i, frag)| {
-            Arc::new(JxpNode::new(
+            let metrics = match &hub {
+                Some(hub) => NodeMetrics::registered(hub.registry(), i as NodeId),
+                None => NodeMetrics::detached(),
+            };
+            Arc::new(JxpNode::with_metrics(
                 i as NodeId,
                 jxp_core::peer::JxpPeer::new(frag, n_total, jxp.clone()),
                 &perms,
+                metrics,
             ))
         })
         .collect();
+    if config.stats_endpoint {
+        for node in &nodes {
+            node.enable_stats_endpoint();
+        }
+    }
     let injectors: Vec<Arc<StallInjector>> = nodes
         .iter()
         .map(|n| Arc::new(StallInjector::new(Arc::clone(n) as Arc<dyn FrameHandler>)))
@@ -239,10 +269,19 @@ pub fn run_cluster(
         rounds.push(round);
     }
 
+    // Telemetry handles are registered once, up front (cold path).
+    let round_metrics = hub.as_ref().map(|h| {
+        (
+            h.registry().counter("jxp_cluster_rounds_total"),
+            h.registry()
+                .histogram("jxp_cluster_round_width", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0]),
+        )
+    });
+
     // Stall injection must see requests in schedule order to swallow
     // exactly the planned ones, so it pins execution to one worker.
     let workers = if config.stall.is_some() { 1 } else { threads };
-    for round in rounds {
+    for (round_no, round) in rounds.into_iter().enumerate() {
         let arm_stall = |m: usize| {
             if let Some(plan) = config.stall {
                 if plan.at_meeting == m {
@@ -250,31 +289,78 @@ pub fn run_cluster(
                 }
             }
         };
+        // Outcomes are collected in schedule order so telemetry events
+        // can be emitted serially afterwards: the event stream is then
+        // independent of how the round's meetings interleaved.
+        let mut outcomes: Vec<Option<crate::node::MeetOutcome>> = vec![None; round.len()];
         if workers.min(round.len()) <= 1 {
-            for (m, initiator, target) in round {
+            for (k, &(m, initiator, target)) in round.iter().enumerate() {
                 arm_stall(m);
                 // Failures are part of the experiment: counted, never fatal.
-                let _ = nodes[initiator].meet(target, transport.as_ref(), &config.retry);
+                outcomes[k] = nodes[initiator]
+                    .meet(target, transport.as_ref(), &config.retry)
+                    .ok();
             }
         } else {
             let num_buckets = workers.min(round.len());
-            let mut buckets: Vec<Vec<(usize, NodeId)>> =
+            let mut buckets: Vec<Vec<(usize, usize, NodeId)>> =
                 (0..num_buckets).map(|_| Vec::new()).collect();
-            for (k, (_, initiator, target)) in round.into_iter().enumerate() {
-                buckets[k % num_buckets].push((initiator, target));
+            for (k, &(_, initiator, target)) in round.iter().enumerate() {
+                buckets[k % num_buckets].push((k, initiator, target));
             }
             let nodes = &nodes;
             let transport = transport.as_ref();
             let retry = &config.retry;
             std::thread::scope(|scope| {
-                for bucket in buckets {
-                    scope.spawn(move || {
-                        for (initiator, target) in bucket {
-                            let _ = nodes[initiator].meet(target, transport, retry);
-                        }
-                    });
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|bucket| {
+                        scope.spawn(move || {
+                            bucket
+                                .into_iter()
+                                .map(|(k, initiator, target)| {
+                                    (k, nodes[initiator].meet(target, transport, retry).ok())
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (k, outcome) in handle.join().expect("meeting worker panicked") {
+                        outcomes[k] = outcome;
+                    }
                 }
             });
+        }
+        if let Some(hub) = &hub {
+            for (&(m, initiator, target), outcome) in round.iter().zip(&outcomes) {
+                hub.events().record(Event::MeetingStarted {
+                    meeting: m as u64,
+                    initiator: initiator as u64,
+                    partner: target,
+                });
+                hub.events().record(match outcome {
+                    Some(o) => Event::MeetingCompleted {
+                        meeting: m as u64,
+                        initiator: initiator as u64,
+                        partner: target,
+                        bytes: o.bytes_sent + o.bytes_received,
+                    },
+                    None => Event::MeetingFailed {
+                        meeting: m as u64,
+                        initiator: initiator as u64,
+                        partner: target,
+                    },
+                });
+            }
+            hub.events().record(Event::RoundExecuted {
+                round: round_no as u64,
+                pairs: round.len() as u64,
+                threads: workers.min(round.len().max(1)) as u64,
+            });
+            let (rounds_total, round_width) = round_metrics.as_ref().expect("registered with hub");
+            rounds_total.inc();
+            round_width.observe(round.len() as f64);
         }
     }
 
@@ -284,6 +370,25 @@ pub fn run_cluster(
         let distributed = total_ranking(guards.iter().map(|g| &g.peer));
         let k = distributed.len().min(100);
         footrule_distance(&distributed, &centralized_ranking(scores), k)
+    });
+    if let (Some(hub), Some(f)) = (&hub, footrule) {
+        hub.registry().gauge("jxp_cluster_footrule").set(f);
+    }
+    // Snapshot before any stats-endpoint sweep so counter totals match
+    // `per_node` exactly (the sweep itself moves bytes).
+    let telemetry = hub.as_ref().map(|h| h.snapshot());
+    let wire_stats = config.stats_endpoint.then(|| {
+        (0..num_nodes)
+            .map(|j| {
+                let initiator = (j + 1) % num_nodes;
+                nodes[initiator]
+                    .fetch_stats(j as NodeId, transport.as_ref(), &config.retry)
+                    .unwrap_or_else(|_| StatsPayload {
+                        node_id: j as u64,
+                        ..StatsPayload::default()
+                    })
+            })
+            .collect()
     });
 
     ClusterReport {
@@ -295,6 +400,8 @@ pub fn run_cluster(
         bytes_total: per_node.iter().map(|s| s.bytes_out).sum(),
         footrule,
         per_node,
+        telemetry,
+        wire_stats,
     }
 }
 
@@ -421,6 +528,117 @@ mod tests {
                 assert_eq!(g.bytes_in, w.bytes_in, "{threads} threads");
             }
         }
+    }
+
+    #[test]
+    fn telemetry_counters_match_per_node_stats_exactly() {
+        let (frags, n_total) = ring_fragments(4);
+        let truth = vec![1.0 / 12.0; 12];
+        let config = ClusterConfig {
+            meetings: 20,
+            seed: 7,
+            telemetry: true,
+            ..ClusterConfig::default()
+        };
+        let report = run_cluster(frags, n_total, JxpConfig::default(), &config, Some(&truth));
+        let snap = report.telemetry.as_ref().expect("telemetry requested");
+        for (i, stats) in report.per_node.iter().enumerate() {
+            let counter = |field: &str| {
+                snap.metrics.counters[&format!("jxp_node_{field}_total{{node=\"{i}\"}}")]
+            };
+            assert_eq!(counter("meetings_attempted"), stats.meetings_attempted);
+            assert_eq!(counter("meetings_completed"), stats.meetings_completed);
+            assert_eq!(counter("meetings_served"), stats.meetings_served);
+            assert_eq!(counter("retries"), stats.retries);
+            assert_eq!(counter("bytes_in"), stats.bytes_in);
+            assert_eq!(counter("bytes_out"), stats.bytes_out);
+        }
+        // One Started + one Completed/Failed per meeting, plus a
+        // RoundExecuted per round.
+        let completed = snap
+            .events
+            .iter()
+            .filter(|r| r.event.kind() == "meeting_completed")
+            .count() as u64;
+        assert_eq!(completed, report.meetings_completed);
+        let started = snap
+            .events
+            .iter()
+            .filter(|r| r.event.kind() == "meeting_started")
+            .count() as u64;
+        assert_eq!(started, report.meetings_attempted);
+        assert_eq!(
+            snap.metrics.gauges["jxp_cluster_footrule"],
+            report.footrule.unwrap()
+        );
+        assert!(snap.metrics.counters["jxp_cluster_rounds_total"] >= 1);
+        // Completed-meeting byte totals cover both frames of each
+        // exchange: their sum equals all wire traffic (request + reply
+        // counted once each) when no premeetings/hello bytes... hellos
+        // do add traffic, so the event bytes are a lower bound.
+        let event_bytes: u64 = snap
+            .events
+            .iter()
+            .filter_map(|r| match r.event {
+                jxp_telemetry::Event::MeetingCompleted { bytes, .. } => Some(bytes),
+                _ => None,
+            })
+            .sum();
+        assert!(event_bytes > 0 && event_bytes <= report.bytes_total);
+    }
+
+    #[test]
+    fn stats_endpoint_sweep_mirrors_per_node_counters() {
+        let (frags, n_total) = ring_fragments(4);
+        let config = ClusterConfig {
+            meetings: 16,
+            seed: 13,
+            stats_endpoint: true,
+            ..ClusterConfig::default()
+        };
+        let report = run_cluster(frags, n_total, JxpConfig::default(), &config, None);
+        let wire = report.wire_stats.as_ref().expect("stats endpoint enabled");
+        assert_eq!(wire.len(), report.per_node.len());
+        for (j, payload) in wire.iter().enumerate() {
+            assert_eq!(payload.node_id, j as u64);
+            // Meeting counters are untouched by the stats sweep itself.
+            let stats = &report.per_node[j];
+            assert_eq!(payload.meetings_attempted, stats.meetings_attempted);
+            assert_eq!(payload.meetings_completed, stats.meetings_completed);
+            assert_eq!(payload.meetings_served, stats.meetings_served);
+            assert_eq!(payload.retries, stats.retries);
+        }
+        // The very first fetch (node 0) precedes all stats traffic, so
+        // even its byte counters mirror the snapshot exactly.
+        assert_eq!(wire[0].bytes_in, report.per_node[0].bytes_in);
+        assert_eq!(wire[0].bytes_out, report.per_node[0].bytes_out);
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_results() {
+        let (frags, n_total) = ring_fragments(4);
+        let truth = vec![1.0 / 12.0; 12];
+        let run = |telemetry: bool| {
+            let config = ClusterConfig {
+                meetings: 24,
+                seed: 11,
+                telemetry,
+                stats_endpoint: telemetry,
+                ..ClusterConfig::default()
+            };
+            run_cluster(
+                frags.clone(),
+                n_total,
+                JxpConfig::default(),
+                &config,
+                Some(&truth),
+            )
+        };
+        let off = run(false);
+        let on = run(true);
+        assert_eq!(on.footrule, off.footrule);
+        assert_eq!(on.per_node, off.per_node);
+        assert_eq!(on.bytes_total, off.bytes_total);
     }
 
     #[test]

@@ -21,9 +21,9 @@ pub mod transport;
 
 pub use cluster::{run_cluster, ClusterConfig, ClusterReport, StallPlan, TransportKind};
 pub use loopback::{Fault, LoopbackNetwork};
-pub use node::{JxpNode, MeetOutcome, NodeStats};
+pub use node::{JxpNode, MeetOutcome, NodeMetrics, NodeStats};
 pub use tcp::{TcpConfig, TcpServer, TcpTransport};
 pub use transport::{
-    request_with_retry, Exchange, FrameHandler, NodeId, RetryPolicy, StallInjector, Transport,
-    TransportError,
+    request_with_retry, Exchange, FrameHandler, NodeId, RetryError, RetryPolicy, StallInjector,
+    Transport, TransportError,
 };

@@ -41,27 +41,28 @@ impl LoopbackNetwork {
         Self::default()
     }
 
+    /// Registry access that survives poisoning: a handler that panicked
+    /// while the registry lock was held (it isn't held across handler
+    /// calls, but defense in depth) must not wedge every later meeting.
+    fn inner(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Attach `handler` as the responder for `id` (replacing any previous).
     pub fn register(&self, id: NodeId, handler: Arc<dyn FrameHandler>) {
-        self.inner.lock().unwrap().handlers.insert(id, handler);
+        self.inner().handlers.insert(id, handler);
     }
 
     /// Detach the responder for `id`; subsequent requests to it fail
     /// with [`TransportError::Unreachable`].
     pub fn unregister(&self, id: NodeId) {
-        self.inner.lock().unwrap().handlers.remove(&id);
+        self.inner().handlers.remove(&id);
     }
 
     /// Queue a fault to hit the next request addressed to `id`. Faults
     /// queue FIFO and each consumes exactly one request.
     pub fn inject_fault(&self, id: NodeId, fault: Fault) {
-        self.inner
-            .lock()
-            .unwrap()
-            .faults
-            .entry(id)
-            .or_default()
-            .push_back(fault);
+        self.inner().faults.entry(id).or_default().push_back(fault);
     }
 }
 
@@ -72,7 +73,7 @@ impl Transport for LoopbackNetwork {
         // answering while another meeting is in flight) and must not
         // deadlock against the registry.
         let (handler, fault) = {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.inner();
             let fault = inner.faults.get_mut(&peer).and_then(|q| q.pop_front());
             let handler = inner.handlers.get(&peer).cloned();
             (handler, fault)

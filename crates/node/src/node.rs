@@ -5,6 +5,11 @@
 //! outgoing payload **before** absorbing the other's. The responder
 //! therefore builds its `MeetReply` from pre-absorption state, and the
 //! initiator absorbs the reply only after the exchange returns.
+//!
+//! Stats bookkeeping never touches the node's state mutex: every counter
+//! lives in a [`NodeMetrics`] of sharded [`Counter`] handles (see
+//! `jxp-telemetry`), so serving a meeting updates traffic counters with
+//! relaxed atomic adds while another thread holds the peer state lock.
 
 use crate::transport::{
     request_with_retry, FrameHandler, NodeId, RetryPolicy, Transport, TransportError,
@@ -13,10 +18,13 @@ use jxp_core::payload::MeetingPayload;
 use jxp_core::peer::JxpPeer;
 use jxp_core::selection::{PeerSynopses, PreMeetingsConfig};
 use jxp_synopses::mips::MipsPermutations;
-use jxp_wire::{encoded_len, ErrorCode, Frame, SynopsisPayload};
+use jxp_telemetry::{Counter, Registry};
+use jxp_wire::{encoded_len, ErrorCode, Frame, StatsPayload, SynopsisPayload};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-/// Per-node traffic and meeting counters.
+/// Per-node traffic and meeting counters (point-in-time snapshot of a
+/// [`NodeMetrics`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NodeStats {
     /// Meetings this node initiated.
@@ -35,6 +43,65 @@ pub struct NodeStats {
     pub bytes_out: u64,
 }
 
+/// Lock-free counter handles behind a node's [`NodeStats`]. Cloning
+/// shares the underlying atomics. Detached by default; construct with
+/// [`NodeMetrics::registered`] to expose the counters through a
+/// `jxp-telemetry` [`Registry`] (one labelled series per node).
+#[derive(Debug, Clone)]
+pub struct NodeMetrics {
+    pub(crate) meetings_attempted: Arc<Counter>,
+    pub(crate) meetings_completed: Arc<Counter>,
+    pub(crate) meetings_failed: Arc<Counter>,
+    pub(crate) meetings_served: Arc<Counter>,
+    pub(crate) retries: Arc<Counter>,
+    pub(crate) bytes_in: Arc<Counter>,
+    pub(crate) bytes_out: Arc<Counter>,
+}
+
+impl NodeMetrics {
+    /// Standalone counters, not visible to any registry.
+    pub fn detached() -> Self {
+        NodeMetrics {
+            meetings_attempted: Arc::new(Counter::new()),
+            meetings_completed: Arc::new(Counter::new()),
+            meetings_failed: Arc::new(Counter::new()),
+            meetings_served: Arc::new(Counter::new()),
+            retries: Arc::new(Counter::new()),
+            bytes_in: Arc::new(Counter::new()),
+            bytes_out: Arc::new(Counter::new()),
+        }
+    }
+
+    /// Counters registered in `registry` as one labelled series per
+    /// field, e.g. `jxp_node_meetings_attempted_total{node="3"}`.
+    pub fn registered(registry: &Registry, node: NodeId) -> Self {
+        let series =
+            |field: &str| registry.counter(&format!("jxp_node_{field}_total{{node=\"{node}\"}}"));
+        NodeMetrics {
+            meetings_attempted: series("meetings_attempted"),
+            meetings_completed: series("meetings_completed"),
+            meetings_failed: series("meetings_failed"),
+            meetings_served: series("meetings_served"),
+            retries: series("retries"),
+            bytes_in: series("bytes_in"),
+            bytes_out: series("bytes_out"),
+        }
+    }
+
+    /// Merge every counter into a [`NodeStats`] snapshot.
+    pub fn snapshot(&self) -> NodeStats {
+        NodeStats {
+            meetings_attempted: self.meetings_attempted.get(),
+            meetings_completed: self.meetings_completed.get(),
+            meetings_failed: self.meetings_failed.get(),
+            meetings_served: self.meetings_served.get(),
+            retries: self.retries.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+        }
+    }
+}
+
 /// Result of one successfully initiated meeting.
 #[derive(Debug, Clone, Copy)]
 pub struct MeetOutcome {
@@ -49,7 +116,6 @@ pub struct MeetOutcome {
 pub(crate) struct NodeState {
     pub(crate) peer: JxpPeer,
     pub(crate) synopses: PeerSynopses,
-    pub(crate) stats: NodeStats,
 }
 
 /// A JXP peer bound to a node id, safe to share between the transport's
@@ -57,19 +123,31 @@ pub(crate) struct NodeState {
 pub struct JxpNode {
     id: NodeId,
     state: Arc<Mutex<NodeState>>,
+    metrics: NodeMetrics,
+    stats_endpoint: AtomicBool,
 }
 
 impl JxpNode {
-    /// Wrap `peer`, computing its synopses with `perms`.
+    /// Wrap `peer`, computing its synopses with `perms`. Counters are
+    /// detached; use [`JxpNode::with_metrics`] to share them.
     pub fn new(id: NodeId, peer: JxpPeer, perms: &MipsPermutations) -> Self {
+        JxpNode::with_metrics(id, peer, perms, NodeMetrics::detached())
+    }
+
+    /// Like [`JxpNode::new`], but counting into the given handles (e.g.
+    /// registry-registered ones from [`NodeMetrics::registered`]).
+    pub fn with_metrics(
+        id: NodeId,
+        peer: JxpPeer,
+        perms: &MipsPermutations,
+        metrics: NodeMetrics,
+    ) -> Self {
         let synopses = PeerSynopses::compute(peer.graph(), perms);
         JxpNode {
             id,
-            state: Arc::new(Mutex::new(NodeState {
-                peer,
-                synopses,
-                stats: NodeStats::default(),
-            })),
+            state: Arc::new(Mutex::new(NodeState { peer, synopses })),
+            metrics,
+            stats_endpoint: AtomicBool::new(false),
         }
     }
 
@@ -78,9 +156,41 @@ impl JxpNode {
         self.id
     }
 
-    /// Snapshot of the counters.
+    /// Snapshot of the counters. Never takes the state lock: safe to
+    /// call while the node is mid-meeting on another thread.
     pub fn stats(&self) -> NodeStats {
-        self.lock().stats
+        self.metrics.snapshot()
+    }
+
+    /// The counter handles themselves.
+    pub fn metrics(&self) -> &NodeMetrics {
+        &self.metrics
+    }
+
+    /// Start answering [`Frame::StatsRequest`] with this node's counters
+    /// (off by default; disabled nodes reply `Error`/`Refused`).
+    pub fn enable_stats_endpoint(&self) {
+        self.stats_endpoint.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the stats endpoint is enabled.
+    pub fn stats_endpoint_enabled(&self) -> bool {
+        self.stats_endpoint.load(Ordering::Relaxed)
+    }
+
+    /// This node's counters as a wire payload.
+    pub fn stats_payload(&self) -> StatsPayload {
+        let s = self.stats();
+        StatsPayload {
+            node_id: self.id,
+            meetings_attempted: s.meetings_attempted,
+            meetings_completed: s.meetings_completed,
+            meetings_failed: s.meetings_failed,
+            meetings_served: s.meetings_served,
+            retries: s.retries,
+            bytes_in: s.bytes_in,
+            bytes_out: s.bytes_out,
+        }
     }
 
     /// Copy of this node's own synopses.
@@ -113,9 +223,8 @@ impl JxpNode {
             }
         };
         let outcome = request_with_retry(transport, target, &request, policy)?;
-        let mut state = self.lock();
-        state.stats.bytes_out += outcome.exchange.bytes_sent;
-        state.stats.bytes_in += outcome.exchange.bytes_received;
+        self.metrics.bytes_out.add(outcome.exchange.bytes_sent);
+        self.metrics.bytes_in.add(outcome.exchange.bytes_received);
         match outcome.exchange.reply {
             Frame::Hello { node_id, num_pages } => Ok((node_id, num_pages)),
             Frame::Error { detail, .. } => Err(TransportError::Rejected(detail)),
@@ -135,40 +244,35 @@ impl JxpNode {
         transport: &dyn Transport,
         policy: &RetryPolicy,
     ) -> Result<MeetOutcome, TransportError> {
-        let payload = {
-            let mut state = self.lock();
-            state.stats.meetings_attempted += 1;
-            state.peer.payload()
-        };
+        self.metrics.meetings_attempted.inc();
+        let payload = self.lock().peer.payload();
         let request = Frame::MeetRequest(payload);
         let outcome = match request_with_retry(transport, target, &request, policy) {
             Ok(done) => done,
-            Err(e) => {
-                let mut state = self.lock();
-                state.stats.meetings_failed += 1;
-                state.stats.retries += u64::from(policy.max_attempts.max(1) - 1);
-                return Err(e);
+            Err(failed) => {
+                self.metrics.meetings_failed.inc();
+                self.metrics.retries.add(u64::from(failed.retries));
+                return Err(failed.error);
             }
         };
         let remote = match outcome.exchange.reply {
             Frame::MeetReply(remote) => remote,
             Frame::Error { detail, .. } => {
-                self.lock().stats.meetings_failed += 1;
+                self.metrics.meetings_failed.inc();
                 return Err(TransportError::Rejected(detail));
             }
             other => {
-                self.lock().stats.meetings_failed += 1;
+                self.metrics.meetings_failed.inc();
                 return Err(TransportError::Wire(jxp_wire::WireError::Malformed(
                     unexpected_reply(&other),
                 )));
             }
         };
-        let mut state = self.lock();
-        state.peer.absorb(&remote);
-        state.stats.meetings_completed += 1;
-        state.stats.retries += u64::from(outcome.retries);
-        state.stats.bytes_out += outcome.exchange.bytes_sent;
-        state.stats.bytes_in += outcome.exchange.bytes_received;
+        self.lock().peer.absorb(&remote);
+        self.metrics.meetings_completed.inc();
+        self.metrics.retries.add(u64::from(outcome.retries));
+        self.metrics.bytes_out.add(outcome.exchange.bytes_sent);
+        self.metrics.bytes_in.add(outcome.exchange.bytes_received);
         Ok(MeetOutcome {
             bytes_sent: outcome.exchange.bytes_sent,
             bytes_received: outcome.exchange.bytes_received,
@@ -198,10 +302,29 @@ impl JxpNode {
                 )))
             }
         };
-        let mut state = self.lock();
-        state.stats.bytes_out += outcome.exchange.bytes_sent;
-        state.stats.bytes_in += outcome.exchange.bytes_received;
+        self.metrics.bytes_out.add(outcome.exchange.bytes_sent);
+        self.metrics.bytes_in.add(outcome.exchange.bytes_received);
         Ok(remote)
+    }
+
+    /// Ask `target` for its counter snapshot over the wire. Fails with
+    /// [`TransportError::Rejected`] if its stats endpoint is disabled.
+    pub fn fetch_stats(
+        &self,
+        target: NodeId,
+        transport: &dyn Transport,
+        policy: &RetryPolicy,
+    ) -> Result<StatsPayload, TransportError> {
+        let outcome = request_with_retry(transport, target, &Frame::StatsRequest, policy)?;
+        self.metrics.bytes_out.add(outcome.exchange.bytes_sent);
+        self.metrics.bytes_in.add(outcome.exchange.bytes_received);
+        match outcome.exchange.reply {
+            Frame::StatsReply(payload) => Ok(payload),
+            Frame::Error { detail, .. } => Err(TransportError::Rejected(detail)),
+            other => Err(TransportError::Wire(jxp_wire::WireError::Malformed(
+                unexpected_reply(&other),
+            ))),
+        }
     }
 
     /// Score a candidate partner from its synopses: the estimated
@@ -242,6 +365,8 @@ fn unexpected_reply(frame: &Frame) -> &'static str {
         Frame::SynopsisExchange(_) => "unexpected SynopsisExchange reply",
         Frame::Ack { .. } => "unexpected Ack reply",
         Frame::Error { .. } => "unexpected Error reply",
+        Frame::StatsRequest => "unexpected StatsRequest reply",
+        Frame::StatsReply(_) => "unexpected StatsReply reply",
     }
 }
 
@@ -262,7 +387,7 @@ impl FrameHandler for JxpNode {
                 let own = state.peer.payload();
                 match state.peer.try_absorb(&payload) {
                     Ok(()) => {
-                        state.stats.meetings_served += 1;
+                        self.metrics.meetings_served.inc();
                         Frame::MeetReply(own)
                     }
                     Err(why) => Frame::Error {
@@ -279,15 +404,26 @@ impl FrameHandler for JxpNode {
                     bloom: None,
                 })
             }
+            // Built before this frame's own bytes are counted, so the
+            // reported counters describe the pre-request state.
+            Frame::StatsRequest => {
+                if self.stats_endpoint_enabled() {
+                    Frame::StatsReply(self.stats_payload())
+                } else {
+                    Frame::Error {
+                        code: ErrorCode::Refused,
+                        detail: "stats endpoint disabled".to_string(),
+                    }
+                }
+            }
             Frame::Ack { of } => Frame::Ack { of },
-            Frame::MeetReply(_) | Frame::Error { .. } => Frame::Error {
+            Frame::MeetReply(_) | Frame::Error { .. } | Frame::StatsReply(_) => Frame::Error {
                 code: ErrorCode::BadRequest,
                 detail: "frame type is reply-only".to_string(),
             },
         };
-        let mut state = self.lock();
-        state.stats.bytes_in += inbound;
-        state.stats.bytes_out += encoded_len(&reply) as u64;
+        self.metrics.bytes_in.add(inbound);
+        self.metrics.bytes_out.add(encoded_len(&reply) as u64);
         Some(reply)
     }
 }
@@ -378,6 +514,41 @@ mod tests {
     }
 
     #[test]
+    fn rejected_meeting_charges_no_retries() {
+        // A responder that refuses every meeting: the failure is fatal on
+        // the first attempt, so zero retries must be recorded even under
+        // a generous retry policy (the bug this guards against charged
+        // max_attempts - 1 unconditionally).
+        struct Refuser;
+        impl FrameHandler for Refuser {
+            fn handle(&self, _frame: Frame) -> Option<Frame> {
+                Some(Frame::Error {
+                    code: ErrorCode::Refused,
+                    detail: "no meetings today".to_string(),
+                })
+            }
+        }
+        let (a, _) = two_fragment_nodes();
+        let net = LoopbackNetwork::new();
+        net.register(5, Arc::new(Refuser));
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_delay: std::time::Duration::from_millis(1),
+            max_delay: std::time::Duration::from_millis(1),
+        };
+        // The reply decodes fine, so the exchange "succeeds" and the
+        // Error frame surfaces as Rejected after zero retries.
+        assert!(matches!(
+            a.meet(5, &net, &policy),
+            Err(TransportError::Rejected(_))
+        ));
+        let s = a.stats();
+        assert_eq!(s.meetings_attempted, 1);
+        assert_eq!(s.meetings_failed, 1);
+        assert_eq!(s.retries, 0, "fatal first-attempt failure charged retries");
+    }
+
+    #[test]
     fn synopsis_exchange_and_premeet_scoring() {
         let (a, b) = two_fragment_nodes();
         let net = LoopbackNetwork::new();
@@ -409,5 +580,83 @@ mod tests {
         );
         let reply = a.handle(Frame::MeetReply(a.current_payload())).unwrap();
         assert!(matches!(reply, Frame::Error { .. }));
+        let reply = a
+            .handle(Frame::StatsReply(StatsPayload::default()))
+            .unwrap();
+        assert!(matches!(reply, Frame::Error { .. }));
+    }
+
+    #[test]
+    fn stats_endpoint_is_opt_in_and_reports_pre_request_counters() {
+        let (a, b) = two_fragment_nodes();
+        let net = LoopbackNetwork::new();
+        let b = Arc::new(b);
+        net.register(2, Arc::clone(&b) as Arc<dyn FrameHandler>);
+
+        // Disabled by default: the request is refused (and refusal is
+        // fatal — no retries charged on the client side either).
+        assert!(matches!(
+            a.fetch_stats(2, &net, &RetryPolicy::default()),
+            Err(TransportError::Rejected(_))
+        ));
+
+        b.enable_stats_endpoint();
+        a.meet(2, &net, &RetryPolicy::default()).unwrap();
+        let before = b.stats();
+        let payload = a.fetch_stats(2, &net, &RetryPolicy::default()).unwrap();
+        assert_eq!(payload.node_id, 2);
+        assert_eq!(payload.meetings_served, before.meetings_served);
+        // The reply was built before its own frame's bytes were counted,
+        // so the payload matches the pre-request snapshot exactly.
+        assert_eq!(payload.bytes_in, before.bytes_in);
+        assert_eq!(payload.bytes_out, before.bytes_out);
+    }
+
+    #[test]
+    fn stats_never_take_the_state_lock() {
+        // Hold the node's state mutex on this thread, then read stats
+        // and serve counter updates from another: if any stats path
+        // touched the lock this would deadlock until the 5s timeout.
+        let (a, _) = two_fragment_nodes();
+        let a = Arc::new(a);
+        let guard = a.lock();
+        let worker = {
+            let a = Arc::clone(&a);
+            std::thread::spawn(move || {
+                a.metrics().bytes_in.add(17);
+                a.metrics().meetings_served.inc();
+                a.stats()
+            })
+        };
+        let mut waited = std::time::Duration::ZERO;
+        while !worker.is_finished() && waited < std::time::Duration::from_secs(5) {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            waited += std::time::Duration::from_millis(5);
+        }
+        assert!(
+            worker.is_finished(),
+            "stats() blocked on the state mutex held by this thread"
+        );
+        drop(guard);
+        let s = worker.join().unwrap();
+        assert_eq!(s.bytes_in, 17);
+        assert_eq!(s.meetings_served, 1);
+    }
+
+    #[test]
+    fn registered_metrics_surface_in_registry_snapshot() {
+        let registry = Registry::new();
+        let ga = Subgraph::from_adjacency(vec![(PageId(0), vec![PageId(1)])]);
+        let perms = MipsPermutations::generate(8, 3);
+        let node = JxpNode::with_metrics(
+            4,
+            JxpPeer::new(ga, 2, JxpConfig::default()),
+            &perms,
+            NodeMetrics::registered(&registry, 4),
+        );
+        node.metrics().bytes_out.add(99);
+        assert_eq!(node.stats().bytes_out, 99);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["jxp_node_bytes_out_total{node=\"4\"}"], 99);
     }
 }

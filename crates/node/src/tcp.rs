@@ -147,7 +147,12 @@ impl TcpTransport {
 
     /// Map `id` to the address of its [`TcpServer`].
     pub fn add_route(&self, id: NodeId, addr: SocketAddr) {
-        self.routes.lock().unwrap().insert(id, addr);
+        // Recover from poisoning: the route table is plain data, and a
+        // panicking handler thread must not wedge every later meeting.
+        self.routes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, addr);
     }
 }
 
@@ -156,7 +161,7 @@ impl Transport for TcpTransport {
         let addr = self
             .routes
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .get(&peer)
             .copied()
             .ok_or_else(|| TransportError::Unreachable(format!("no route to node {peer}")))?;

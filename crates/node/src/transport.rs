@@ -162,14 +162,40 @@ pub struct RetriedExchange {
     pub retries: u32,
 }
 
+/// Failure of [`request_with_retry`], carrying how many retries were
+/// actually spent before giving up — a first-attempt fatal rejection
+/// reports 0, a full exhaustion reports `max_attempts - 1` — so callers
+/// can account retries exactly instead of assuming the worst case.
+#[derive(Debug)]
+pub struct RetryError {
+    /// The error from the last attempt.
+    pub error: TransportError,
+    /// Retries spent (attempts made minus the first try).
+    pub retries: u32,
+}
+
+impl std::fmt::Display for RetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (after {} retries)", self.error, self.retries)
+    }
+}
+
+impl std::error::Error for RetryError {}
+
+impl From<RetryError> for TransportError {
+    fn from(e: RetryError) -> Self {
+        e.error
+    }
+}
+
 /// Run one exchange under a [`RetryPolicy`], sleeping the backoff between
-/// attempts. Returns the last error if every attempt fails.
+/// attempts. On failure the error reports the retries actually spent.
 pub fn request_with_retry(
     transport: &dyn Transport,
     peer: NodeId,
     frame: &Frame,
     policy: &RetryPolicy,
-) -> Result<RetriedExchange, TransportError> {
+) -> Result<RetriedExchange, RetryError> {
     let attempts = policy.max_attempts.max(1);
     let mut last = None;
     for attempt in 0..attempts {
@@ -185,7 +211,10 @@ pub fn request_with_retry(
             }
             Err(e) => {
                 let fatal = matches!(e, TransportError::Rejected(_));
-                last = Some(e);
+                last = Some(RetryError {
+                    error: e,
+                    retries: attempt,
+                });
                 if fatal {
                     break;
                 }
@@ -265,7 +294,31 @@ mod tests {
             max_delay: Duration::from_millis(1),
         };
         let err = request_with_retry(&t, 0, &Frame::Ack { of: 1 }, &policy).unwrap_err();
-        assert!(matches!(err, TransportError::Timeout));
+        assert!(matches!(err.error, TransportError::Timeout));
+        assert_eq!(err.retries, 2, "three attempts = two retries");
         assert_eq!(t.calls.load(Ordering::SeqCst), 3);
+    }
+
+    struct Rejecting;
+
+    impl Transport for Rejecting {
+        fn request(&self, _peer: NodeId, _frame: &Frame) -> Result<Exchange, TransportError> {
+            Err(TransportError::Rejected("go away".into()))
+        }
+    }
+
+    #[test]
+    fn fatal_rejection_on_first_attempt_reports_zero_retries() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(1),
+        };
+        let err = request_with_retry(&Rejecting, 0, &Frame::Ack { of: 1 }, &policy).unwrap_err();
+        assert!(matches!(err.error, TransportError::Rejected(_)));
+        assert_eq!(
+            err.retries, 0,
+            "fatal first attempt must not charge retries"
+        );
     }
 }

@@ -43,6 +43,7 @@ use jxp_core::meeting::{meet, MeetingStats};
 use jxp_core::selection::select_partner;
 use jxp_core::JxpPeer;
 use jxp_pagerank::par::resolve_threads;
+use jxp_telemetry::Event;
 use rand::Rng;
 
 /// Summary of one [`Network::run_parallel`] invocation.
@@ -171,9 +172,25 @@ impl Network {
             let budget = count - report.meetings as usize;
             let pairs = self.draw_round(budget, &mut pending);
             debug_assert!(!pairs.is_empty(), "a round always holds >= 1 pair");
+            let started = std::time::Instant::now();
             let stats = self.execute_round(&pairs, threads);
+            let elapsed = started.elapsed().as_secs_f64();
             for (&(initiator, partner), s) in pairs.iter().zip(&stats) {
                 self.account_meeting(initiator, partner, s);
+            }
+            if let Some(t) = &self.telemetry {
+                t.rounds.inc();
+                // Matching width is schedule-determined (identical at
+                // every thread count); round wall time is the slowest
+                // worker — the straggler — and lives only in a
+                // histogram, never in an event.
+                t.round_width.observe(pairs.len() as f64);
+                t.round_seconds.observe(elapsed);
+                t.hub.events().record(Event::RoundExecuted {
+                    round: report.rounds,
+                    pairs: pairs.len() as u64,
+                    threads: threads.min(pairs.len()).max(1) as u64,
+                });
             }
             report.rounds += 1;
             report.max_round = report.max_round.max(pairs.len());
@@ -316,6 +333,74 @@ mod tests {
         let late = metrics::footrule_distance(&net.total_ranking(), &truth_ranking, 50);
         assert!(late < early, "footrule did not improve: {early} → {late}");
         assert!(late < 0.35, "footrule after 200 parallel meetings: {late}");
+    }
+
+    #[test]
+    fn telemetry_is_deterministic_across_thread_counts() {
+        use jxp_telemetry::{Event, EventRecord, TelemetryHub, TelemetrySnapshot};
+        use std::sync::Arc;
+
+        // `threads` in RoundExecuted reflects the actual worker count,
+        // the one field that legitimately varies with the knob; zero it
+        // before comparing streams.
+        fn normalized(snap: &TelemetrySnapshot) -> Vec<EventRecord> {
+            snap.events
+                .iter()
+                .cloned()
+                .map(|mut r| {
+                    if let Event::RoundExecuted { threads, .. } = &mut r.event {
+                        *threads = 0;
+                    }
+                    r
+                })
+                .collect()
+        }
+
+        let config = NetworkConfig {
+            strategy: SelectionStrategy::PreMeetings(PreMeetingsConfig::default()),
+            ..Default::default()
+        };
+        let run = |threads: usize| {
+            let mut net = net_with(threads, config.clone());
+            let hub = TelemetryHub::shared();
+            net.attach_telemetry(Arc::clone(&hub));
+            net.run_parallel(120);
+            let totals = (
+                net.bandwidth().total_bytes(),
+                net.bandwidth().premeeting_bytes(),
+            );
+            (fingerprint(&net), hub.snapshot(), totals)
+        };
+
+        let (fp1, snap1, (total1, pre1)) = run(1);
+        // Counters mirror the serial bandwidth log exactly.
+        let counters = &snap1.metrics.counters;
+        assert_eq!(counters["jxp_sim_meetings_total"], 120);
+        assert_eq!(
+            counters["jxp_sim_meeting_bytes_total"] + counters["jxp_sim_premeeting_bytes_total"],
+            total1
+        );
+        assert_eq!(counters["jxp_sim_premeeting_bytes_total"], pre1);
+        assert!(counters["jxp_sim_rounds_total"] > 0);
+        // And instrumentation must not perturb the engine itself.
+        let mut plain = net_with(1, config.clone());
+        plain.run_parallel(120);
+        assert_eq!(fingerprint(&plain), fp1, "telemetry perturbed the run");
+
+        for threads in [2, 8] {
+            let (fp, snap, totals) = run(threads);
+            assert_eq!(fp, fp1, "nondeterminism at {threads} threads");
+            assert_eq!(totals, (total1, pre1));
+            assert_eq!(
+                snap.metrics.counters, snap1.metrics.counters,
+                "counter totals diverge at {threads} threads"
+            );
+            assert_eq!(
+                normalized(&snap),
+                normalized(&snap1),
+                "event streams diverge at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -14,9 +14,11 @@ use jxp_core::selection::{
 use jxp_core::{JxpConfig, JxpPeer};
 use jxp_pagerank::Ranking;
 use jxp_synopses::mips::MipsPermutations;
+use jxp_telemetry::{Counter, Event, Histogram, TelemetryHub};
 use jxp_webgraph::Subgraph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -73,6 +75,49 @@ pub struct MeetingRecord {
     pub stats: MeetingStats,
 }
 
+/// Telemetry handles the simulator touches on hot paths, resolved once
+/// at [`Network::attach_telemetry`] time so per-meeting accounting
+/// never walks the registry's name map. Counters and events are only
+/// updated from the serial accounting phase (see
+/// [`Network::account_meeting`]), so enabling telemetry cannot perturb
+/// the engine's bit-identical thread-count determinism; the duration
+/// histogram holds the only wall-clock quantity and is deliberately
+/// excluded from determinism comparisons.
+pub(crate) struct SimTelemetry {
+    pub(crate) hub: Arc<TelemetryHub>,
+    pub(crate) meetings: Arc<Counter>,
+    pub(crate) meeting_bytes: Arc<Counter>,
+    pub(crate) premeeting_bytes: Arc<Counter>,
+    pub(crate) joins: Arc<Counter>,
+    pub(crate) departures: Arc<Counter>,
+    pub(crate) rounds: Arc<Counter>,
+    pub(crate) round_width: Arc<Histogram>,
+    pub(crate) round_seconds: Arc<Histogram>,
+}
+
+impl SimTelemetry {
+    fn new(hub: Arc<TelemetryHub>) -> Self {
+        let reg = hub.registry();
+        SimTelemetry {
+            meetings: reg.counter("jxp_sim_meetings_total"),
+            meeting_bytes: reg.counter("jxp_sim_meeting_bytes_total"),
+            premeeting_bytes: reg.counter("jxp_sim_premeeting_bytes_total"),
+            joins: reg.counter("jxp_sim_churn_joins_total"),
+            departures: reg.counter("jxp_sim_churn_departures_total"),
+            rounds: reg.counter("jxp_sim_rounds_total"),
+            round_width: reg.histogram(
+                "jxp_sim_round_width",
+                &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+            ),
+            round_seconds: reg.histogram(
+                "jxp_sim_round_seconds",
+                &[1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0],
+            ),
+            hub,
+        }
+    }
+}
+
 /// A simulated P2P network of JXP peers.
 pub struct Network {
     pub(crate) peers: Vec<JxpPeer>,
@@ -85,6 +130,7 @@ pub struct Network {
     pub(crate) rng: StdRng,
     pub(crate) bandwidth: BandwidthLog,
     pub(crate) meetings: u64,
+    pub(crate) telemetry: Option<SimTelemetry>,
 }
 
 impl Network {
@@ -126,7 +172,23 @@ impl Network {
             rng: StdRng::seed_from_u64(seed),
             bandwidth: BandwidthLog::new(num),
             meetings: 0,
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry hub: meetings, bandwidth, churn and (for the
+    /// parallel engine) round shape are recorded into it from the
+    /// serial accounting path. Handles are cached here, so the hot path
+    /// never resolves metric names. Attaching is observation-only —
+    /// scores, bandwidth history and selector state are bit-identical
+    /// with telemetry on or off, at every thread count.
+    pub fn attach_telemetry(&mut self, hub: Arc<TelemetryHub>) {
+        self.telemetry = Some(SimTelemetry::new(hub));
+    }
+
+    /// The attached telemetry hub, if any.
+    pub fn telemetry_hub(&self) -> Option<&Arc<TelemetryHub>> {
+        self.telemetry.as_ref().map(|t| &t.hub)
     }
 
     /// Number of peers currently in the network.
@@ -214,12 +276,26 @@ impl Network {
             (0, 0)
         };
         let sketch_bytes = self.counter.as_ref().map_or(0, |c| c.wire_size() as u64);
-        self.bandwidth.record_meeting(
-            initiator,
-            stats.bytes_a_to_b as u64 + syn_a + sketch_bytes,
-            partner,
-            stats.bytes_b_to_a as u64 + syn_b + sketch_bytes,
-        );
+        let sent_a = stats.bytes_a_to_b as u64 + syn_a + sketch_bytes;
+        let sent_b = stats.bytes_b_to_a as u64 + syn_b + sketch_bytes;
+        self.bandwidth
+            .record_meeting(initiator, sent_a, partner, sent_b);
+        if let Some(t) = &self.telemetry {
+            t.meetings.inc();
+            t.meeting_bytes.add(sent_a + sent_b);
+            let meeting = self.meetings; // 0-based global meeting number
+            t.hub.events().record(Event::MeetingStarted {
+                meeting,
+                initiator: initiator as u64,
+                partner: partner as u64,
+            });
+            t.hub.events().record(Event::MeetingCompleted {
+                meeting,
+                initiator: initiator as u64,
+                partner: partner as u64,
+                bytes: sent_a + sent_b,
+            });
+        }
         if let Some(cfg) = self.premeetings_cfg().cloned() {
             let before: u64 =
                 self.states[initiator].premeeting_bytes + self.states[partner].premeeting_bytes;
@@ -227,6 +303,9 @@ impl Network {
             let after: u64 =
                 self.states[initiator].premeeting_bytes + self.states[partner].premeeting_bytes;
             self.bandwidth.record_premeeting(after - before);
+            if let Some(t) = &self.telemetry {
+                t.premeeting_bytes.add(after - before);
+            }
         }
         if let Some(counter) = &mut self.counter {
             counter.merge_pair(initiator, partner);
@@ -279,6 +358,7 @@ impl Network {
             .push(JxpPeer::new(fragment, n, self.config.jxp.clone()));
         self.states.push(SelectorState::default());
         self.bandwidth.add_peer();
+        self.record_churn(self.peers.len() - 1, true);
     }
 
     /// A peer re-joining **with state** (e.g. restored from a
@@ -293,6 +373,7 @@ impl Network {
         self.peers.push(peer);
         self.states.push(SelectorState::default());
         self.bandwidth.add_peer();
+        self.record_churn(self.peers.len() - 1, true);
     }
 
     /// A departing peer (churn). Uses swap-remove, which renumbers the
@@ -310,7 +391,23 @@ impl Network {
             c.remove_peer(p);
         }
         self.states = vec![SelectorState::default(); self.peers.len()];
+        self.record_churn(p, false);
         peer
+    }
+
+    /// Trace a join/departure (no-op without an attached hub).
+    fn record_churn(&self, peer: usize, joined: bool) {
+        if let Some(t) = &self.telemetry {
+            if joined {
+                t.joins.inc();
+            } else {
+                t.departures.inc();
+            }
+            t.hub.events().record(Event::Churn {
+                peer: peer as u64,
+                joined,
+            });
+        }
     }
 }
 
@@ -577,6 +674,53 @@ mod tests {
         assert_eq!(net.num_peers(), 6);
         net.run(10);
         assert_eq!(net.meetings(), 30);
+    }
+
+    #[test]
+    fn telemetry_mirrors_bandwidth_log_and_traces_churn() {
+        let (cg, frags) = small_world();
+        let extra = frags[0].clone();
+        let config = NetworkConfig {
+            strategy: SelectionStrategy::PreMeetings(PreMeetingsConfig::default()),
+            ..Default::default()
+        };
+        let mut net = Network::new(frags, cg.graph.num_nodes() as u64, config, 13);
+        let hub = jxp_telemetry::TelemetryHub::shared();
+        net.attach_telemetry(Arc::clone(&hub));
+        net.run(25);
+        net.add_peer(extra);
+        net.run(5);
+        let departed_index = net.num_peers() - 1;
+        let _ = net.remove_peer(departed_index);
+
+        let snap = hub.snapshot();
+        let counters = &snap.metrics.counters;
+        assert_eq!(counters["jxp_sim_meetings_total"], 30);
+        assert_eq!(
+            counters["jxp_sim_meeting_bytes_total"] + counters["jxp_sim_premeeting_bytes_total"],
+            net.bandwidth().total_bytes()
+        );
+        assert_eq!(
+            counters["jxp_sim_premeeting_bytes_total"],
+            net.bandwidth().premeeting_bytes()
+        );
+        assert!(counters["jxp_sim_premeeting_bytes_total"] > 0);
+        assert_eq!(counters["jxp_sim_churn_joins_total"], 1);
+        assert_eq!(counters["jxp_sim_churn_departures_total"], 1);
+        // The sequential path runs no rounds.
+        assert_eq!(counters["jxp_sim_rounds_total"], 0);
+
+        let churn: Vec<(u64, bool)> = snap
+            .events
+            .iter()
+            .filter_map(|r| match r.event {
+                jxp_telemetry::Event::Churn { peer, joined } => Some((peer, joined)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(churn, vec![(6, true), (departed_index as u64, false)]);
+        // 30 meetings × (started + completed) + 2 churn events.
+        assert_eq!(hub.events().recorded(), 62);
     }
 
     #[test]

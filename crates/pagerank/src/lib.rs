@@ -45,5 +45,5 @@ pub mod personalized;
 pub mod power;
 pub mod ranking;
 
-pub use power::{pagerank, PageRankConfig, PageRankResult};
+pub use power::{pagerank, pagerank_with_telemetry, PageRankConfig, PageRankResult};
 pub use ranking::Ranking;

@@ -15,6 +15,7 @@
 //! treatment in the local computation so JXP-vs-PR comparisons are
 //! apples-to-apples (see DESIGN.md §5).
 
+use jxp_telemetry::{Event, TelemetryHub};
 use jxp_webgraph::{CsrGraph, PageId};
 
 /// Configuration for the power iteration.
@@ -122,7 +123,31 @@ impl PageRankResult {
 /// # Panics
 /// Panics if the graph is empty or the config is invalid.
 pub fn pagerank(g: &CsrGraph, config: &PageRankConfig) -> PageRankResult {
+    pagerank_with_telemetry(g, config, None)
+}
+
+/// [`pagerank`] with optional instrumentation: when `telemetry` is
+/// given, every sweep bumps the `jxp_pagerank_iterations_total` counter,
+/// publishes the L1 residual on the `jxp_pagerank_residual` gauge, and
+/// traces a [`Event::PrIterated`] record. The numeric result is
+/// untouched — the same float operations run in the same order, so
+/// scores stay bit-identical with telemetry on or off.
+///
+/// # Panics
+/// Panics if the graph is empty or the config is invalid.
+pub fn pagerank_with_telemetry(
+    g: &CsrGraph,
+    config: &PageRankConfig,
+    telemetry: Option<&TelemetryHub>,
+) -> PageRankResult {
     config.validate();
+    let instruments = telemetry.map(|hub| {
+        (
+            hub.registry().counter("jxp_pagerank_iterations_total"),
+            hub.registry().gauge("jxp_pagerank_residual"),
+            hub.events(),
+        )
+    });
     let n = g.num_nodes();
     assert!(n > 0, "PageRank of an empty graph is undefined");
     let eps = config.epsilon;
@@ -169,6 +194,14 @@ pub fn pagerank(g: &CsrGraph, config: &PageRankConfig) -> PageRankResult {
             delta
         });
         let delta: f64 = partials.iter().sum();
+        if let Some((iters, residual, events)) = &instruments {
+            iters.inc();
+            residual.set(delta);
+            events.record(Event::PrIterated {
+                iteration: iterations as u64,
+                residual: delta,
+            });
+        }
         std::mem::swap(&mut curr, &mut next);
         if delta < config.tolerance {
             converged = true;
@@ -336,6 +369,35 @@ mod tests {
             );
             assert_eq!(serial.iterations(), par.iterations());
         }
+    }
+
+    #[test]
+    fn telemetry_traces_iterations_without_changing_scores() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 0), (3, 2), (3, 4), (4, 3)]);
+        let cfg = PageRankConfig::default();
+        let plain = pagerank(&g, &cfg);
+        let hub = jxp_telemetry::TelemetryHub::new();
+        let traced = pagerank_with_telemetry(&g, &cfg, Some(&hub));
+        assert_eq!(plain.scores(), traced.scores());
+        assert_eq!(plain.iterations(), traced.iterations());
+
+        let snap = hub.snapshot();
+        assert_eq!(
+            snap.metrics.counters["jxp_pagerank_iterations_total"],
+            traced.iterations() as u64
+        );
+        // The gauge holds the final residual, which beat the tolerance.
+        assert!(snap.metrics.gauges["jxp_pagerank_residual"] < cfg.tolerance);
+        let iterated: Vec<u64> = snap
+            .events
+            .iter()
+            .filter_map(|r| match r.event {
+                jxp_telemetry::Event::PrIterated { iteration, .. } => Some(iteration),
+                _ => None,
+            })
+            .collect();
+        let want: Vec<u64> = (1..=traced.iterations() as u64).collect();
+        assert_eq!(iterated, want, "one PrIterated per sweep, in order");
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! # jxp-telemetry
+//!
+//! Observability subsystem for the JXP reproduction: a lock-free
+//! metrics registry, a bounded structured event ring, and Prometheus /
+//! JSON exporters. Instrumented layers (node runtime, simulator,
+//! parallel meeting engine, power iteration) hold one shared
+//! [`TelemetryHub`] and hit pre-registered `Arc` handles on the hot
+//! path — a relaxed atomic add, never a lock.
+//!
+//! Telemetry is observation-only. Counters are commutative, events on
+//! deterministic paths are recorded from the serial accounting phase,
+//! and nothing time-like enters an [`Event`] — so enabling telemetry
+//! cannot perturb the engine's bit-identical thread-count determinism.
+
+#![deny(missing_docs)]
+
+pub mod events;
+pub mod export;
+pub mod metrics;
+
+pub use events::{Event, EventRecord, EventRing};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
+
+use std::sync::Arc;
+
+/// Default number of events retained by a hub's ring.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// One registry plus one event ring — the unit of instrumentation a
+/// run shares across layers.
+#[derive(Debug)]
+pub struct TelemetryHub {
+    registry: Registry,
+    events: EventRing,
+}
+
+impl TelemetryHub {
+    /// A hub with the default event capacity.
+    pub fn new() -> Self {
+        TelemetryHub::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A hub retaining the most recent `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        TelemetryHub {
+            registry: Registry::new(),
+            events: EventRing::new(capacity),
+        }
+    }
+
+    /// Convenience: an `Arc`-wrapped default hub.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(TelemetryHub::new())
+    }
+
+    /// The metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The event ring.
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// Freeze metrics and retained events together.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            metrics: self.registry.snapshot(),
+            events: self.events.snapshot(),
+        }
+    }
+}
+
+impl Default for TelemetryHub {
+    fn default() -> Self {
+        TelemetryHub::new()
+    }
+}
+
+/// Point-in-time state of a [`TelemetryHub`]: every metric plus the
+/// retained event window. The exporters in [`export`] render this.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySnapshot {
+    /// Frozen metric values, sorted by name.
+    pub metrics: RegistrySnapshot,
+    /// Retained events, oldest first.
+    pub events: Vec<EventRecord>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_combines_registry_and_events() {
+        let hub = TelemetryHub::with_event_capacity(4);
+        hub.registry().counter("meetings_total").add(2);
+        hub.events().record(Event::Churn {
+            peer: 1,
+            joined: true,
+        });
+        let snap = hub.snapshot();
+        assert_eq!(snap.metrics.counters["meetings_total"], 2);
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].seq, 0);
+    }
+
+    #[test]
+    fn shared_hub_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TelemetryHub>();
+        let hub = TelemetryHub::shared();
+        let h2 = Arc::clone(&hub);
+        std::thread::spawn(move || h2.registry().counter("x_total").inc())
+            .join()
+            .unwrap();
+        assert_eq!(hub.snapshot().metrics.counters["x_total"], 1);
+    }
+}

@@ -47,6 +47,8 @@ const TYPE_MEET_REPLY: u8 = 3;
 const TYPE_SYNOPSIS_EXCHANGE: u8 = 4;
 const TYPE_ACK: u8 = 5;
 const TYPE_ERROR: u8 = 6;
+const TYPE_STATS_REQUEST: u8 = 7;
+const TYPE_STATS_REPLY: u8 = 8;
 
 /// Decode failures. `Truncated` is retriable-by-reading-more when the
 /// input is a stream prefix; everything else is a protocol violation.
@@ -151,6 +153,36 @@ impl SynopsisPayload {
     }
 }
 
+/// A node's counter snapshot, answered to a [`Frame::StatsRequest`] by
+/// peers running with the stats endpoint enabled. Fixed 64-byte body:
+/// the node id plus its seven `u64` counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsPayload {
+    /// Responding node's id.
+    pub node_id: u64,
+    /// Meetings the node initiated.
+    pub meetings_attempted: u64,
+    /// Initiated meetings that completed.
+    pub meetings_completed: u64,
+    /// Initiated meetings abandoned.
+    pub meetings_failed: u64,
+    /// Inbound meeting requests answered.
+    pub meetings_served: u64,
+    /// Retries spent across initiated exchanges.
+    pub retries: u64,
+    /// Wire bytes received.
+    pub bytes_in: u64,
+    /// Wire bytes sent.
+    pub bytes_out: u64,
+}
+
+impl StatsPayload {
+    /// Exact body length of the [`Frame::StatsReply`] encoding.
+    pub const fn wire_size() -> usize {
+        8 * 8
+    }
+}
+
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -179,6 +211,11 @@ pub enum Frame {
         /// Human-readable detail.
         detail: String,
     },
+    /// Ask a peer for its counter snapshot (empty body). Peers without
+    /// the stats endpoint enabled answer [`Frame::Error`]/`Refused`.
+    StatsRequest,
+    /// A peer's counter snapshot.
+    StatsReply(StatsPayload),
 }
 
 impl Frame {
@@ -190,6 +227,8 @@ impl Frame {
             Frame::SynopsisExchange(_) => TYPE_SYNOPSIS_EXCHANGE,
             Frame::Ack { .. } => TYPE_ACK,
             Frame::Error { .. } => TYPE_ERROR,
+            Frame::StatsRequest => TYPE_STATS_REQUEST,
+            Frame::StatsReply(_) => TYPE_STATS_REPLY,
         }
     }
 
@@ -201,6 +240,8 @@ impl Frame {
             Frame::SynopsisExchange(s) => s.wire_size(),
             Frame::Ack { .. } => 1,
             Frame::Error { detail, .. } => 2 + 4 + detail.len(),
+            Frame::StatsRequest => 0,
+            Frame::StatsReply(_) => StatsPayload::wire_size(),
         }
     }
 }
@@ -257,6 +298,17 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             buf.put_u16_le(code.to_u16());
             buf.put_u32_le(detail.len() as u32);
             buf.put_slice(detail.as_bytes());
+        }
+        Frame::StatsRequest => {}
+        Frame::StatsReply(s) => {
+            buf.put_u64_le(s.node_id);
+            buf.put_u64_le(s.meetings_attempted);
+            buf.put_u64_le(s.meetings_completed);
+            buf.put_u64_le(s.meetings_failed);
+            buf.put_u64_le(s.meetings_served);
+            buf.put_u64_le(s.retries);
+            buf.put_u64_le(s.bytes_in);
+            buf.put_u64_le(s.bytes_out);
         }
     }
     debug_assert_eq!(buf.len(), HEADER_LEN + body_len, "body_len out of sync");
@@ -361,6 +413,17 @@ pub fn decode_frame(input: &[u8]) -> Result<(Frame, usize), WireError> {
                 String::from_utf8(raw).map_err(|_| WireError::Malformed("error detail utf-8"))?;
             Frame::Error { code, detail }
         }
+        TYPE_STATS_REQUEST => Frame::StatsRequest,
+        TYPE_STATS_REPLY => Frame::StatsReply(StatsPayload {
+            node_id: take_u64(&mut body)?,
+            meetings_attempted: take_u64(&mut body)?,
+            meetings_completed: take_u64(&mut body)?,
+            meetings_failed: take_u64(&mut body)?,
+            meetings_served: take_u64(&mut body)?,
+            retries: take_u64(&mut body)?,
+            bytes_in: take_u64(&mut body)?,
+            bytes_out: take_u64(&mut body)?,
+        }),
         other => return Err(WireError::UnknownFrameType(other)),
     };
     if body.has_remaining() {
@@ -624,6 +687,42 @@ mod tests {
             }
             other => panic!("wrong frame: {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_frames_roundtrip_at_fixed_size() {
+        let encoded = encode_frame(&Frame::StatsRequest);
+        assert_eq!(encoded.len(), HEADER_LEN);
+        let (decoded, used) = decode_frame(&encoded).unwrap();
+        assert_eq!(decoded, Frame::StatsRequest);
+        assert_eq!(used, HEADER_LEN);
+
+        let payload = StatsPayload {
+            node_id: 7,
+            meetings_attempted: 100,
+            meetings_completed: 96,
+            meetings_failed: 4,
+            meetings_served: 88,
+            retries: 9,
+            bytes_in: 123_456,
+            bytes_out: 654_321,
+        };
+        let encoded = encode_frame(&Frame::StatsReply(payload));
+        assert_eq!(encoded.len(), HEADER_LEN + StatsPayload::wire_size());
+        let (decoded, _) = decode_frame(&encoded).unwrap();
+        assert_eq!(decoded, Frame::StatsReply(payload));
+    }
+
+    #[test]
+    fn stats_reply_truncated_body_is_rejected() {
+        let encoded = encode_frame(&Frame::StatsReply(StatsPayload::default()));
+        let mut short = encoded.clone();
+        short.truncate(HEADER_LEN + 40);
+        short[8..12].copy_from_slice(&40u32.to_le_bytes());
+        assert_eq!(
+            decode_frame(&short),
+            Err(WireError::Malformed("field overruns body"))
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@ use jxp_synopses::fm_sketch::FmSketch;
 use jxp_synopses::mips::MipsVector;
 use jxp_webgraph::PageId;
 use jxp_wire::{
-    decode_frame, encode_frame, encoded_len, ErrorCode, Frame, SynopsisPayload, WireError,
-    HEADER_LEN,
+    decode_frame, encode_frame, encoded_len, ErrorCode, Frame, StatsPayload, SynopsisPayload,
+    WireError, HEADER_LEN,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -84,28 +84,46 @@ fn synopsis_payloads() -> impl Strategy<Value = SynopsisPayload> {
         })
 }
 
+fn stats_payloads() -> impl Strategy<Value = StatsPayload> {
+    vec(0u64..u64::MAX, 8).prop_map(|f| StatsPayload {
+        node_id: f[0],
+        meetings_attempted: f[1],
+        meetings_completed: f[2],
+        meetings_failed: f[3],
+        meetings_served: f[4],
+        retries: f[5],
+        bytes_in: f[6],
+        bytes_out: f[7],
+    })
+}
+
 /// One strategy covering every frame type: the selector picks a variant
 /// and the components feed it.
 fn frames() -> impl Strategy<Value = Frame> {
     (
-        0u8..6,
+        0u8..8,
         (0u64..u64::MAX, 0u64..1_000_000),
         meeting_payloads(),
         synopsis_payloads(),
         0u8..=255,
         vec(32u8..127, 0..40),
+        stats_payloads(),
     )
         .prop_map(
-            |(selector, (node_id, num_pages), meeting, synopsis, ack_of, detail)| match selector {
-                0 => Frame::Hello { node_id, num_pages },
-                1 => Frame::MeetRequest(meeting),
-                2 => Frame::MeetReply(meeting),
-                3 => Frame::SynopsisExchange(synopsis),
-                4 => Frame::Ack { of: ack_of },
-                _ => Frame::Error {
-                    code: ErrorCode::Busy,
-                    detail: String::from_utf8(detail).unwrap(),
-                },
+            |(selector, (node_id, num_pages), meeting, synopsis, ack_of, detail, stats)| {
+                match selector {
+                    0 => Frame::Hello { node_id, num_pages },
+                    1 => Frame::MeetRequest(meeting),
+                    2 => Frame::MeetReply(meeting),
+                    3 => Frame::SynopsisExchange(synopsis),
+                    4 => Frame::Ack { of: ack_of },
+                    5 => Frame::StatsRequest,
+                    6 => Frame::StatsReply(stats),
+                    _ => Frame::Error {
+                        code: ErrorCode::Busy,
+                        detail: String::from_utf8(detail).unwrap(),
+                    },
+                }
             },
         )
 }
