@@ -1,0 +1,223 @@
+//! `jxp-analyze`: determinism & concurrency static analysis for the
+//! JXP workspace.
+//!
+//! JXP's headline invariant — bit-identical score hashes at any thread
+//! count — is only as strong as the discipline of the code that
+//! computes them. This crate machine-checks that discipline with four
+//! rules:
+//!
+//! | Rule | What it forbids |
+//! |------|-----------------|
+//! | `D1` | hash-map/set iteration in determinism-critical modules |
+//! | `D2` | `Instant::now` / `SystemTime::now` / ambient RNG outside the timing whitelist |
+//! | `C1` | `.lock().unwrap()`-style poison panics on shared state |
+//! | `C2` | `Ordering::Relaxed` on atomics without a reasoned annotation |
+//!
+//! Findings can be suppressed inline with
+//! `// jxp-analyze: allow(D2, reason = "...")` (same line or the line
+//! above) or file-wide with `// jxp-analyze: allow-file(C2, reason = "...")`.
+//! A reason is mandatory; a pragma without one is itself a diagnostic.
+//!
+//! The scanner is hand-rolled (no crates.io dependencies): it strips
+//! comments and string/char literals, truncates each file at its
+//! trailing `#[cfg(test)]` module, and matches token patterns over
+//! what remains. See `DESIGN.md` §11 for the full rule catalog.
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod rules;
+pub mod scan;
+
+pub use config::Config;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Identifier of one analysis rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Hash-ordered iteration in a determinism-critical module.
+    D1,
+    /// Wall clock / ambient RNG outside the timing whitelist.
+    D2,
+    /// Poison-panicking lock acquisition.
+    C1,
+    /// Unjustified `Ordering::Relaxed`.
+    C2,
+    /// Malformed suppression pragma.
+    Pragma,
+}
+
+impl RuleId {
+    /// Parse a rule id as written in a pragma.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s {
+            "D1" => Some(RuleId::D1),
+            "D2" => Some(RuleId::D2),
+            "C1" => Some(RuleId::C1),
+            "C2" => Some(RuleId::C2),
+            _ => None,
+        }
+    }
+
+    /// One-line description for `jxp-analyze rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::D1 => {
+                "no HashMap/HashSet iteration in determinism-critical modules \
+                 (use BTreeMap/BTreeSet or an explicit sort)"
+            }
+            RuleId::D2 => {
+                "no Instant::now / SystemTime::now / thread_rng outside the \
+                 timing whitelist (meeting timers, bench, straggler clocks)"
+            }
+            RuleId::C1 => {
+                "no .lock().unwrap() / .read().unwrap() on shared state \
+                 (use the poison-recovering jxp_telemetry::sync helpers)"
+            }
+            RuleId::C2 => {
+                "Ordering::Relaxed must not publish data across threads; \
+                 pure counters carry a reasoned allow pragma"
+            }
+            RuleId::Pragma => "suppression pragmas must name known rules and give a reason",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleId::D1 => write!(f, "D1"),
+            RuleId::D2 => write!(f, "D2"),
+            RuleId::C1 => write!(f, "C1"),
+            RuleId::C2 => write!(f, "C2"),
+            RuleId::Pragma => write!(f, "pragma"),
+        }
+    }
+}
+
+/// One finding: rule, location, and a human-oriented message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Analyze one source string as if it lived at `rel_path` (workspace
+/// relative — rule applicability is path-dependent).
+pub fn analyze_source(rel_path: &str, source: &str, config: &Config) -> Vec<Diagnostic> {
+    let prepared = scan::preprocess(source);
+    rules::check_file(rel_path, &prepared, config)
+}
+
+/// Walk the workspace at `root` and analyze every `.rs` file under the
+/// configured include patterns. Returns diagnostics sorted by
+/// `(file, line, rule)`; I/O problems surface as `Err`.
+pub fn check_workspace(root: &Path, config: &Config) -> Result<Vec<Diagnostic>, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs_files(root, root, config, &mut files)?;
+    files.sort();
+    let mut diags = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|e| e.to_string())?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        diags.extend(analyze_source(&rel, &source, config));
+    }
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(diags)
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    config: &Config,
+    out: &mut Vec<PathBuf>,
+) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|e| e.to_string())?
+            .to_string_lossy()
+            .replace('\\', "/");
+        if path.is_dir() {
+            // Prune directories that cannot contain included files:
+            // a dir is worth entering if it is a prefix of some include
+            // pattern or some include pattern is a prefix of it.
+            if dir_may_contain_includes(&rel, config) {
+                collect_rs_files(root, &path, config, out)?;
+            }
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) && config.includes(&rel) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Whether descending into `rel` (a directory) can reach an include.
+fn dir_may_contain_includes(rel: &str, config: &Config) -> bool {
+    let segs: Vec<&str> = rel.split('/').collect();
+    config.include.iter().any(|pattern| {
+        let pat: Vec<&str> = pattern.split('/').collect();
+        pat.iter().zip(&segs).all(|(p, s)| *p == "*" || p == s)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostics_render_file_line_rule() {
+        let d = Diagnostic {
+            rule: RuleId::D2,
+            file: "crates/core/src/peer.rs".into(),
+            line: 42,
+            message: "nope".into(),
+        };
+        assert_eq!(d.to_string(), "crates/core/src/peer.rs:42: D2: nope");
+    }
+
+    #[test]
+    fn rule_ids_roundtrip() {
+        for id in [RuleId::D1, RuleId::D2, RuleId::C1, RuleId::C2] {
+            assert_eq!(RuleId::parse(&id.to_string()), Some(id));
+        }
+        assert_eq!(RuleId::parse("D9"), None);
+    }
+
+    #[test]
+    fn dir_pruning_allows_partial_glob_prefixes() {
+        let c = Config::default();
+        assert!(dir_may_contain_includes("crates", &c));
+        assert!(dir_may_contain_includes("crates/core", &c));
+        assert!(dir_may_contain_includes("crates/core/src", &c));
+        assert!(dir_may_contain_includes("src", &c));
+        assert!(!dir_may_contain_includes("vendor", &c));
+        assert!(!dir_may_contain_includes("target", &c));
+    }
+}

@@ -1,0 +1,145 @@
+//! `jxp-analyze` CLI: run the determinism/concurrency rules over the
+//! workspace (`check`) or list the rule catalog (`rules`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use jxp_analyze::{check_workspace, Config, RuleId};
+
+const USAGE: &str = "\
+jxp-analyze: determinism & concurrency static analysis for the JXP workspace
+
+USAGE:
+    jxp-analyze check [--root DIR] [--config FILE]
+    jxp-analyze rules
+
+SUBCOMMANDS:
+    check    scan workspace sources, print file:line diagnostics,
+             exit 1 if any rule fires (2 on usage/IO errors)
+    rules    print the rule catalog and pragma syntax
+
+By default the workspace root is found by walking up from the current
+directory to the nearest analyze.toml.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(&args[1..]),
+        Some("rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("jxp-analyze: unknown subcommand {other:?}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a value"),
+            },
+            "--config" => match it.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage_error("--config needs a value"),
+            },
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "jxp-analyze: no analyze.toml found walking up from the \
+                 current directory; pass --root"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = config_path.unwrap_or_else(|| root.join("analyze.toml"));
+    let config = if config_path.exists() {
+        match std::fs::read_to_string(&config_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Config::parse(&text))
+        {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("jxp-analyze: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Config::default()
+    };
+
+    match check_workspace(&root, &config) {
+        Ok(diags) if diags.is_empty() => {
+            println!("jxp-analyze: clean (rules D1 D2 C1 C2)");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("jxp-analyze: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("jxp-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("jxp-analyze: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Walk up from the current directory to the nearest `analyze.toml`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("analyze.toml").exists() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn print_rules() {
+    println!("jxp-analyze rule catalog:\n");
+    for id in [
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::C1,
+        RuleId::C2,
+        RuleId::Pragma,
+    ] {
+        println!("  {:<7} {}", id.to_string(), id.describe());
+    }
+    println!(
+        "\nSuppression pragmas (reason is mandatory):\n\
+         \n\
+         \x20   code(); // jxp-analyze: allow(D2, reason = \"UI-only timer\")\n\
+         \x20   // jxp-analyze: allow(C1, reason = \"...\")   <- applies to next line\n\
+         \x20   // jxp-analyze: allow-file(C2, reason = \"pure counters\")\n\
+         \n\
+         Path-level scoping lives in analyze.toml ([rules.D1] critical,\n\
+         [rules.D2] allow, [rules.C2] allow)."
+    );
+}

@@ -1,0 +1,123 @@
+//! Seeded-violation fixtures: one per rule, proving each rule fires on
+//! known-bad code and that the committed workspace itself is clean.
+
+use jxp_analyze::{analyze_source, check_workspace, Config, RuleId};
+use std::path::Path;
+
+fn rules_hit(rel: &str, src: &str) -> Vec<RuleId> {
+    analyze_source(rel, src, &Config::default())
+        .into_iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+#[test]
+fn seeded_d1_violation_fires() {
+    let src = "\
+pub struct World { entries: FxHashMap<u64, f64> }
+impl World {
+    pub fn inflow(&self) -> f64 {
+        let mut total = 0.0;
+        for (_, w) in self.entries.iter() {
+            total += w;
+        }
+        total
+    }
+}
+";
+    let hits = rules_hit("crates/core/src/fixture.rs", src);
+    assert_eq!(hits, vec![RuleId::D1]);
+}
+
+#[test]
+fn seeded_d2_violation_fires() {
+    let src = "\
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+";
+    let hits = rules_hit("crates/p2pnet/src/fixture.rs", src);
+    assert_eq!(hits, vec![RuleId::D2, RuleId::D2]);
+}
+
+#[test]
+fn seeded_c1_violation_fires() {
+    let src = "\
+pub fn peek(state: &std::sync::Mutex<u64>) -> u64 {
+    *state.lock().unwrap()
+}
+";
+    let hits = rules_hit("crates/node/src/fixture.rs", src);
+    assert_eq!(hits, vec![RuleId::C1]);
+}
+
+#[test]
+fn seeded_c2_violation_fires() {
+    let src = "\
+pub fn publish(ready: &std::sync::atomic::AtomicBool) {
+    ready.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+";
+    let hits = rules_hit("crates/node/src/fixture.rs", src);
+    assert_eq!(hits, vec![RuleId::C2]);
+}
+
+#[test]
+fn seeded_violations_suppressed_by_reasoned_pragmas() {
+    let src = "\
+pub fn stamp() -> std::time::Instant {
+    // jxp-analyze: allow(D2, reason = \"fixture: display-only timestamp\")
+    std::time::Instant::now()
+}
+";
+    assert!(rules_hit("crates/p2pnet/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn pragma_missing_reason_is_itself_flagged() {
+    let src = "\
+pub fn publish(ready: &std::sync::atomic::AtomicBool) {
+    // jxp-analyze: allow(C2)
+    ready.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+";
+    let hits = rules_hit("crates/node/src/fixture.rs", src);
+    assert!(hits.contains(&RuleId::Pragma));
+    assert!(hits.contains(&RuleId::C2));
+}
+
+#[test]
+fn test_modules_are_exempt() {
+    let src = "\
+pub fn f() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let _ = std::time::Instant::now();
+        let _ = state.lock().unwrap();
+    }
+}
+";
+    assert!(rules_hit("crates/core/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn workspace_is_clean() {
+    // CARGO_MANIFEST_DIR = crates/analyze → workspace root is ../..
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let config_text = std::fs::read_to_string(root.join("analyze.toml"))
+        .expect("committed analyze.toml must exist at the workspace root");
+    let config = Config::parse(&config_text).expect("analyze.toml must parse");
+    let diags = check_workspace(&root, &config).expect("workspace scan must succeed");
+    let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    assert!(
+        diags.is_empty(),
+        "workspace must be analyze-clean:\n{}",
+        rendered.join("\n")
+    );
+}

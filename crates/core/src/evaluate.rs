@@ -10,12 +10,19 @@
 
 use crate::peer::JxpPeer;
 use jxp_pagerank::Ranking;
-use jxp_webgraph::{FxHashMap, PageId};
+use jxp_webgraph::PageId;
+use std::collections::BTreeMap;
 
 /// Merge the score lists of all peers into the total ranking: a page held
 /// by several peers gets the average of its scores.
+///
+/// The accumulator is a `BTreeMap` (analyzer rule D1): the merged
+/// pairs are consumed in iteration order, and a stable ascending
+/// `PageId` order keeps every downstream consumer — including ones
+/// that don't re-sort like [`Ranking::from_scores`] does — bit-stable
+/// across runs.
 pub fn total_ranking<'a>(peers: impl IntoIterator<Item = &'a JxpPeer>) -> Ranking {
-    let mut acc: FxHashMap<PageId, (f64, u32)> = FxHashMap::default();
+    let mut acc: BTreeMap<PageId, (f64, u32)> = BTreeMap::new();
     for peer in peers {
         for (i, &score) in peer.scores().iter().enumerate() {
             let page = peer.graph().page_at(i);
@@ -83,5 +90,43 @@ mod tests {
     fn empty_peer_set_gives_empty_ranking() {
         let r = total_ranking(std::iter::empty());
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn total_ranking_is_stable_across_peer_order() {
+        // Regression test: merging the same peers in any order must
+        // produce the identical ranking (same order, same score bits).
+        let mut b = GraphBuilder::new();
+        for (s, d) in [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)] {
+            b.add_edge(PageId(s), PageId(d));
+        }
+        let g = b.build();
+        let pa = JxpPeer::new(
+            Subgraph::from_pages(&g, [PageId(0), PageId(1)]),
+            4,
+            JxpConfig::default(),
+        );
+        let pb = JxpPeer::new(
+            Subgraph::from_pages(&g, [PageId(1), PageId(2)]),
+            4,
+            JxpConfig::default(),
+        );
+        let pc = JxpPeer::new(
+            Subgraph::from_pages(&g, [PageId(2), PageId(3)]),
+            4,
+            JxpConfig::default(),
+        );
+        let r1 = total_ranking([&pa, &pb, &pc]);
+        let r2 = total_ranking([&pc, &pa, &pb]);
+        assert_eq!(r1.len(), r2.len());
+        for i in 0..r1.len() {
+            let p = r1.top_k(r1.len())[i];
+            assert_eq!(p, r2.top_k(r2.len())[i], "rank order differs at {i}");
+            assert_eq!(
+                r1.score(p).unwrap().to_bits(),
+                r2.score(p).unwrap().to_bits(),
+                "score bits differ for {p:?}"
+            );
+        }
     }
 }

@@ -63,7 +63,9 @@ impl MeetingPayload {
                 succs: graph.successors_at(i).to_vec(),
             })
             .collect();
-        let mut world_entries: Vec<WorldPayload> = world
+        // WorldNode iterates in ascending PageId order (documented
+        // contract), so the payload is deterministic without re-sorting.
+        let world_entries: Vec<WorldPayload> = world
             .iter()
             .map(|(src, e)| WorldPayload {
                 src,
@@ -72,10 +74,7 @@ impl MeetingPayload {
                 targets: e.targets.clone(),
             })
             .collect();
-        // Deterministic order regardless of hash-map iteration.
-        world_entries.sort_unstable_by_key(|w| w.src);
-        let mut world_dangling: Vec<(PageId, f64)> = world.dangling_iter().collect();
-        world_dangling.sort_unstable_by_key(|&(p, _)| p);
+        let world_dangling: Vec<(PageId, f64)> = world.dangling_iter().collect();
         MeetingPayload {
             pages,
             world: world_entries,

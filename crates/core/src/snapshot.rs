@@ -55,11 +55,10 @@ pub fn save(peer: &JxpPeer) -> Bytes {
             buf.put_u32_le(s.0);
         }
     }
-    // World node: link entries (sorted for determinism), then dangling.
-    let mut entries: Vec<_> = world.iter().collect();
-    entries.sort_unstable_by_key(|(src, _)| *src);
-    buf.put_u32_le(entries.len() as u32);
-    for (src, e) in entries {
+    // World node: link entries (WorldNode::iter is sorted by PageId),
+    // then dangling.
+    buf.put_u32_le(world.len() as u32);
+    for (src, e) in world.iter() {
         buf.put_u32_le(src.0);
         buf.put_u32_le(e.out_degree);
         buf.put_f64_le(e.score);
@@ -68,10 +67,8 @@ pub fn save(peer: &JxpPeer) -> Bytes {
             buf.put_u32_le(t.0);
         }
     }
-    let mut dangling: Vec<_> = world.dangling_iter().collect();
-    dangling.sort_unstable_by_key(|&(p, _)| p);
-    buf.put_u32_le(dangling.len() as u32);
-    for (p, s) in dangling {
+    buf.put_u32_le(world.num_dangling() as u32);
+    for (p, s) in world.dangling_iter() {
         buf.put_u32_le(p.0);
         buf.put_f64_le(s);
     }

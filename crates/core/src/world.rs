@@ -16,7 +16,8 @@
 //! the explicit `W → i` transitions do not claim (eq. 9).
 
 use crate::config::CombineMode;
-use jxp_webgraph::{FxHashMap, PageId, Subgraph};
+use jxp_webgraph::{PageId, Subgraph};
+use std::collections::BTreeMap;
 
 /// Knowledge about one external page that links into the local graph.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,11 +42,18 @@ pub struct WorldEntry {
 /// Peers learn about external dangling pages at meetings exactly like
 /// they learn about in-links: a met peer's local dangling pages (and its
 /// own dangling knowledge) ride along in the payload.
+/// Both maps are `BTreeMap`s on purpose (analyzer rule D1): their
+/// iteration order reaches float accumulation in
+/// [`inflow`](WorldNode::inflow) / [`dangling_mass`](WorldNode::dangling_mass)
+/// and the meeting payload / snapshot encoders, so it must be the same
+/// on every run at every thread count. Sorted-by-`PageId` order is part
+/// of the public contract of [`iter`](WorldNode::iter) and
+/// [`dangling_iter`](WorldNode::dangling_iter).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct WorldNode {
-    entries: FxHashMap<PageId, WorldEntry>,
+    entries: BTreeMap<PageId, WorldEntry>,
     /// Known external dangling pages → freshest learned score.
-    dangling: FxHashMap<PageId, f64>,
+    dangling: BTreeMap<PageId, f64>,
 }
 
 impl WorldNode {
@@ -70,7 +78,7 @@ impl WorldNode {
         self.entries.get(&r)
     }
 
-    /// Iterate over `(source page, entry)`.
+    /// Iterate over `(source page, entry)` in ascending `PageId` order.
     pub fn iter(&self) -> impl Iterator<Item = (PageId, &WorldEntry)> {
         self.entries.iter().map(|(&r, e)| (r, e))
     }
@@ -208,10 +216,10 @@ impl WorldNode {
             "invalid score {score} for dangling {page:?}"
         );
         match self.dangling.entry(page) {
-            std::collections::hash_map::Entry::Vacant(v) => {
+            std::collections::btree_map::Entry::Vacant(v) => {
                 v.insert(score);
             }
-            std::collections::hash_map::Entry::Occupied(mut o) => {
+            std::collections::btree_map::Entry::Occupied(mut o) => {
                 let current = *o.get();
                 *o.get_mut() = match combine {
                     CombineMode::TakeMax => current.max(score),
@@ -234,7 +242,8 @@ impl WorldNode {
         self.dangling.values().sum()
     }
 
-    /// Iterate over known external dangling pages.
+    /// Iterate over known external dangling pages in ascending
+    /// `PageId` order.
     pub fn dangling_iter(&self) -> impl Iterator<Item = (PageId, f64)> + '_ {
         self.dangling.iter().map(|(&p, &s)| (p, s))
     }
@@ -482,6 +491,66 @@ mod tests {
         w2.upsert_dangling(PageId(9), 0.2, CombineMode::Average);
         w2.upsert_dangling(PageId(9), 0.1, CombineMode::Average);
         assert!((w2.dangling_iter().next().unwrap().1 - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration_order_is_ascending_regardless_of_insertion_order() {
+        // Regression test for the determinism contract: however entries
+        // arrive (meetings happen in arbitrary order), iter() and
+        // dangling_iter() must yield ascending PageIds so payload
+        // assembly, snapshots, and inflow accumulation are replayable.
+        let mut w = WorldNode::new();
+        for src in [97u32, 3, 55, 12, 88, 1, 42] {
+            w.upsert(PageId(src), 2, 0.1, [PageId(0)], CombineMode::TakeMax);
+        }
+        for p in [66u32, 5, 31] {
+            w.upsert_dangling(PageId(p), 0.1, CombineMode::TakeMax);
+        }
+        let order: Vec<PageId> = w.iter().map(|(s, _)| s).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+        assert_eq!(order.len(), 7);
+        let d_order: Vec<PageId> = w.dangling_iter().map(|(p, _)| p).collect();
+        let mut d_sorted = d_order.clone();
+        d_sorted.sort_unstable();
+        assert_eq!(d_order, d_sorted);
+    }
+
+    #[test]
+    fn inflow_is_bitwise_stable_across_insertion_orders() {
+        // Float accumulation order must not depend on how knowledge was
+        // learned: two peers that learned the same facts in different
+        // meeting orders must compute bit-identical inflow vectors.
+        let g = local_graph();
+        let facts: Vec<(u32, u32, f64)> =
+            vec![(7, 4, 0.2), (9, 2, 0.1), (13, 8, 0.05), (21, 3, 0.07)];
+        let mut forward = WorldNode::new();
+        for &(src, deg, score) in &facts {
+            forward.upsert(
+                PageId(src),
+                deg,
+                score,
+                [PageId(0), PageId(1)],
+                CombineMode::TakeMax,
+            );
+        }
+        let mut reverse = WorldNode::new();
+        for &(src, deg, score) in facts.iter().rev() {
+            reverse.upsert(
+                PageId(src),
+                deg,
+                score,
+                [PageId(0), PageId(1)],
+                CombineMode::TakeMax,
+            );
+        }
+        let a = forward.inflow(&g, 100.0);
+        let b = reverse.inflow(&g, 100.0);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "inflow differs bitwise");
+        }
     }
 
     #[test]

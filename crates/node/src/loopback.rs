@@ -45,7 +45,7 @@ impl LoopbackNetwork {
     /// while the registry lock was held (it isn't held across handler
     /// calls, but defense in depth) must not wedge every later meeting.
     fn inner(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        jxp_telemetry::sync::lock_unpoisoned(&self.inner)
     }
 
     /// Attach `handler` as the responder for `id` (replacing any previous).

@@ -170,12 +170,14 @@ impl JxpNode {
     /// Start answering [`Frame::StatsRequest`] with this node's counters
     /// (off by default; disabled nodes reply `Error`/`Refused`).
     pub fn enable_stats_endpoint(&self) {
-        self.stats_endpoint.store(true, Ordering::Relaxed);
+        // Release/Acquire so a server thread that observes `true` also
+        // observes everything the enabling thread wrote before the flip.
+        self.stats_endpoint.store(true, Ordering::Release);
     }
 
     /// Whether the stats endpoint is enabled.
     pub fn stats_endpoint_enabled(&self) -> bool {
-        self.stats_endpoint.load(Ordering::Relaxed)
+        self.stats_endpoint.load(Ordering::Acquire)
     }
 
     /// This node's counters as a wire payload.
@@ -204,7 +206,7 @@ impl JxpNode {
     }
 
     pub(crate) fn lock(&self) -> MutexGuard<'_, NodeState> {
-        self.state.lock().unwrap()
+        jxp_telemetry::sync::lock_unpoisoned(&self.state)
     }
 
     /// Handshake: announce ourselves to `target`, returning its id and

@@ -149,19 +149,13 @@ impl TcpTransport {
     pub fn add_route(&self, id: NodeId, addr: SocketAddr) {
         // Recover from poisoning: the route table is plain data, and a
         // panicking handler thread must not wedge every later meeting.
-        self.routes
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(id, addr);
+        jxp_telemetry::sync::lock_unpoisoned(&self.routes).insert(id, addr);
     }
 }
 
 impl Transport for TcpTransport {
     fn request(&self, peer: NodeId, frame: &Frame) -> Result<Exchange, TransportError> {
-        let addr = self
-            .routes
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
+        let addr = jxp_telemetry::sync::lock_unpoisoned(&self.routes)
             .get(&peer)
             .copied()
             .ok_or_else(|| TransportError::Unreachable(format!("no route to node {peer}")))?;

@@ -91,6 +91,7 @@ pub fn crawl(
             }
         }
     }
+    // jxp-analyze: allow(D1, reason = "drained ids are sorted on the next line before anything consumes them")
     let mut pages: Vec<PageId> = fetched.into_iter().collect();
     pages.sort_unstable();
     pages

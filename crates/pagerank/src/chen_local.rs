@@ -65,7 +65,11 @@ pub fn estimate_pagerank(
             }
         }
     }
-    let members: Vec<PageId> = dist.keys().copied().collect();
+    // jxp-analyze: allow(D1, reason = "the collected ids are sorted on the next line before any index is assigned")
+    let mut members: Vec<PageId> = dist.keys().copied().collect();
+    // Sort so member indices — and with them every accumulation order
+    // below — are independent of hash iteration order.
+    members.sort_unstable();
     let index: FxHashMap<PageId, usize> =
         members.iter().enumerate().map(|(i, &p)| (p, i)).collect();
 
@@ -73,7 +77,7 @@ pub fn estimate_pagerank(
     // (assumed to score 1/N each).
     let eps = config.epsilon;
     let mut external = vec![0.0f64; members.len()];
-    for (&p, &i) in &index {
+    for (i, &p) in members.iter().enumerate() {
         for pred in g.predecessors(p) {
             if !index.contains_key(&pred) {
                 external[i] += eps * uniform / g.out_degree(pred) as f64;
@@ -99,7 +103,7 @@ pub fn estimate_pagerank(
         let dangling_mass: f64 = dangling_members.iter().map(|&i| curr[i]).sum();
         let base = (1.0 - eps) * uniform + eps * dangling_mass * uniform;
         let mut delta = 0.0;
-        for (&p, &i) in &index {
+        for (i, &p) in members.iter().enumerate() {
             let mut sum = 0.0;
             for pred in g.predecessors(p) {
                 if let Some(&j) = index.get(&pred) {

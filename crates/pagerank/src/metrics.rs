@@ -30,9 +30,12 @@ pub fn footrule_distance(a: &Ranking, b: &Ranking, k: usize) -> f64 {
             _ => k + 1,
         }
     };
-    let mut union: FxHashSet<PageId> = FxHashSet::default();
-    union.extend(top_a.iter().copied());
-    union.extend(top_b.iter().copied());
+    // Sorted + deduped union (not a hash set): the summands are
+    // integers so any order gives the same total, but a stable order
+    // keeps the loop replayable and analyzer-rule-D1 clean.
+    let mut union: Vec<PageId> = top_a.iter().chain(top_b.iter()).copied().collect();
+    union.sort_unstable();
+    union.dedup();
     let sum: usize = union.iter().map(|&p| pos(a, p).abs_diff(pos(b, p))).sum();
     sum as f64 / (k * (k + 1)) as f64
 }

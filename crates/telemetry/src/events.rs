@@ -123,14 +123,16 @@ impl EventRing {
 
     /// Events recorded over the ring's lifetime (not just retained).
     pub fn recorded(&self) -> u64 {
+        // jxp-analyze: allow(C2, reason = "monotonic ticket counter; no data is published through it")
         self.head.load(Ordering::Relaxed)
     }
 
     /// Append `event`, returning its sequence number.
     pub fn record(&self, event: Event) -> u64 {
+        // jxp-analyze: allow(C2, reason = "seq allocation only; the record itself is handed off under the slot mutex")
         let seq = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = (seq % self.slots.len() as u64) as usize;
-        let mut guard = self.slots[slot].lock().unwrap_or_else(|e| e.into_inner());
+        let mut guard = crate::sync::lock_unpoisoned(&self.slots[slot]);
         // Only replace older history: under a racing wrap the slot may
         // already hold a younger record.
         if guard.as_ref().is_none_or(|r| r.seq < seq) {
@@ -144,7 +146,7 @@ impl EventRing {
         let mut records: Vec<EventRecord> = self
             .slots
             .iter()
-            .filter_map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .filter_map(|s| crate::sync::lock_unpoisoned(s).clone())
             .collect();
         records.sort_by_key(|r| r.seq);
         records

@@ -680,4 +680,116 @@ mod tests {
         assert_eq!(fmt_f64(f64::INFINITY), "1e308");
         assert_eq!(fmt_f64(f64::NEG_INFINITY), "-1e308");
     }
+
+    #[test]
+    fn empty_registry_renders_everywhere() {
+        let snap = TelemetryHub::new().snapshot();
+        // Prometheus: no metrics means no exposition lines at all.
+        assert_eq!(snap.to_prometheus(), "");
+        // Table: only the (empty) events footer.
+        assert_eq!(snap.render_table(), "events retained: 0\n");
+        // JSON: empty but schema-complete, and it round-trips.
+        let json = snap.to_json();
+        for key in ["\"counters\"", "\"gauges\"", "\"histograms\"", "\"events\""] {
+            assert!(json.contains(key), "{key} missing from {json}");
+        }
+        assert_eq!(TelemetrySnapshot::from_json(&json).unwrap(), snap);
+    }
+
+    #[test]
+    fn non_finite_gauges_survive_both_exporters() {
+        let hub = TelemetryHub::new();
+        hub.registry().gauge("g_nan").set(f64::NAN);
+        hub.registry().gauge("g_pinf").set(f64::INFINITY);
+        hub.registry().gauge("g_ninf").set(f64::NEG_INFINITY);
+        let snap = hub.snapshot();
+
+        // Prometheus exposition clamps instead of emitting NaN/inf,
+        // which Prometheus would accept but downstream math would not.
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("g_nan 0\n"), "{prom}");
+        assert!(prom.contains("g_pinf 1e308\n"), "{prom}");
+        assert!(prom.contains("g_ninf -1e308\n"), "{prom}");
+        assert!(
+            !prom.contains("NaN") && !prom.contains(" inf") && !prom.contains(" -inf"),
+            "{prom}"
+        );
+
+        // JSON stays parseable: the clamped values come back as numbers.
+        let back = TelemetrySnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.metrics.gauges["g_nan"], 0.0);
+        assert_eq!(back.metrics.gauges["g_pinf"], 1e308);
+        assert_eq!(back.metrics.gauges["g_ninf"], -1e308);
+    }
+
+    #[test]
+    fn non_finite_histogram_sum_stays_parseable() {
+        let hub = TelemetryHub::new();
+        let h = hub.registry().histogram("h", &[1.0]);
+        h.observe(f64::INFINITY); // lands in +Inf bucket, poisons the sum
+        let snap = hub.snapshot();
+        let back = TelemetrySnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.metrics.histograms["h"].counts, vec![0, 1]);
+        assert_eq!(back.metrics.histograms["h"].sum, 1e308);
+    }
+
+    #[test]
+    fn from_json_ignores_unknown_fields() {
+        // Forward compatibility: a newer writer may add fields; a reader
+        // of today's schema takes what it knows and ignores the rest.
+        let json = "{\"counters\": {\"c\": 1}, \"gauges\": {}, \
+                    \"histograms\": {\"h\": {\"bounds\": [1], \"counts\": [0, 2], \
+                    \"sum\": 3, \"p99\": 4.5}}, \"events\": \
+                    [{\"seq\": 0, \"type\": \"churn\", \"peer\": 1, \
+                    \"joined\": true, \"region\": \"eu\"}], \
+                    \"schema_version\": 7}";
+        let snap = TelemetrySnapshot::from_json(json).unwrap();
+        assert_eq!(snap.metrics.counters["c"], 1);
+        assert_eq!(snap.metrics.histograms["h"].counts, vec![0, 2]);
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(
+            snap.events[0].event,
+            Event::Churn {
+                peer: 1,
+                joined: true
+            }
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_missing_required_fields() {
+        // Top-level sections are mandatory…
+        let no_counters = "{\"gauges\": {}, \"histograms\": {}, \"events\": []}";
+        assert!(TelemetrySnapshot::from_json(no_counters)
+            .unwrap_err()
+            .contains("counters"));
+        // …as are histogram members…
+        let no_sum = "{\"counters\": {}, \"gauges\": {}, \"histograms\": \
+                      {\"h\": {\"bounds\": [], \"counts\": [0]}}, \"events\": []}";
+        assert!(TelemetrySnapshot::from_json(no_sum)
+            .unwrap_err()
+            .contains("sum"));
+        // …and event discriminants/payload fields.
+        let no_type = "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}, \
+                       \"events\": [{\"seq\": 0}]}";
+        assert!(TelemetrySnapshot::from_json(no_type)
+            .unwrap_err()
+            .contains("type"));
+        let no_peer = "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}, \
+                       \"events\": [{\"seq\": 0, \"type\": \"churn\", \
+                       \"joined\": true}]}";
+        assert!(TelemetrySnapshot::from_json(no_peer)
+            .unwrap_err()
+            .contains("peer"));
+    }
+
+    #[test]
+    fn from_json_rejects_wrongly_typed_known_fields() {
+        let bad_counter =
+            "{\"counters\": {\"c\": \"one\"}, \"gauges\": {}, \"histograms\": {}, \"events\": []}";
+        assert!(TelemetrySnapshot::from_json(bad_counter).is_err());
+        let negative_counter =
+            "{\"counters\": {\"c\": -1}, \"gauges\": {}, \"histograms\": {}, \"events\": []}";
+        assert!(TelemetrySnapshot::from_json(negative_counter).is_err());
+    }
 }

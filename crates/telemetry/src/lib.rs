@@ -17,9 +17,11 @@
 pub mod events;
 pub mod export;
 pub mod metrics;
+pub mod sync;
 
 pub use events::{Event, EventRecord, EventRing};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
+pub use sync::{lock_unpoisoned, read_unpoisoned, write_unpoisoned};
 
 use std::sync::Arc;
 

@@ -12,6 +12,8 @@
 //! a mutex, but handles returned by it are `Arc`s that the instrumented
 //! code keeps and hits directly — no name lookup per event.
 
+// jxp-analyze: allow-file(C2, reason = "every atomic here is a pure commutative counter/gauge cell read by merging, never a publish flag; no data is released through these orderings")
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -213,10 +215,6 @@ pub struct Registry {
     metrics: Mutex<BTreeMap<String, Metric>>,
 }
 
-fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
-
 impl Registry {
     /// An empty registry.
     pub fn new() -> Self {
@@ -228,7 +226,7 @@ impl Registry {
     /// # Panics
     /// Panics if `name` is already registered as a different metric type.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut metrics = lock_recover(&self.metrics);
+        let mut metrics = crate::sync::lock_unpoisoned(&self.metrics);
         match metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
@@ -243,7 +241,7 @@ impl Registry {
     /// # Panics
     /// Panics if `name` is already registered as a different metric type.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut metrics = lock_recover(&self.metrics);
+        let mut metrics = crate::sync::lock_unpoisoned(&self.metrics);
         match metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
@@ -258,7 +256,7 @@ impl Registry {
     /// # Panics
     /// Panics if `name` is already registered as a different metric type.
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
-        let mut metrics = lock_recover(&self.metrics);
+        let mut metrics = crate::sync::lock_unpoisoned(&self.metrics);
         match metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
@@ -270,7 +268,7 @@ impl Registry {
 
     /// Freeze every registered metric, merging counter shards.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let metrics = lock_recover(&self.metrics);
+        let metrics = crate::sync::lock_unpoisoned(&self.metrics);
         let mut snap = RegistrySnapshot::default();
         for (name, metric) in metrics.iter() {
             match metric {
@@ -291,7 +289,7 @@ impl Registry {
 
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let metrics = lock_recover(&self.metrics);
+        let metrics = crate::sync::lock_unpoisoned(&self.metrics);
         write!(f, "Registry({} metrics)", metrics.len())
     }
 }
