@@ -18,6 +18,12 @@ pub struct Config {
     pub d2_allow: Vec<String>,
     /// Path prefixes exempt from C2 (Relaxed ordering).
     pub c2_allow: Vec<String>,
+    /// Path prefixes where C3 (unbounded channels) is enforced —
+    /// long-lived runtime modules where queue growth is unbounded by
+    /// construction.
+    pub c3_critical: Vec<String>,
+    /// Path prefixes exempt from C4 (detached spawns).
+    pub c4_allow: Vec<String>,
 }
 
 impl Default for Config {
@@ -39,6 +45,11 @@ impl Default for Config {
                 "crates/p2pnet/src/parallel.rs".to_string(),
             ],
             c2_allow: vec![],
+            c3_critical: vec![
+                "crates/node/src".to_string(),
+                "crates/p2pnet/src".to_string(),
+            ],
+            c4_allow: vec![],
         }
     }
 }
@@ -51,6 +62,8 @@ impl Config {
             d1_critical: Vec::new(),
             d2_allow: Vec::new(),
             c2_allow: Vec::new(),
+            c3_critical: Vec::new(),
+            c4_allow: Vec::new(),
         };
         let mut section = String::new();
         // Multi-line arrays accumulate until the closing bracket.
@@ -106,6 +119,8 @@ impl Config {
             ("rules.D1", "critical") => self.d1_critical = values,
             ("rules.D2", "allow") => self.d2_allow = values,
             ("rules.C2", "allow") => self.c2_allow = values,
+            ("rules.C3", "critical") => self.c3_critical = values,
+            ("rules.C4", "allow") => self.c4_allow = values,
             _ => return Err(format!("analyze.toml: unknown key [{section}] {key}")),
         }
         Ok(())
@@ -129,6 +144,16 @@ impl Config {
     /// Whether this path is exempt from C2.
     pub fn c2_exempt(&self, rel: &str) -> bool {
         self.c2_allow.iter().any(|p| prefix_match(p, rel))
+    }
+
+    /// Whether C3 applies to this path.
+    pub fn c3_applies(&self, rel: &str) -> bool {
+        self.c3_critical.iter().any(|p| prefix_match(p, rel))
+    }
+
+    /// Whether this path is exempt from C4.
+    pub fn c4_exempt(&self, rel: &str) -> bool {
+        self.c4_allow.iter().any(|p| prefix_match(p, rel))
     }
 }
 

@@ -3,7 +3,7 @@
 //!
 //! JXP's headline invariant — bit-identical score hashes at any thread
 //! count — is only as strong as the discipline of the code that
-//! computes them. This crate machine-checks that discipline with four
+//! computes them. This crate machine-checks that discipline with six
 //! rules:
 //!
 //! | Rule | What it forbids |
@@ -12,6 +12,8 @@
 //! | `D2` | `Instant::now` / `SystemTime::now` / ambient RNG outside the timing whitelist |
 //! | `C1` | `.lock().unwrap()`-style poison panics on shared state |
 //! | `C2` | `Ordering::Relaxed` on atomics without a reasoned annotation |
+//! | `C3` | unbounded `mpsc::channel()` in runtime modules (use `sync_channel`) |
+//! | `C4` | detached `thread::spawn` whose `JoinHandle` is discarded |
 //!
 //! Findings can be suppressed inline with
 //! `// jxp-analyze: allow(D2, reason = "...")` (same line or the line
@@ -45,6 +47,10 @@ pub enum RuleId {
     C1,
     /// Unjustified `Ordering::Relaxed`.
     C2,
+    /// Unbounded channel construction in a runtime module.
+    C3,
+    /// Detached spawn: `thread::spawn` with its `JoinHandle` discarded.
+    C4,
     /// Malformed suppression pragma.
     Pragma,
 }
@@ -57,6 +63,8 @@ impl RuleId {
             "D2" => Some(RuleId::D2),
             "C1" => Some(RuleId::C1),
             "C2" => Some(RuleId::C2),
+            "C3" => Some(RuleId::C3),
+            "C4" => Some(RuleId::C4),
             _ => None,
         }
     }
@@ -80,6 +88,15 @@ impl RuleId {
                 "Ordering::Relaxed must not publish data across threads; \
                  pure counters carry a reasoned allow pragma"
             }
+            RuleId::C3 => {
+                "no unbounded mpsc::channel() in runtime modules — a slow \
+                 consumer buffers without limit; use sync_channel with an \
+                 explicit bound"
+            }
+            RuleId::C4 => {
+                "thread::spawn as a statement discards its JoinHandle; bind \
+                 it and join on shutdown, or use a scoped thread"
+            }
             RuleId::Pragma => "suppression pragmas must name known rules and give a reason",
         }
     }
@@ -92,6 +109,8 @@ impl fmt::Display for RuleId {
             RuleId::D2 => write!(f, "D2"),
             RuleId::C1 => write!(f, "C1"),
             RuleId::C2 => write!(f, "C2"),
+            RuleId::C3 => write!(f, "C3"),
+            RuleId::C4 => write!(f, "C4"),
             RuleId::Pragma => write!(f, "pragma"),
         }
     }
@@ -204,7 +223,14 @@ mod tests {
 
     #[test]
     fn rule_ids_roundtrip() {
-        for id in [RuleId::D1, RuleId::D2, RuleId::C1, RuleId::C2] {
+        for id in [
+            RuleId::D1,
+            RuleId::D2,
+            RuleId::C1,
+            RuleId::C2,
+            RuleId::C3,
+            RuleId::C4,
+        ] {
             assert_eq!(RuleId::parse(&id.to_string()), Some(id));
         }
         assert_eq!(RuleId::parse("D9"), None);

@@ -86,7 +86,7 @@ fn run_check(args: &[String]) -> ExitCode {
 
     match check_workspace(&root, &config) {
         Ok(diags) if diags.is_empty() => {
-            println!("jxp-analyze: clean (rules D1 D2 C1 C2)");
+            println!("jxp-analyze: clean (rules D1 D2 C1 C2 C3 C4)");
             ExitCode::SUCCESS
         }
         Ok(diags) => {
@@ -128,6 +128,8 @@ fn print_rules() {
         RuleId::D2,
         RuleId::C1,
         RuleId::C2,
+        RuleId::C3,
+        RuleId::C4,
         RuleId::Pragma,
     ] {
         println!("  {:<7} {}", id.to_string(), id.describe());
@@ -140,6 +142,7 @@ fn print_rules() {
          \x20   // jxp-analyze: allow-file(C2, reason = \"pure counters\")\n\
          \n\
          Path-level scoping lives in analyze.toml ([rules.D1] critical,\n\
-         [rules.D2] allow, [rules.C2] allow)."
+         [rules.D2] allow, [rules.C2] allow, [rules.C3] critical,\n\
+         [rules.C4] allow)."
     );
 }

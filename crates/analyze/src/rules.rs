@@ -1,4 +1,4 @@
-//! The rule engine: D1/D2/C1/C2 checks over preprocessed source.
+//! The rule engine: D1/D2/C1/C2/C3/C4 checks over preprocessed source.
 //!
 //! All rules operate on the code-only token stream produced by
 //! [`crate::scan`]. They are deliberately heuristic — this is a lint
@@ -52,6 +52,12 @@ pub fn check_file(rel_path: &str, prepared: &Prepared, config: &Config) -> Vec<D
     rule_c1(rel_path, prepared, &mut diags);
     if !config.c2_exempt(rel_path) {
         rule_c2(rel_path, prepared, &mut diags);
+    }
+    if config.c3_applies(rel_path) {
+        rule_c3(rel_path, prepared, &mut diags);
+    }
+    if !config.c4_exempt(rel_path) {
+        rule_c4(rel_path, prepared, &mut diags);
     }
     diags.retain(|d| d.rule == RuleId::Pragma || !prepared.is_allowed(d.rule, d.line));
     diags.sort_by_key(|a| (a.line, a.rule));
@@ -286,6 +292,95 @@ fn rule_c2(rel_path: &str, prepared: &Prepared, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// C3: no unbounded channels in runtime modules. A long-lived meeting
+/// loop with an unbounded `mpsc::channel()` buffers without limit when
+/// the consumer stalls; `sync_channel(n)` turns that into backpressure.
+/// The `channel` token must head a call (`channel(`) and not be a
+/// method (`.channel(`), which keeps field accesses and unrelated APIs
+/// out; `sync_channel` is a different token and never matches.
+fn rule_c3(rel_path: &str, prepared: &Prepared, diags: &mut Vec<Diagnostic>) {
+    for line in &prepared.lines {
+        let tokens = scan::tokenize(&line.code);
+        for (i, tok) in tokens.iter().enumerate() {
+            if tok != "channel" {
+                continue;
+            }
+            // Skip a turbofish: `channel::<u64>(` is still a call.
+            let mut k = i + 1;
+            if tokens.get(k).map(String::as_str) == Some("::")
+                && tokens.get(k + 1).map(String::as_str) == Some("<")
+            {
+                let mut depth = 1;
+                k += 2;
+                while k < tokens.len() && depth > 0 {
+                    match tokens[k].as_str() {
+                        "<" => depth += 1,
+                        ">" => depth -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            let is_call = tokens.get(k).map(String::as_str) == Some("(");
+            let is_method = i >= 1 && tokens[i - 1] == ".";
+            if is_call && !is_method {
+                diags.push(Diagnostic {
+                    rule: RuleId::C3,
+                    file: rel_path.to_string(),
+                    line: line.number,
+                    message: "unbounded `channel()` in a runtime module: a stalled \
+                              consumer buffers memory without limit; use \
+                              `sync_channel(n)` so the producer blocks instead"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// C4: no detached `thread::spawn`. A spawn whose `JoinHandle` is
+/// dropped outlives every shutdown path silently. The heuristic flags a
+/// `thread::spawn(` chain used as a *statement* — the token before the
+/// chain is `;`, `{`, `}`, or line start — and accepts any use where
+/// the handle flows somewhere (`let h = …`, `workers.push(…)`, a tail
+/// expression after `(` or `=`). Scoped spawns (`scope.spawn`) are
+/// inherently joined and never match the `thread::spawn` pattern.
+fn rule_c4(rel_path: &str, prepared: &Prepared, diags: &mut Vec<Diagnostic>) {
+    for line in &prepared.lines {
+        let tokens = scan::tokenize(&line.code);
+        for i in 0..tokens.len() {
+            if tokens[i] != "thread"
+                || tokens.get(i + 1).map(String::as_str) != Some("::")
+                || tokens.get(i + 2).map(String::as_str) != Some("spawn")
+                || tokens.get(i + 3).map(String::as_str) != Some("(")
+            {
+                continue;
+            }
+            // Walk left past `std::`-style qualification.
+            let mut j = i;
+            while j >= 2 && tokens[j - 1] == "::" {
+                j -= 2;
+            }
+            let before = if j == 0 {
+                None
+            } else {
+                Some(tokens[j - 1].as_str())
+            };
+            if matches!(before, None | Some(";") | Some("{") | Some("}")) {
+                diags.push(Diagnostic {
+                    rule: RuleId::C4,
+                    file: rel_path.to_string(),
+                    line: line.number,
+                    message: "detached `thread::spawn` discards its JoinHandle; bind \
+                              the handle and join it on shutdown, or use a scoped \
+                              thread"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
 /// Does `haystack` contain `needle` as a contiguous token run?
 fn contains_seq(haystack: &[String], needle: &[&str]) -> bool {
     haystack
@@ -406,6 +501,44 @@ mod tests {
         let diags = check("crates/node/src/x.rs", src);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn c3_flags_unbounded_channels_only_in_runtime_modules() {
+        let src = "let (tx, rx) = std::sync::mpsc::channel();\n";
+        let diags = check("crates/node/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RuleId::C3);
+        assert!(check("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn c3_accepts_bounded_channels_and_method_calls() {
+        let src = "let (tx, rx) = std::sync::mpsc::sync_channel(64);\n\
+                   let c = self.channel();\n\
+                   let field = config.channel;\n";
+        assert!(check("crates/node/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn c4_flags_detached_spawn_statements() {
+        let src = "fn serve() {\n\
+                   std::thread::spawn(move || loop {});\n\
+                   thread::spawn(|| {});\n\
+                   }\n";
+        let diags = check("crates/node/src/x.rs", src);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.rule == RuleId::C4));
+    }
+
+    #[test]
+    fn c4_accepts_bound_handles_and_scoped_spawns() {
+        let src = "let h = std::thread::spawn(|| {});\n\
+                   workers.push(std::thread::spawn(move || {}));\n\
+                   let _ = thread::spawn(|| {});\n\
+                   scope.spawn(move || {});\n\
+                   handles.push(scope.spawn(job));\n";
+        assert!(check("crates/node/src/x.rs", src).is_empty());
     }
 
     #[test]

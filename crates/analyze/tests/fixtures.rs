@@ -67,6 +67,41 @@ pub fn publish(ready: &std::sync::atomic::AtomicBool) {
 }
 
 #[test]
+fn seeded_c3_violation_fires() {
+    let src = "\
+pub fn pipeline() {
+    let (tx, rx) = std::sync::mpsc::channel::<u64>();
+    drop((tx, rx));
+}
+";
+    let hits = rules_hit("crates/node/src/fixture.rs", src);
+    assert_eq!(hits, vec![RuleId::C3]);
+    // Bounded channels pass, and non-runtime modules are out of scope.
+    let bounded = "pub fn p() { let (tx, rx) = std::sync::mpsc::sync_channel::<u64>(8); }\n";
+    assert!(rules_hit("crates/node/src/fixture.rs", bounded).is_empty());
+    assert!(rules_hit("crates/core/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn seeded_c4_violation_fires() {
+    let src = "\
+pub fn serve_forever() {
+    std::thread::spawn(move || loop {});
+}
+";
+    let hits = rules_hit("crates/node/src/fixture.rs", src);
+    assert_eq!(hits, vec![RuleId::C4]);
+    // Binding the handle satisfies the rule.
+    let bound = "\
+pub fn serve() -> std::thread::JoinHandle<()> {
+    let worker = std::thread::spawn(move || {});
+    worker
+}
+";
+    assert!(rules_hit("crates/node/src/fixture.rs", bound).is_empty());
+}
+
+#[test]
 fn seeded_violations_suppressed_by_reasoned_pragmas() {
     let src = "\
 pub fn stamp() -> std::time::Instant {

@@ -237,6 +237,9 @@ pub fn cluster(args: &ParsedArgs) -> Result<(), String> {
     let threads: usize = args.get_or("threads", 0)?;
     let metrics_out = args.get("metrics-out");
     let stats_endpoint = args.get_choice("stats-endpoint", &["yes", "no"], "no")? == "yes";
+    let state_dir = args.get("state-dir").map(std::path::PathBuf::from);
+    let checkpoint_every: u64 = args.get_or("checkpoint-every", 8)?;
+    let round_delay_ms: u64 = args.get_or("round-delay-ms", 0)?;
 
     let cg = generate_graph_with_scale(args, 0.05)?;
     let n = cg.graph.num_nodes();
@@ -257,6 +260,9 @@ pub fn cluster(args: &ParsedArgs) -> Result<(), String> {
         threads,
         telemetry: metrics_out.is_some() || stats_endpoint,
         stats_endpoint,
+        state_dir,
+        checkpoint_every,
+        round_delay: (round_delay_ms > 0).then(|| std::time::Duration::from_millis(round_delay_ms)),
         ..ClusterConfig::default()
     };
     println!(
@@ -294,6 +300,7 @@ pub fn cluster(args: &ParsedArgs) -> Result<(), String> {
     if let Some(footrule) = report.footrule {
         println!("footrule@{top} vs centralized PageRank: {footrule:.4}");
     }
+    println!("score hash: {:016x}", report.score_hash);
     println!(
         "{:>5} {:>9} {:>9} {:>7} {:>8} {:>12} {:>12}",
         "node", "initiated", "served", "failed", "retries", "bytes in", "bytes out"
@@ -328,6 +335,98 @@ pub fn cluster(args: &ParsedArgs) -> Result<(), String> {
     }
     if report.meetings_failed > 0 && report.meetings_completed == 0 {
         return Err("every meeting failed — transport is broken".to_string());
+    }
+    Ok(())
+}
+
+/// `jxp-cli checkpoint inspect|verify` — examine a `--state-dir`
+/// written by the cluster command. `inspect` recovers every node and
+/// prints what it found; `verify` additionally decodes each layer
+/// (checkpoints, WAL) and fails — nonzero exit — when any node cannot
+/// be recovered to a consistent state.
+pub fn checkpoint(action: &str, args: &ParsedArgs) -> Result<(), String> {
+    use jxp_store::{decode_checkpoint, scan_wal, DirStore, StateStore};
+
+    if !matches!(action, "inspect" | "verify") {
+        return Err(format!(
+            "checkpoint: unknown action {action:?} (expected inspect|verify)"
+        ));
+    }
+    let state_dir = args.require("state-dir")?;
+    let store =
+        DirStore::open(state_dir).map_err(|e| format!("opening state dir {state_dir}: {e}"))?;
+    let keys: Vec<String> = match (args.get("key"), args.get("node")) {
+        (Some(key), _) => vec![key.to_string()],
+        (None, Some(node)) => vec![format!("node-{node}")],
+        (None, None) => store
+            .keys()
+            .map_err(|e| format!("listing {state_dir}: {e}"))?,
+    };
+    if keys.is_empty() {
+        return Err(format!("no node state found under {state_dir}"));
+    }
+
+    let mut broken = 0usize;
+    for key in &keys {
+        if action == "verify" {
+            let raw = match store.read_raw(key) {
+                Ok(raw) => raw,
+                Err(e) => {
+                    println!("{key}: unreadable: {e}");
+                    broken += 1;
+                    continue;
+                }
+            };
+            let describe = |label: &str, bytes: Option<&Vec<u8>>| match bytes {
+                None => format!("{label}: absent"),
+                Some(b) => match decode_checkpoint(b) {
+                    Ok(c) => format!("{label}: ok (seq {}, {} bytes)", c.seq, b.len()),
+                    Err(e) => format!("{label}: CORRUPT ({e})"),
+                },
+            };
+            println!("{key}:");
+            println!("  {}", describe("current checkpoint", raw.current.as_ref()));
+            println!(
+                "  {}",
+                describe("previous checkpoint", raw.previous.as_ref())
+            );
+            let scan = scan_wal(&raw.wal);
+            println!(
+                "  wal: {} records, {} of {} bytes consumed{}",
+                scan.records.len(),
+                scan.consumed,
+                raw.wal.len(),
+                if scan.torn { " (torn tail)" } else { "" }
+            );
+        }
+        match store.load(key) {
+            Ok(Some(rec)) => {
+                println!(
+                    "{key}: seq {} (checkpoint {} + {} replayed){}{} — {} pages",
+                    rec.seq,
+                    rec.checkpoint_seq,
+                    rec.replayed,
+                    if rec.used_fallback {
+                        ", recovered via previous checkpoint"
+                    } else {
+                        ""
+                    },
+                    if rec.torn_tail { ", torn wal tail" } else { "" },
+                    rec.peer.num_pages()
+                );
+            }
+            Ok(None) => println!("{key}: no state"),
+            Err(e) => {
+                println!("{key}: UNRECOVERABLE: {e}");
+                broken += 1;
+            }
+        }
+    }
+    if broken > 0 {
+        return Err(format!("{broken} of {} node(s) unrecoverable", keys.len()));
+    }
+    if action == "verify" {
+        println!("all {} node(s) recoverable", keys.len());
     }
     Ok(())
 }

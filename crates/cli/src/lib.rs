@@ -44,7 +44,13 @@ commands:
              --dataset, --scale (0.05), --seed N, --top K,
              --threads N (0 = all cores; results thread-count-invariant),
              --metrics-out FILE (write a telemetry JSON snapshot),
-             --stats-endpoint yes|no (serve + sweep StatsRequest frames)
+             --stats-endpoint yes|no (serve + sweep StatsRequest frames),
+             --state-dir DIR (durable checkpoints + WAL; reruns resume),
+             --checkpoint-every N (8), --round-delay-ms MS (0)
+  checkpoint inspect or verify a --state-dir written by cluster
+             checkpoint inspect --state-dir DIR [--node N|--key KEY]
+             checkpoint verify  --state-dir DIR [--node N|--key KEY]
+             (verify exits nonzero when a node is unrecoverable)
   metrics    render a telemetry snapshot written by --metrics-out
              --in FILE, --format table|prom|json (table)
   node       single-node TCP demo: serve a fragment on an ephemeral port
@@ -55,6 +61,14 @@ commands:
 /// name). Returns a user-facing error string on bad input.
 pub fn run(argv: &[String]) -> Result<(), String> {
     let (command, rest) = argv.split_first().ok_or("missing command")?;
+    if command == "checkpoint" {
+        // The checkpoint command takes an action word before its flags.
+        let (action, rest) = rest
+            .split_first()
+            .ok_or("checkpoint: missing action (inspect|verify)")?;
+        let parsed = ParsedArgs::parse(rest)?;
+        return commands::checkpoint(action, &parsed);
+    }
     let parsed = ParsedArgs::parse(rest)?;
     match command.as_str() {
         "generate" => commands::generate(&parsed),
@@ -210,6 +224,47 @@ mod tests {
         let raw = std::fs::read_to_string(&path).unwrap();
         let snap = jxp_telemetry::TelemetrySnapshot::from_json(&raw).unwrap();
         assert!(snap.metrics.counters["jxp_cluster_rounds_total"] > 0);
+    }
+
+    #[test]
+    fn cluster_state_dir_resume_and_checkpoint_commands() {
+        let dir = std::env::temp_dir().join(format!("jxp_cli_state_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cluster = format!(
+            "cluster --peers 3 --meetings 12 --scale 0.01 --state-dir {}",
+            dir.display()
+        );
+        run(&argv(&cluster)).unwrap();
+        // Rerunning over the same state dir resumes (here: a no-op run).
+        run(&argv(&cluster)).unwrap();
+        for action in ["inspect", "verify"] {
+            run(&argv(&format!(
+                "checkpoint {action} --state-dir {}",
+                dir.display()
+            )))
+            .unwrap();
+            run(&argv(&format!(
+                "checkpoint {action} --state-dir {} --node 0",
+                dir.display()
+            )))
+            .unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_command_rejects_bad_input() {
+        assert!(run(&argv("checkpoint")).is_err()); // missing action
+        assert!(run(&argv("checkpoint inspect")).is_err()); // missing --state-dir
+        assert!(run(&argv("checkpoint frob --state-dir /tmp/nope")).is_err());
+        let empty = std::env::temp_dir().join(format!("jxp_cli_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(run(&argv(&format!(
+            "checkpoint verify --state-dir {}",
+            empty.display()
+        )))
+        .is_err()); // nothing to verify
+        std::fs::remove_dir_all(&empty).ok();
     }
 
     #[test]

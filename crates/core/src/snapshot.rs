@@ -138,6 +138,9 @@ pub fn load(mut buf: impl Buf) -> Result<JxpPeer, String> {
     if n == 0 {
         return Err(err("empty fragment"));
     }
+    // Every page entry needs at least 16 bytes, so a corrupt count is
+    // rejected before it can drive a multi-gigabyte allocation.
+    need!(buf, n * 16);
     let mut adjacency = Vec::with_capacity(n);
     let mut page_scores = Vec::with_capacity(n);
     for _ in 0..n {
@@ -170,7 +173,7 @@ pub fn load(mut buf: impl Buf) -> Result<JxpPeer, String> {
     need!(buf, 4);
     let num_entries = buf.get_u32_le() as usize;
     for _ in 0..num_entries {
-        need!(buf, 16);
+        need!(buf, 20);
         let src = PageId(buf.get_u32_le());
         let out_degree = buf.get_u32_le();
         let score = buf.get_f64_le();
@@ -202,7 +205,7 @@ pub fn load(mut buf: impl Buf) -> Result<JxpPeer, String> {
         last_pr_iterations: 0,
         total_pr_iterations: buf.get_u64_le(),
     };
-    if n_total < n as f64 {
+    if !n_total.is_finite() || n_total < n as f64 {
         return Err(err("N smaller than fragment"));
     }
     Ok(JxpPeer::from_snapshot_parts(
@@ -308,6 +311,54 @@ mod tests {
         let mut bad = good.to_vec();
         let ws_off = 4 + 4 + 8 + 8 + 4 + 1 + 1 + 8;
         bad[ws_off..ws_off + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(load(&bad[..]).is_err());
+    }
+
+    #[test]
+    fn every_truncation_is_a_clean_error() {
+        let (a, _) = warmed_up_peer();
+        let good = save(&a);
+        // Mirrors the jxp-wire truncation rejects: every possible torn
+        // prefix must come back as Err, never a panic or a short read.
+        for cut in 0..good.len() {
+            assert!(load(&good[..cut]).is_err(), "prefix {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_handled_without_panicking() {
+        let (a, _) = warmed_up_peer();
+        let good = save(&a);
+        for i in 0..good.len() {
+            let mut bad = good.to_vec();
+            bad[i] ^= 0xFF;
+            // A flip may happen to survive validation (e.g. the low
+            // mantissa bits of a score); the contract is no panic and
+            // no unbounded allocation, not detection of every flip.
+            let _ = load(&bad[..]);
+        }
+    }
+
+    #[test]
+    fn corrupt_counts_cannot_drive_huge_allocations() {
+        let (a, _) = warmed_up_peer();
+        let good = save(&a);
+        // Overwrite the fragment page count (right after the config
+        // block, N and world_score) with u32::MAX: load must reject it
+        // via the remaining-bytes bound instead of reserving 64 GiB.
+        let count_off = 4 + 4 + 8 + 8 + 4 + 1 + 1 + 8 + 8;
+        let mut bad = good.to_vec();
+        bad[count_off..count_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(load(&bad[..]).is_err());
+    }
+
+    #[test]
+    fn nan_n_total_is_rejected() {
+        let (a, _) = warmed_up_peer();
+        let good = save(&a);
+        let n_total_off = 4 + 4 + 8 + 8 + 4 + 1 + 1;
+        let mut bad = good.to_vec();
+        bad[n_total_off..n_total_off + 8].copy_from_slice(&f64::NAN.to_le_bytes());
         assert!(load(&bad[..]).is_err());
     }
 }

@@ -6,19 +6,23 @@
 
 use crate::loopback::LoopbackNetwork;
 use crate::node::{JxpNode, NodeMetrics, NodeStats};
+use crate::persist::{NodePersist, PersistConfig, SharedStore};
 use crate::tcp::{TcpConfig, TcpServer, TcpTransport};
 use crate::transport::{FrameHandler, NodeId, RetryPolicy, StallInjector, Transport};
 use jxp_core::config::JxpConfig;
 use jxp_core::evaluate::{centralized_ranking, total_ranking};
 use jxp_core::selection::{PeerSynopses, PreMeetingsConfig};
 use jxp_pagerank::metrics::footrule_distance;
+use jxp_store::{DirStore, StoreMetrics, WalKind, WalRecord};
 use jxp_synopses::mips::MipsPermutations;
 use jxp_telemetry::{Event, TelemetryHub, TelemetrySnapshot};
 use jxp_webgraph::Subgraph;
 use jxp_wire::StatsPayload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Which transport carries the frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +93,24 @@ pub struct ClusterConfig {
     /// Enable every node's wire stats endpoint and sweep it after the
     /// run into [`ClusterReport::wire_stats`].
     pub stats_endpoint: bool,
+    /// Durable state directory. When set, every node journals applied
+    /// meeting deltas to a per-node WAL under this directory (with
+    /// periodic checkpoints) and, on startup, resumes from whatever
+    /// state the directory holds: already-journaled meetings of the
+    /// deterministic schedule are skipped, a torn meeting is repaired
+    /// from its partner's final `Serve` record, and the rest execute
+    /// normally. Scores at the end are bit-identical to a run that was
+    /// never interrupted (DESIGN.md §12).
+    pub state_dir: Option<PathBuf>,
+    /// Checkpoint every N applied events per node (0 = only at exit).
+    pub checkpoint_every: u64,
+    /// Write a final checkpoint per node when the run completes. Tests
+    /// disable this to leave checkpoint + WAL state on disk, exactly as
+    /// a crash would.
+    pub checkpoint_on_exit: bool,
+    /// Sleep this long after each executed round — pacing for the CI
+    /// crash-recovery job, which SIGKILLs a deliberately slow run.
+    pub round_delay: Option<Duration>,
 }
 
 impl Default for ClusterConfig {
@@ -104,6 +126,10 @@ impl Default for ClusterConfig {
             threads: 1,
             telemetry: false,
             stats_endpoint: false,
+            state_dir: None,
+            checkpoint_every: 8,
+            checkpoint_on_exit: true,
+            round_delay: None,
         }
     }
 }
@@ -135,6 +161,10 @@ pub struct ClusterReport {
     /// [`ClusterConfig::stats_endpoint`] was set), one per node. Fetched
     /// after `per_node`, so the first fetch mirrors it exactly.
     pub wire_stats: Option<Vec<StatsPayload>>,
+    /// FNV-1a hash over every node's final score bits, in node order.
+    /// Bit-identical runs — including a killed run resumed from its
+    /// [`ClusterConfig::state_dir`] — report the same hash.
+    pub score_hash: u64,
 }
 
 /// Run a full cluster experiment over `fragments` (one per node).
@@ -153,11 +183,38 @@ pub fn run_cluster(
     config: &ClusterConfig,
     truth: Option<&[f64]>,
 ) -> ClusterReport {
+    /// What resume decided for one scheduled meeting.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum MeetAction {
+        /// Execute normally (fresh runs: every meeting).
+        Run,
+        /// Both sides already journaled it — nothing to do.
+        Skip,
+        /// Responder journaled, initiator didn't: torn meeting; the
+        /// initiator absorbs the responder's journaled outbound.
+        Repair,
+    }
     assert!(fragments.len() >= 2, "a cluster needs at least two nodes");
     let num_nodes = fragments.len();
     let perms = MipsPermutations::generate(config.mips_dims, config.seed ^ 0x5a5a);
 
     let hub = config.telemetry.then(TelemetryHub::shared);
+
+    // Durable state: open the store (if configured), recover whatever
+    // each node left behind, and remember per-node recovery facts for
+    // the schedule classification below.
+    let store: Option<(SharedStore, StoreMetrics)> = config.state_dir.as_ref().map(|dir| {
+        let store_metrics = match &hub {
+            Some(hub) => StoreMetrics::registered(hub.registry()),
+            None => StoreMetrics::detached(),
+        };
+        let dir_store = DirStore::with_metrics(dir, store_metrics.clone())
+            .unwrap_or_else(|e| panic!("open state dir {}: {e}", dir.display()));
+        (Arc::new(dir_store) as SharedStore, store_metrics)
+    });
+    let mut recovered_seq = vec![0u64; num_nodes];
+    let mut repair_records: Vec<Option<WalRecord>> = (0..num_nodes).map(|_| None).collect();
+
     let nodes: Vec<Arc<JxpNode>> = fragments
         .into_iter()
         .enumerate()
@@ -166,12 +223,39 @@ pub fn run_cluster(
                 Some(hub) => NodeMetrics::registered(hub.registry(), i as NodeId),
                 None => NodeMetrics::detached(),
             };
-            Arc::new(JxpNode::with_metrics(
-                i as NodeId,
-                jxp_core::peer::JxpPeer::new(frag, n_total, jxp.clone()),
-                &perms,
-                metrics,
-            ))
+            let mut peer = jxp_core::peer::JxpPeer::new(frag, n_total, jxp.clone());
+            let key = format!("node-{i}");
+            if let Some((store, _)) = &store {
+                match store.load(&key) {
+                    Ok(Some(recovered)) => {
+                        recovered_seq[i] = recovered.seq;
+                        repair_records[i] = recovered.last_record;
+                        peer = recovered.peer;
+                    }
+                    Ok(None) => {}
+                    Err(e) => panic!("recover {key}: {e}"),
+                }
+            }
+            let node = Arc::new(JxpNode::with_metrics(i as NodeId, peer, &perms, metrics));
+            if let Some((store, store_metrics)) = &store {
+                node.attach_persistence(NodePersist::new(
+                    Arc::clone(store),
+                    key,
+                    PersistConfig {
+                        checkpoint_every: config.checkpoint_every,
+                        ..PersistConfig::default()
+                    },
+                    store_metrics.clone(),
+                    recovered_seq[i],
+                ));
+                if recovered_seq[i] == 0 {
+                    // Seed checkpoint so recovery always has a base to
+                    // replay the WAL over, even if we die before the
+                    // first interval checkpoint.
+                    node.persist_checkpoint();
+                }
+            }
+            node
         })
         .collect();
     if config.stats_endpoint {
@@ -269,6 +353,75 @@ pub fn run_cluster(
         rounds.push(round);
     }
 
+    // Resume classification: walk the drawn schedule tracking how many
+    // events each node *would* have applied, and compare against what
+    // the WAL says it *did* apply. Rounds are node-disjoint and execute
+    // behind a barrier, so a crash leaves each node mid-flight in at
+    // most one meeting and the per-meeting (responder done, initiator
+    // done) pair is unambiguous: (true, true) already happened — skip;
+    // (false, false) never happened — run; (true, false) is a torn
+    // meeting — the responder journaled its serve (it does so before
+    // the reply leaves) but the initiator died first, so repair the
+    // initiator from the outbound payload the serve record kept.
+    // (false, true) would mean the initiator absorbed a reply that was
+    // never served: impossible unless the state dir belongs to a
+    // different run.
+    let actions: Vec<Vec<MeetAction>> = {
+        let mut expected = vec![0u64; num_nodes];
+        rounds
+            .iter()
+            .map(|round| {
+                round
+                    .iter()
+                    .map(|&(m, initiator, target)| {
+                        let t = target as usize;
+                        let responder_event = expected[t] + 1;
+                        let initiator_event = expected[initiator] + 1;
+                        expected[t] = responder_event;
+                        expected[initiator] = initiator_event;
+                        let responder_done = recovered_seq[t] >= responder_event;
+                        let initiator_done = recovered_seq[initiator] >= initiator_event;
+                        match (responder_done, initiator_done) {
+                            (true, true) => MeetAction::Skip,
+                            (false, false) => MeetAction::Run,
+                            (true, false) => MeetAction::Repair,
+                            (false, true) => panic!(
+                                "state dir inconsistent at meeting {m}: initiator {initiator} \
+                                 journaled an event node {t} never served — wrong --state-dir \
+                                 for this seed/topology?"
+                            ),
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    for (round, acts) in rounds.iter().zip(&actions) {
+        for (&(m, initiator, target), act) in round.iter().zip(acts) {
+            if *act != MeetAction::Repair {
+                continue;
+            }
+            let t = target as usize;
+            let record = repair_records[t].as_ref().unwrap_or_else(|| {
+                panic!("meeting {m} needs repair but node {t} has no journaled record")
+            });
+            assert_eq!(
+                record.seq, recovered_seq[t],
+                "torn meeting {m} must be node {t}'s final journaled event"
+            );
+            assert_eq!(
+                record.kind,
+                WalKind::Serve,
+                "torn meeting {m}: node {t}'s final record is not a serve"
+            );
+            let outbound = record
+                .outbound
+                .as_ref()
+                .expect("serve records always carry the outbound payload");
+            nodes[initiator].apply_repair(outbound);
+        }
+    }
+
     // Telemetry handles are registered once, up front (cold path).
     let round_metrics = hub.as_ref().map(|h| {
         (
@@ -281,7 +434,18 @@ pub fn run_cluster(
     // Stall injection must see requests in schedule order to swallow
     // exactly the planned ones, so it pins execution to one worker.
     let workers = if config.stall.is_some() { 1 } else { threads };
-    for (round_no, round) in rounds.into_iter().enumerate() {
+    for (round_no, (full_round, acts)) in rounds.iter().zip(&actions).enumerate() {
+        // Already-journaled meetings (and repaired torn ones) are
+        // skipped on resume; only the remainder executes.
+        let round: Vec<(usize, usize, NodeId)> = full_round
+            .iter()
+            .zip(acts)
+            .filter(|(_, act)| **act == MeetAction::Run)
+            .map(|(&mtg, _)| mtg)
+            .collect();
+        if round.is_empty() {
+            continue;
+        }
         let arm_stall = |m: usize| {
             if let Some(plan) = config.stall {
                 if plan.at_meeting == m {
@@ -362,9 +526,33 @@ pub fn run_cluster(
             rounds_total.inc();
             round_width.observe(round.len() as f64);
         }
+        if let Some(delay) = config.round_delay {
+            std::thread::sleep(delay);
+        }
+    }
+
+    // Clean shutdown: one final checkpoint per node, so a later resume
+    // starts from the finished state instead of replaying the tail.
+    if store.is_some() && config.checkpoint_on_exit {
+        for node in &nodes {
+            node.persist_checkpoint();
+        }
     }
 
     let per_node: Vec<NodeStats> = nodes.iter().map(|n| n.stats()).collect();
+    let score_hash = {
+        let guards: Vec<_> = nodes.iter().map(|n| n.lock()).collect();
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for guard in &guards {
+            for &score in guard.peer.scores() {
+                for byte in score.to_bits().to_le_bytes() {
+                    hash ^= u64::from(byte);
+                    hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+        }
+        hash
+    };
     let footrule = truth.map(|scores| {
         let guards: Vec<_> = nodes.iter().map(|n| n.lock()).collect();
         let distributed = total_ranking(guards.iter().map(|g| &g.peer));
@@ -402,6 +590,7 @@ pub fn run_cluster(
         per_node,
         telemetry,
         wire_stats,
+        score_hash,
     }
 }
 
@@ -655,5 +844,187 @@ mod tests {
         let report = run_cluster(frags, n_total, JxpConfig::default(), &config, Some(&truth));
         assert_eq!(report.meetings_completed, 15);
         assert!(report.footrule.is_some());
+    }
+
+    /// Fresh state directory under the OS temp dir, unique per call.
+    fn temp_state_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("jxp-cluster-{tag}-{}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn resumed_run_matches_an_uninterrupted_run_bit_for_bit() {
+        let truth = vec![1.0 / 12.0; 12];
+        for threads in [1usize, 2, 8] {
+            let (frags, n_total) = ring_fragments(4);
+            let base = ClusterConfig {
+                meetings: 80,
+                seed: 17,
+                premeetings: true,
+                threads,
+                checkpoint_every: 4,
+                ..ClusterConfig::default()
+            };
+            let control = run_cluster(
+                frags.clone(),
+                n_total,
+                JxpConfig::default(),
+                &base,
+                Some(&truth),
+            );
+
+            // Same schedule, but die after 40 meetings without a final
+            // checkpoint: disk holds mid-run checkpoints plus a WAL tail,
+            // exactly what a crash leaves behind.
+            let dir = temp_state_dir("resume");
+            let interrupted = ClusterConfig {
+                meetings: 40,
+                state_dir: Some(dir.clone()),
+                checkpoint_on_exit: false,
+                ..base.clone()
+            };
+            let half = run_cluster(
+                frags.clone(),
+                n_total,
+                JxpConfig::default(),
+                &interrupted,
+                None,
+            );
+            assert_eq!(half.meetings_completed, 40, "{threads} threads");
+
+            let resumed_cfg = ClusterConfig {
+                state_dir: Some(dir.clone()),
+                ..base.clone()
+            };
+            let resumed = run_cluster(
+                frags,
+                n_total,
+                JxpConfig::default(),
+                &resumed_cfg,
+                Some(&truth),
+            );
+            // Only the back half actually executed…
+            assert_eq!(resumed.meetings_completed, 40, "{threads} threads");
+            // …yet the final state is bit-identical to never stopping.
+            assert_eq!(resumed.score_hash, control.score_hash, "{threads} threads");
+            assert_eq!(resumed.footrule, control.footrule, "{threads} threads");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn completed_run_resumes_as_a_no_op() {
+        let (frags, n_total) = ring_fragments(4);
+        let dir = temp_state_dir("noop");
+        let config = ClusterConfig {
+            meetings: 24,
+            seed: 13,
+            state_dir: Some(dir.clone()),
+            ..ClusterConfig::default()
+        };
+        let first = run_cluster(frags.clone(), n_total, JxpConfig::default(), &config, None);
+        assert_eq!(first.meetings_completed, 24);
+        // The exit checkpoint covered everything: a rerun over the same
+        // state dir skips every meeting and lands on the same hash.
+        let second = run_cluster(frags, n_total, JxpConfig::default(), &config, None);
+        assert_eq!(second.meetings_completed, 0);
+        assert_eq!(second.meetings_attempted, 0);
+        assert_eq!(second.score_hash, first.score_hash);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_meeting_is_repaired_from_the_responders_journal() {
+        use jxp_wire::Frame;
+
+        let (frags, n_total) = ring_fragments(2);
+        let dir = temp_state_dir("torn");
+        // Control: the full run, never interrupted.
+        let base = ClusterConfig {
+            meetings: 9,
+            seed: 29,
+            checkpoint_every: 3,
+            ..ClusterConfig::default()
+        };
+        let control = run_cluster(frags.clone(), n_total, JxpConfig::default(), &base, None);
+
+        // Crash reproduction: run all but the last meeting durably, then
+        // drive the final meeting's request into the responder by hand
+        // and drop the reply on the floor — the responder journaled a
+        // serve, the initiator never absorbed. That is exactly the torn
+        // state a mid-meeting SIGKILL leaves.
+        let interrupted = ClusterConfig {
+            meetings: 8,
+            state_dir: Some(dir.clone()),
+            checkpoint_on_exit: false,
+            ..base.clone()
+        };
+        run_cluster(
+            frags.clone(),
+            n_total,
+            JxpConfig::default(),
+            &interrupted,
+            None,
+        );
+        // Replay the schedule draw to learn meeting 8's initiator/target.
+        let mut rng = StdRng::seed_from_u64(base.seed);
+        let mut pair = (0usize, 0 as NodeId);
+        for m in 0..9usize {
+            let initiator = m % 2;
+            let mut t = rng.gen_range(0..1usize);
+            if t >= initiator {
+                t += 1;
+            }
+            pair = (initiator, t as NodeId);
+        }
+        let (initiator, target) = pair;
+        {
+            // Re-open the two nodes from disk, as `run_cluster` would.
+            let store: SharedStore = Arc::new(DirStore::open(&dir).expect("reopen state dir"));
+            let perms = MipsPermutations::generate(base.mips_dims, base.seed ^ 0x5a5a);
+            let nodes: Vec<Arc<JxpNode>> = (0..2)
+                .map(|i| {
+                    let rec = store
+                        .load(&format!("node-{i}"))
+                        .expect("load")
+                        .expect("state exists");
+                    let node = Arc::new(JxpNode::with_metrics(
+                        i as NodeId,
+                        rec.peer,
+                        &perms,
+                        NodeMetrics::detached(),
+                    ));
+                    node.attach_persistence(NodePersist::new(
+                        Arc::clone(&store),
+                        format!("node-{i}"),
+                        PersistConfig {
+                            checkpoint_every: base.checkpoint_every,
+                            ..PersistConfig::default()
+                        },
+                        StoreMetrics::detached(),
+                        rec.seq,
+                    ));
+                    node
+                })
+                .collect();
+            let request = Frame::MeetRequest(nodes[initiator].current_payload());
+            let reply = nodes[target as usize].handle(request);
+            assert!(matches!(reply, Some(Frame::MeetReply(_))));
+            // …and the reply is dropped here: the initiator dies first.
+        }
+
+        // Resume over the torn directory: meeting 8 classifies as
+        // Repair, the initiator absorbs the journaled outbound, and the
+        // final state matches the uninterrupted control exactly.
+        let resumed_cfg = ClusterConfig {
+            state_dir: Some(dir.clone()),
+            ..base.clone()
+        };
+        let resumed = run_cluster(frags, n_total, JxpConfig::default(), &resumed_cfg, None);
+        assert_eq!(resumed.meetings_completed, 0, "nothing left to execute");
+        assert_eq!(resumed.score_hash, control.score_hash);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

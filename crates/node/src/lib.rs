@@ -16,12 +16,14 @@
 pub mod cluster;
 pub mod loopback;
 pub mod node;
+pub mod persist;
 pub mod tcp;
 pub mod transport;
 
 pub use cluster::{run_cluster, ClusterConfig, ClusterReport, StallPlan, TransportKind};
 pub use loopback::{Fault, LoopbackNetwork};
 pub use node::{JxpNode, MeetOutcome, NodeMetrics, NodeStats};
+pub use persist::{NodePersist, PersistConfig, SharedStore};
 pub use tcp::{TcpConfig, TcpServer, TcpTransport};
 pub use transport::{
     request_with_retry, Exchange, FrameHandler, NodeId, RetryError, RetryPolicy, StallInjector,

@@ -11,6 +11,7 @@
 //! `jxp-telemetry`), so serving a meeting updates traffic counters with
 //! relaxed atomic adds while another thread holds the peer state lock.
 
+use crate::persist::NodePersist;
 use crate::transport::{
     request_with_retry, FrameHandler, NodeId, RetryPolicy, Transport, TransportError,
 };
@@ -116,6 +117,10 @@ pub struct MeetOutcome {
 pub(crate) struct NodeState {
     pub(crate) peer: JxpPeer,
     pub(crate) synopses: PeerSynopses,
+    /// Durable journal, when the node runs with a state directory.
+    /// Lives under the same mutex as `peer` so journaled sequence
+    /// numbers match the order deltas were applied.
+    pub(crate) persist: Option<NodePersist>,
 }
 
 /// A JXP peer bound to a node id, safe to share between the transport's
@@ -145,9 +150,43 @@ impl JxpNode {
         let synopses = PeerSynopses::compute(peer.graph(), perms);
         JxpNode {
             id,
-            state: Arc::new(Mutex::new(NodeState { peer, synopses })),
+            state: Arc::new(Mutex::new(NodeState {
+                peer,
+                synopses,
+                persist: None,
+            })),
             metrics,
             stats_endpoint: AtomicBool::new(false),
+        }
+    }
+
+    /// Attach a durable journal: every meeting delta applied from now
+    /// on is WAL-appended (and periodically checkpointed) under the
+    /// journal's key.
+    pub fn attach_persistence(&self, persist: NodePersist) {
+        self.lock().persist = Some(persist);
+    }
+
+    /// Install a checkpoint of the current peer state, if a journal is
+    /// attached. Called by the cluster driver at clean shutdown.
+    pub fn persist_checkpoint(&self) {
+        let mut state = self.lock();
+        let NodeState { peer, persist, .. } = &mut *state;
+        if let Some(p) = persist.as_mut() {
+            p.checkpoint(peer);
+        }
+    }
+
+    /// Repair a torn meeting: absorb the reply payload recovered from
+    /// the partner's final `Serve` WAL record, journaling it like the
+    /// absorb that was lost in the crash.
+    pub fn apply_repair(&self, payload: &MeetingPayload) {
+        let mut state = self.lock();
+        let NodeState { peer, persist, .. } = &mut *state;
+        peer.absorb(payload);
+        if let Some(p) = persist.as_mut() {
+            p.record_absorb(peer, payload);
+            p.metrics().repairs_total.inc();
         }
     }
 
@@ -270,7 +309,14 @@ impl JxpNode {
                 )));
             }
         };
-        self.lock().peer.absorb(&remote);
+        {
+            let mut state = self.lock();
+            let NodeState { peer, persist, .. } = &mut *state;
+            peer.absorb(&remote);
+            if let Some(p) = persist.as_mut() {
+                p.record_absorb(peer, &remote);
+            }
+        }
         self.metrics.meetings_completed.inc();
         self.metrics.retries.add(u64::from(outcome.retries));
         self.metrics.bytes_out.add(outcome.exchange.bytes_sent);
@@ -385,10 +431,18 @@ impl FrameHandler for JxpNode {
             }
             Frame::MeetRequest(payload) => {
                 let mut state = self.lock();
+                let NodeState { peer, persist, .. } = &mut *state;
                 // Outgoing payload first — pre-absorption state.
-                let own = state.peer.payload();
-                match state.peer.try_absorb(&payload) {
+                let own = peer.payload();
+                match peer.try_absorb(&payload) {
                     Ok(()) => {
+                        // Journal before the reply leaves the lock: a
+                        // torn meeting therefore always has the serve
+                        // record and lacks the initiator's, never the
+                        // reverse (the invariant resume repair uses).
+                        if let Some(p) = persist.as_mut() {
+                            p.record_serve(peer, &payload, &own);
+                        }
                         self.metrics.meetings_served.inc();
                         Frame::MeetReply(own)
                     }

@@ -1,0 +1,140 @@
+//! Per-node durable persistence: WAL appends after every applied
+//! meeting delta, periodic checkpoints, and the resume bookkeeping the
+//! cluster driver uses to continue a killed run.
+//!
+//! A [`NodePersist`] lives *inside* the node's state mutex, so the
+//! event sequence it assigns is exactly the order in which deltas were
+//! applied to the peer — the property WAL replay relies on. The
+//! responder side journals before its reply leaves the lock, which
+//! gives the crash-consistency invariant (DESIGN.md §12): for any torn
+//! meeting, the responder's record exists and the initiator's does not,
+//! never the other way around.
+//!
+//! Store failures are counted (`jxp_store_errors_total`), not
+//! propagated: losing durability must not take down the meeting loop.
+
+use std::sync::Arc;
+
+use jxp_core::{snapshot, JxpPeer, MeetingPayload};
+use jxp_store::{StateStore, StoreMetrics, WalKind, WalRecord};
+
+/// Shared handle to any [`StateStore`] backend.
+pub type SharedStore = Arc<dyn StateStore + Send + Sync>;
+
+/// Knobs for when a node checkpoints.
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// Checkpoint after this many applied events (0 = only on demand).
+    pub checkpoint_every: u64,
+    /// Also checkpoint early once the WAL outgrows this many bytes,
+    /// which is what bounds WAL growth between interval checkpoints.
+    pub wal_compact_bytes: u64,
+}
+
+impl Default for PersistConfig {
+    fn default() -> Self {
+        PersistConfig {
+            checkpoint_every: 8,
+            wal_compact_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Durable journal for one node.
+pub struct NodePersist {
+    store: SharedStore,
+    key: String,
+    config: PersistConfig,
+    metrics: StoreMetrics,
+    seq: u64,
+    since_checkpoint: u64,
+}
+
+impl NodePersist {
+    /// Journal into `store` under `key`, continuing from `start_seq`
+    /// (0 for a fresh node, the recovered sequence after a resume).
+    pub fn new(
+        store: SharedStore,
+        key: impl Into<String>,
+        config: PersistConfig,
+        metrics: StoreMetrics,
+        start_seq: u64,
+    ) -> Self {
+        NodePersist {
+            store,
+            key: key.into(),
+            config,
+            metrics,
+            seq: start_seq,
+            since_checkpoint: 0,
+        }
+    }
+
+    /// Events durably journaled so far.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The store metrics this journal reports into.
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+
+    /// Journal an initiator-side absorb (the peer just applied
+    /// `inbound` from a meeting it started).
+    pub fn record_absorb(&mut self, peer: &JxpPeer, inbound: &MeetingPayload) {
+        self.record(peer, WalKind::Absorb, inbound, None);
+    }
+
+    /// Journal a responder-side serve: the peer absorbed `inbound` and
+    /// sent `outbound` back. The outbound payload rides along so a
+    /// crashed initiator can repair the torn meeting from this record.
+    pub fn record_serve(
+        &mut self,
+        peer: &JxpPeer,
+        inbound: &MeetingPayload,
+        outbound: &MeetingPayload,
+    ) {
+        self.record(peer, WalKind::Serve, inbound, Some(outbound));
+    }
+
+    fn record(
+        &mut self,
+        peer: &JxpPeer,
+        kind: WalKind,
+        inbound: &MeetingPayload,
+        outbound: Option<&MeetingPayload>,
+    ) {
+        self.seq += 1;
+        let record = WalRecord {
+            seq: self.seq,
+            kind,
+            inbound: inbound.clone(),
+            outbound: outbound.cloned(),
+        };
+        match self.store.append(&self.key, &record) {
+            Ok(wal_bytes) => {
+                self.since_checkpoint += 1;
+                let interval_due = self.config.checkpoint_every > 0
+                    && self.since_checkpoint >= self.config.checkpoint_every;
+                let wal_oversized =
+                    self.config.wal_compact_bytes > 0 && wal_bytes > self.config.wal_compact_bytes;
+                if interval_due || wal_oversized {
+                    self.checkpoint(peer);
+                }
+            }
+            Err(_) => self.metrics.errors_total.inc(),
+        }
+    }
+
+    /// Install a checkpoint of `peer` at the current sequence (also
+    /// compacts the WAL). Called automatically per [`PersistConfig`]
+    /// and explicitly at clean shutdown.
+    pub fn checkpoint(&mut self, peer: &JxpPeer) {
+        let snap = snapshot::save(peer);
+        match self.store.checkpoint(&self.key, self.seq, &snap) {
+            Ok(()) => self.since_checkpoint = 0,
+            Err(_) => self.metrics.errors_total.inc(),
+        }
+    }
+}

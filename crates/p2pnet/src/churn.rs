@@ -10,8 +10,11 @@
 //! that scores stay valid and keep approximating centralized PageRank.
 
 use crate::sim::Network;
+use jxp_core::snapshot;
+use jxp_store::StateStore;
 use jxp_webgraph::Subgraph;
 use rand::Rng;
+use std::collections::VecDeque;
 
 /// A stochastic churn model applied between meetings.
 #[derive(Debug, Clone)]
@@ -47,6 +50,9 @@ pub enum ChurnEvent {
     Joined(usize),
     /// A peer left (former index).
     Left(usize),
+    /// A previously departed peer rejoined with its persisted state
+    /// (new index). Only [`DurableChurn`] emits this.
+    Rejoined(usize),
 }
 
 impl ChurnModel {
@@ -71,6 +77,101 @@ impl ChurnModel {
             return ChurnEvent::Joined(net.num_peers() - 1);
         }
         ChurnEvent::None
+    }
+}
+
+/// Churn with durability (the `jxp-store` integration): a departing peer
+/// checkpoints its full state into a [`StateStore`] before it goes, and
+/// a later join *resurrects* the oldest departed peer from the store —
+/// with all its accumulated world knowledge and scores — instead of
+/// admitting an amnesiac replacement from the fragment pool.
+///
+/// This models peers with local disks: in JXP a peer's world-node
+/// quality is earned over many meetings, so a network whose peers
+/// resume beats one whose peers restart. Everything is deterministic
+/// given the rng: the decision draws are exactly [`ChurnModel::tick`]'s,
+/// and the resurrection order is FIFO over departure order.
+pub struct DurableChurn<S: StateStore> {
+    model: ChurnModel,
+    store: S,
+    departed: VecDeque<String>,
+    next_id: u64,
+}
+
+impl<S: StateStore> DurableChurn<S> {
+    /// Durable churn following `model`'s probabilities, persisting into
+    /// `store`.
+    pub fn new(model: ChurnModel, store: S) -> Self {
+        DurableChurn {
+            model,
+            store,
+            departed: VecDeque::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Keys of departed peers currently held in the store, oldest first.
+    pub fn departed(&self) -> impl Iterator<Item = &str> {
+        self.departed.iter().map(String::as_str)
+    }
+
+    /// The underlying store (for inspection in tests/tools).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Apply one durable churn tick: like [`ChurnModel::tick`], but a
+    /// leave persists the victim and a join prefers resurrection. Falls
+    /// back to a fresh `pool` fragment when the store has nobody to
+    /// revive (or the revival fails to load).
+    pub fn tick(
+        &mut self,
+        net: &mut Network,
+        pool: &[Subgraph],
+        cursor: &mut usize,
+        rng: &mut impl Rng,
+    ) -> ChurnEvent {
+        if net.num_peers() > self.model.min_peers && rng.gen_bool(self.model.leave_prob) {
+            let victim = rng.gen_range(0..net.num_peers());
+            let peer = net.remove_peer(victim);
+            let key = format!("peer-{}", self.next_id);
+            self.next_id += 1;
+            let snap = snapshot::save(&peer);
+            // A failed checkpoint degrades to plain (stateless) churn:
+            // the peer is gone either way, it just can't come back.
+            if self.store.checkpoint(&key, 0, &snap).is_ok() {
+                self.departed.push_back(key);
+            }
+            return ChurnEvent::Left(victim);
+        }
+        let can_join = !pool.is_empty() || !self.departed.is_empty();
+        if net.num_peers() < self.model.max_peers && can_join && rng.gen_bool(self.model.join_prob)
+        {
+            if let Some(index) = self.revive(net) {
+                return ChurnEvent::Rejoined(index);
+            }
+            if pool.is_empty() {
+                return ChurnEvent::None;
+            }
+            let fragment = pool[*cursor % pool.len()].clone();
+            *cursor += 1;
+            net.add_peer(fragment);
+            return ChurnEvent::Joined(net.num_peers() - 1);
+        }
+        ChurnEvent::None
+    }
+
+    /// Resurrect the oldest departed peer from the store into `net`,
+    /// returning its new index — `None` when nobody is waiting (or every
+    /// waiting checkpoint failed to load).
+    pub fn revive(&mut self, net: &mut Network) -> Option<usize> {
+        while let Some(key) = self.departed.pop_front() {
+            if let Ok(Some(recovered)) = self.store.load(&key) {
+                net.add_existing_peer(recovered.peer);
+                return Some(net.num_peers() - 1);
+            }
+        }
+        None
     }
 }
 
@@ -129,7 +230,7 @@ mod tests {
         for _ in 0..100 {
             net.step();
             match model.tick(&mut net, &pool, &mut cursor, &mut rng) {
-                ChurnEvent::Joined(_) => joins += 1,
+                ChurnEvent::Joined(_) | ChurnEvent::Rejoined(_) => joins += 1,
                 ChurnEvent::Left(_) => leaves += 1,
                 ChurnEvent::None => {}
             }

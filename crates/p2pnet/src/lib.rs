@@ -13,7 +13,8 @@
 //! * [`bandwidth`] — per-meeting message-size logging with the quartile
 //!   summaries of Figures 11/12 and cumulative totals;
 //! * [`churn`] — peer join/leave dynamics (§5.3: JXP "has been designed
-//!   to handle high dynamics");
+//!   to handle high dynamics"), including a durable mode where departing
+//!   peers checkpoint into a `jxp-store` and rejoin with their state;
 //! * [`event`] — a discrete-event **asynchronous** simulator (latency,
 //!   message loss, independent peer clocks) for stress-testing beyond the
 //!   idealized atomic meetings;
@@ -34,5 +35,6 @@ pub mod sim;
 
 pub use assign::{assign_by_crawlers, minerva_fragments, CrawlerParams};
 pub use bandwidth::BandwidthLog;
+pub use churn::{ChurnEvent, ChurnModel, DurableChurn};
 pub use parallel::ParallelRunReport;
 pub use sim::{Network, NetworkConfig};

@@ -1,0 +1,348 @@
+//! On-disk binary formats: the `JXPC` checkpoint container and the WAL
+//! record framing.
+//!
+//! Both formats follow the `jxp-wire` codec conventions: little-endian
+//! fixed-width integers, explicit length prefixes validated against the
+//! available bytes *before* any allocation, and a CRC over the payload
+//! so that torn writes and bit rot are detected rather than parsed.
+//!
+//! Checkpoint container (wraps a `core::snapshot` blob):
+//!
+//! ```text
+//! magic "JXPC" | version u32 | seq u64 | payload_len u32 | crc32 u32 | payload
+//! ```
+//!
+//! WAL record (appended after every applied meeting delta):
+//!
+//! ```text
+//! body_len u32 | crc32 u32 (over body) | body
+//! body = seq u64 | kind u8 | inbound frame [| outbound frame]
+//! ```
+//!
+//! The embedded frames are ordinary `jxp-wire` frames (`MeetRequest`
+//! for the payload this peer absorbed, `MeetReply` for the payload it
+//! sent back), so the WAL is self-describing to any tool that already
+//! speaks the wire protocol. `Serve` records carry *both* sides of the
+//! exchange: the reply payload is what a crashed initiator needs to
+//! repair a torn meeting (see `DESIGN.md` §12).
+
+use jxp_core::MeetingPayload;
+use jxp_wire::{decode_frame, encode_frame, Frame};
+
+use crate::StoreError;
+
+/// Magic bytes opening every checkpoint file.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"JXPC";
+/// Current checkpoint container version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+/// Fixed checkpoint header size: magic + version + seq + len + crc.
+pub const CHECKPOINT_HEADER_LEN: usize = 4 + 4 + 8 + 4 + 4;
+/// Fixed WAL record header size: body length + body CRC.
+pub const WAL_HEADER_LEN: usize = 4 + 4;
+/// Upper bound on a checkpoint payload or WAL record body; a claimed
+/// length beyond this is corruption, not a big snapshot.
+pub const MAX_PAYLOAD_LEN: usize = 256 << 20;
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_crc_table();
+
+/// IEEE CRC-32 (the zlib/PNG polynomial), implemented locally so the
+/// store adds no dependencies.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// A decoded checkpoint: the event sequence number it captures and the
+/// raw `core::snapshot` bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Per-peer event sequence number the snapshot corresponds to.
+    pub seq: u64,
+    /// Raw `core::snapshot::save` bytes.
+    pub snapshot: Vec<u8>,
+}
+
+/// Encode a checkpoint container around a snapshot blob.
+pub fn encode_checkpoint(seq: u64, snapshot: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(CHECKPOINT_HEADER_LEN + snapshot.len());
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(snapshot.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(snapshot).to_le_bytes());
+    out.extend_from_slice(snapshot);
+    out
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(raw)
+}
+
+/// Decode and CRC-validate a checkpoint container.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, StoreError> {
+    if bytes.len() < CHECKPOINT_HEADER_LEN {
+        return Err(StoreError::corrupt("checkpoint shorter than its header"));
+    }
+    if bytes[..4] != CHECKPOINT_MAGIC {
+        return Err(StoreError::corrupt("bad checkpoint magic"));
+    }
+    let version = read_u32(bytes, 4);
+    if version != CHECKPOINT_VERSION {
+        return Err(StoreError::corrupt(format!(
+            "unsupported checkpoint version {version}"
+        )));
+    }
+    let seq = read_u64(bytes, 8);
+    let len = read_u32(bytes, 16) as usize;
+    if len > MAX_PAYLOAD_LEN {
+        return Err(StoreError::corrupt(format!(
+            "checkpoint claims {len} payload bytes (max {MAX_PAYLOAD_LEN})"
+        )));
+    }
+    let crc = read_u32(bytes, 20);
+    let payload = &bytes[CHECKPOINT_HEADER_LEN..];
+    if payload.len() != len {
+        return Err(StoreError::corrupt(format!(
+            "checkpoint claims {len} payload bytes, file holds {}",
+            payload.len()
+        )));
+    }
+    if crc32(payload) != crc {
+        return Err(StoreError::corrupt("checkpoint CRC mismatch"));
+    }
+    Ok(Checkpoint {
+        seq,
+        snapshot: payload.to_vec(),
+    })
+}
+
+/// Which side of a meeting a WAL record captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalKind {
+    /// The peer initiated a meeting and absorbed the reply payload.
+    Absorb,
+    /// The peer served a meeting: it absorbed the request payload and
+    /// sent back a reply (also recorded, for torn-meeting repair).
+    Serve,
+}
+
+/// One durable post-meeting delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// 1-based per-peer event sequence number.
+    pub seq: u64,
+    /// Which side of the meeting this peer was on.
+    pub kind: WalKind,
+    /// The payload this peer absorbed (replay applies exactly this).
+    pub inbound: MeetingPayload,
+    /// For [`WalKind::Serve`]: the pre-absorption reply this peer sent.
+    pub outbound: Option<MeetingPayload>,
+}
+
+/// Encode one WAL record, framed and checksummed.
+pub fn encode_wal_record(record: &WalRecord) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&record.seq.to_le_bytes());
+    body.push(match record.kind {
+        WalKind::Absorb => 0,
+        WalKind::Serve => 1,
+    });
+    body.extend_from_slice(&encode_frame(&Frame::MeetRequest(record.inbound.clone())));
+    if let Some(outbound) = &record.outbound {
+        body.extend_from_slice(&encode_frame(&Frame::MeetReply(outbound.clone())));
+    }
+    let mut out = Vec::with_capacity(WAL_HEADER_LEN + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+fn decode_wal_body(body: &[u8]) -> Result<WalRecord, StoreError> {
+    if body.len() < 9 {
+        return Err(StoreError::corrupt("WAL record body shorter than header"));
+    }
+    let seq = read_u64(body, 0);
+    let kind = match body[8] {
+        0 => WalKind::Absorb,
+        1 => WalKind::Serve,
+        other => {
+            return Err(StoreError::corrupt(format!(
+                "unknown WAL record kind {other}"
+            )))
+        }
+    };
+    let mut off = 9;
+    let (frame, used) = decode_frame(&body[off..])
+        .map_err(|e| StoreError::corrupt(format!("WAL inbound frame: {e}")))?;
+    off += used;
+    let inbound = match frame {
+        Frame::MeetRequest(p) => p,
+        other => {
+            return Err(StoreError::corrupt(format!(
+                "WAL inbound frame is {other:?}, expected MeetRequest"
+            )))
+        }
+    };
+    let outbound = match kind {
+        WalKind::Absorb => None,
+        WalKind::Serve => {
+            let (frame, used) = decode_frame(&body[off..])
+                .map_err(|e| StoreError::corrupt(format!("WAL outbound frame: {e}")))?;
+            off += used;
+            match frame {
+                Frame::MeetReply(p) => Some(p),
+                other => {
+                    return Err(StoreError::corrupt(format!(
+                        "WAL outbound frame is {other:?}, expected MeetReply"
+                    )))
+                }
+            }
+        }
+    };
+    if off != body.len() {
+        return Err(StoreError::corrupt("trailing bytes inside WAL record body"));
+    }
+    Ok(WalRecord {
+        seq,
+        kind,
+        inbound,
+        outbound,
+    })
+}
+
+/// Result of scanning a WAL byte stream front to back.
+#[derive(Debug, Default)]
+pub struct WalScan {
+    /// Records decoded before the first invalid byte.
+    pub records: Vec<WalRecord>,
+    /// Bytes consumed by the decoded records.
+    pub consumed: usize,
+    /// True when trailing bytes could not be decoded (torn tail or a
+    /// mid-log flip; either way replay stops at the last good record).
+    pub torn: bool,
+    /// Why the scan stopped early, when it did.
+    pub error: Option<StoreError>,
+}
+
+/// Decode WAL records until the bytes run out or stop making sense.
+///
+/// A truncated or corrupt tail is *not* an error: recovery replays the
+/// clean prefix and reports `torn = true`. This is the crash-consistency
+/// contract — an append torn by power loss must never poison the
+/// records that were already durable before it.
+pub fn scan_wal(bytes: &[u8]) -> WalScan {
+    let mut scan = WalScan::default();
+    let mut off = 0;
+    while off < bytes.len() {
+        let rest = &bytes[off..];
+        if rest.len() < WAL_HEADER_LEN {
+            scan.torn = true;
+            scan.error = Some(StoreError::corrupt("torn WAL header"));
+            break;
+        }
+        let len = read_u32(rest, 0) as usize;
+        if len > MAX_PAYLOAD_LEN {
+            scan.torn = true;
+            scan.error = Some(StoreError::corrupt(format!(
+                "WAL record claims {len} body bytes (max {MAX_PAYLOAD_LEN})"
+            )));
+            break;
+        }
+        if rest.len() < WAL_HEADER_LEN + len {
+            scan.torn = true;
+            scan.error = Some(StoreError::corrupt("torn WAL record body"));
+            break;
+        }
+        let crc = read_u32(rest, 4);
+        let body = &rest[WAL_HEADER_LEN..WAL_HEADER_LEN + len];
+        if crc32(body) != crc {
+            scan.torn = true;
+            scan.error = Some(StoreError::corrupt("WAL record CRC mismatch"));
+            break;
+        }
+        match decode_wal_body(body) {
+            Ok(record) => {
+                scan.records.push(record);
+                off += WAL_HEADER_LEN + len;
+                scan.consumed = off;
+            }
+            Err(e) => {
+                scan.torn = true;
+                scan.error = Some(e);
+                break;
+            }
+        }
+    }
+    scan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let snapshot = vec![7u8; 130];
+        let bytes = encode_checkpoint(42, &snapshot);
+        let ckpt = decode_checkpoint(&bytes).expect("roundtrip");
+        assert_eq!(ckpt.seq, 42);
+        assert_eq!(ckpt.snapshot, snapshot);
+    }
+
+    #[test]
+    fn checkpoint_rejects_corruption_without_panicking() {
+        let bytes = encode_checkpoint(7, &[1, 2, 3, 4, 5]);
+        // Every truncation is a clean error.
+        for cut in 0..bytes.len() {
+            assert!(decode_checkpoint(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Every single-byte flip is a clean error (magic, version, seq,
+        // len, crc, payload — all covered).
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xFF;
+            // Flipping seq bytes alone keeps the payload CRC valid;
+            // everything else must be rejected.
+            if decode_checkpoint(&bad).is_ok() {
+                assert!((8..16).contains(&i), "flip at {i} accepted");
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! In-memory [`StateStore`] test double with corruption hooks, so
+//! recovery-ladder tests can flip bits and tear tails without touching
+//! the filesystem.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use jxp_telemetry::sync::lock_unpoisoned;
+
+use crate::{format, validate_key, Recovered, StateStore, StoreError, WalRecord};
+
+#[derive(Default)]
+struct MemEntry {
+    current: Option<Vec<u8>>,
+    previous: Option<Vec<u8>>,
+    wal: Vec<u8>,
+}
+
+/// In-memory store mirroring [`crate::DirStore`]'s semantics
+/// (current/previous rotation, checkpoint-time WAL compaction).
+#[derive(Default)]
+pub struct MemStore {
+    entries: Mutex<BTreeMap<String, MemEntry>>,
+}
+
+impl MemStore {
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    fn with_entry<R>(&self, key: &str, f: impl FnOnce(&mut MemEntry) -> R) -> R {
+        let mut entries = lock_unpoisoned(&self.entries);
+        f(entries.entry(key.to_string()).or_default())
+    }
+
+    /// XOR-flip one byte of the current checkpoint (test hook).
+    pub fn corrupt_current(&self, key: &str, byte: usize) {
+        self.with_entry(key, |e| {
+            let bytes = e
+                .current
+                .as_mut()
+                .expect("no current checkpoint to corrupt");
+            bytes[byte] ^= 0xFF;
+        });
+    }
+
+    /// Truncate the WAL to `len` bytes, simulating a torn final append
+    /// (test hook).
+    pub fn truncate_wal(&self, key: &str, len: usize) {
+        self.with_entry(key, |e| e.wal.truncate(len));
+    }
+
+    /// Raw WAL bytes for `key` (test hook).
+    pub fn raw_wal(&self, key: &str) -> Vec<u8> {
+        self.with_entry(key, |e| e.wal.clone())
+    }
+
+    /// Replace the WAL bytes wholesale (test hook).
+    pub fn set_wal(&self, key: &str, wal: Vec<u8>) {
+        self.with_entry(key, |e| e.wal = wal);
+    }
+
+    /// Drop the previous checkpoint, leaving no fallback (test hook).
+    pub fn drop_previous(&self, key: &str) {
+        self.with_entry(key, |e| e.previous = None);
+    }
+}
+
+impl StateStore for MemStore {
+    fn checkpoint(&self, key: &str, seq: u64, snapshot: &[u8]) -> Result<(), StoreError> {
+        validate_key(key)?;
+        self.with_entry(key, |e| {
+            if let Some(cur) = e.current.take() {
+                e.previous = Some(cur);
+            }
+            e.current = Some(format::encode_checkpoint(seq, snapshot));
+            let scan = format::scan_wal(&e.wal);
+            let mut kept = Vec::new();
+            for record in &scan.records {
+                if record.seq >= seq {
+                    kept.extend_from_slice(&format::encode_wal_record(record));
+                }
+            }
+            e.wal = kept;
+        });
+        Ok(())
+    }
+
+    fn append(&self, key: &str, record: &WalRecord) -> Result<u64, StoreError> {
+        validate_key(key)?;
+        Ok(self.with_entry(key, |e| {
+            e.wal.extend_from_slice(&format::encode_wal_record(record));
+            e.wal.len() as u64
+        }))
+    }
+
+    fn load(&self, key: &str) -> Result<Option<Recovered>, StoreError> {
+        validate_key(key)?;
+        let (current, previous, wal) = self.with_entry(key, |e| {
+            (e.current.clone(), e.previous.clone(), e.wal.clone())
+        });
+        crate::recover(current.as_deref(), previous.as_deref(), &wal)
+    }
+
+    fn wal_size(&self, key: &str) -> Result<u64, StoreError> {
+        validate_key(key)?;
+        Ok(self.with_entry(key, |e| e.wal.len() as u64))
+    }
+
+    fn keys(&self) -> Result<Vec<String>, StoreError> {
+        let entries = lock_unpoisoned(&self.entries);
+        Ok(entries
+            .iter()
+            .filter(|(_, e)| e.current.is_some() || e.previous.is_some() || !e.wal.is_empty())
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+}

@@ -85,7 +85,8 @@ impl TelemetrySnapshot {
         out.push_str("},\n  \"histograms\": {");
         push_map(&mut out, self.metrics.histograms.iter(), |h| {
             format!(
-                "{{\"bounds\": [{}], \"counts\": [{}], \"sum\": {}}}",
+                "{{\"bounds\": [{}], \"counts\": [{}], \"sum\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
                 h.bounds
                     .iter()
                     .map(|b| fmt_f64(*b))
@@ -96,7 +97,10 @@ impl TelemetrySnapshot {
                     .map(u64::to_string)
                     .collect::<Vec<_>>()
                     .join(", "),
-                fmt_f64(h.sum)
+                fmt_f64(h.sum),
+                fmt_f64(h.quantile(0.50)),
+                fmt_f64(h.quantile(0.90)),
+                fmt_f64(h.quantile(0.99))
             )
         });
         out.push_str("},\n  \"events\": [");
@@ -169,13 +173,20 @@ impl TelemetrySnapshot {
         if !self.metrics.histograms.is_empty() {
             let _ = writeln!(
                 out,
-                "{:<52} {:>8} {:>12} {:>12}",
-                "histogram", "count", "sum", "mean"
+                "{:<52} {:>8} {:>12} {:>12} {:>10} {:>10} {:>10}",
+                "histogram", "count", "sum", "mean", "p50", "p90", "p99"
             );
             for (name, h) in &self.metrics.histograms {
                 let count = h.count();
                 let mean = if count > 0 { h.sum / count as f64 } else { 0.0 };
-                let _ = writeln!(out, "{name:<52} {count:>8} {:>12.6} {mean:>12.6}", h.sum);
+                let _ = writeln!(
+                    out,
+                    "{name:<52} {count:>8} {:>12.6} {mean:>12.6} {:>10.6} {:>10.6} {:>10.6}",
+                    h.sum,
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99)
+                );
             }
         }
         let _ = writeln!(out, "events retained: {}", self.events.len());

@@ -199,6 +199,44 @@ impl HistogramSnapshot {
     pub fn count(&self) -> u64 {
         self.counts.iter().sum()
     }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) from the fixed
+    /// buckets, interpolating linearly within the covering bucket —
+    /// the classic Prometheus `histogram_quantile` estimator.
+    ///
+    /// Conventions at the edges: an empty histogram reports `0.0`; mass
+    /// in the first bucket interpolates down to `min(bound[0], 0.0)`;
+    /// mass in the implicit `+Inf` bucket is clamped to the largest
+    /// finite bound (a bucketed histogram cannot resolve beyond it).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= rank {
+                let Some(&upper) = self.bounds.get(i) else {
+                    // +Inf bucket: clamp to the largest finite bound.
+                    return self.bounds.last().copied().unwrap_or(0.0);
+                };
+                let lower = if i == 0 {
+                    upper.min(0.0)
+                } else {
+                    self.bounds[i - 1]
+                };
+                let into = (rank - cum as f64).max(0.0) / c as f64;
+                return lower + (upper - lower) * into;
+            }
+            cum = next;
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
 }
 
 enum Metric {
@@ -407,5 +445,56 @@ mod tests {
         assert_eq!(s.gauges.len(), 1);
         assert_eq!(s.histograms.len(), 1);
         assert_eq!(s.histograms["c_hist"].counts, vec![1, 0]);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let s = Histogram::new(&[1.0, 2.0]).snapshot();
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_single_bucket() {
+        let h = Histogram::new(&[10.0, 20.0]);
+        for _ in 0..4 {
+            h.observe(15.0); // all mass lands in (10, 20]
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 10.0);
+        assert_eq!(s.quantile(0.5), 15.0);
+        assert_eq!(s.quantile(1.0), 20.0);
+    }
+
+    #[test]
+    fn quantile_first_bucket_interpolates_down_from_zero() {
+        let h = Histogram::new(&[8.0]);
+        h.observe(1.0);
+        h.observe(2.0);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 4.0);
+    }
+
+    #[test]
+    fn quantile_clamps_overflow_mass_to_the_last_finite_bound() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(99.0); // implicit +Inf bucket
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 2.0);
+        assert_eq!(s.quantile(0.99), 2.0);
+    }
+
+    #[test]
+    fn quantile_estimates_bracket_a_mixed_distribution() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        for v in [0.5, 0.5, 1.5, 1.5, 1.5, 3.0, 3.0, 3.0, 3.0, 7.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        let (p50, p90, p99) = (s.quantile(0.50), s.quantile(0.90), s.quantile(0.99));
+        assert!((1.0..=2.0).contains(&p50), "p50 = {p50}");
+        assert!((2.0..=8.0).contains(&p90), "p90 = {p90}");
+        assert!(p99 >= p90 && p99 <= 8.0, "p99 = {p99}");
+        assert!(p50 <= p90 && p90 <= p99, "quantiles must be monotone");
     }
 }

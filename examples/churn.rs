@@ -75,7 +75,7 @@ fn main() {
         for _ in 0..100 {
             net.step();
             match model.tick(&mut net, &pool, &mut cursor, &mut rng) {
-                ChurnEvent::Joined(_) => joins += 1,
+                ChurnEvent::Joined(_) | ChurnEvent::Rejoined(_) => joins += 1,
                 ChurnEvent::Left(_) => leaves += 1,
                 ChurnEvent::None => {}
             }

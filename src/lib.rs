@@ -14,6 +14,7 @@
 //! * [`p2pnet`] — P2P network simulator (assignment, meetings, bandwidth,
 //!   churn)
 //! * [`minerva`] — the Minerva-style P2P search engine of §6.3
+//! * [`store`] — durable checkpoints + WAL-backed crash recovery
 //!
 //! See `examples/quickstart.rs` for a three-peer walk-through.
 
@@ -21,5 +22,6 @@ pub use jxp_core as core;
 pub use jxp_minerva as minerva;
 pub use jxp_p2pnet as p2pnet;
 pub use jxp_pagerank as pagerank;
+pub use jxp_store as store;
 pub use jxp_synopses as synopses;
 pub use jxp_webgraph as webgraph;
