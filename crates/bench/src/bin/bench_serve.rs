@@ -1,0 +1,77 @@
+//! The serving benchmark: query throughput, latency, cache behaviour
+//! and retrieval quality of the `jxp-serve` front end.
+//!
+//! Runs [`jxp_serve::run_serve_experiment`] — a cluster of nodes
+//! fronted by query handlers, driven by the seeded closed-loop load
+//! generator while meetings execute, then measured after convergence —
+//! and writes `BENCH_serve.json` to the current directory
+//! (`JXP_RESULTS` moves it next to the other artifacts). Exits nonzero
+//! if the paper's §6.3 claim fails, i.e. if fusing live JXP authority
+//! into the ranking does *not* match or beat the tf·idf-only baseline
+//! on precision@k.
+//!
+//! `JXP_SCALE` / `JXP_MEETINGS` / `JXP_THREADS` rescale the run like
+//! every other experiment binary.
+
+use jxp_bench::ExperimentCtx;
+use jxp_serve::{render_bench_json, run_serve_experiment, ServeExperimentParams};
+
+fn main() {
+    let ctx = ExperimentCtx::from_env(320);
+    let params = ServeExperimentParams {
+        scale: ctx.scale,
+        meetings: ctx.meetings,
+        threads: if ctx.threads == 0 { 1 } else { ctx.threads },
+        ..ServeExperimentParams::default()
+    };
+    println!(
+        "== Serving benchmark: {} scale {}, {} peers, {} meetings, {} queries x {} passes ==",
+        params.dataset.name,
+        params.scale,
+        params.peers,
+        params.meetings,
+        params.num_queries,
+        params.repeats
+    );
+    let report = run_serve_experiment(&params);
+    println!(
+        "throughput {:.0} qps | p50 {:.3} ms | p99 {:.3} ms | cache hit rate {:.0}% | \
+         {} failures",
+        report.load.qps,
+        report.load.p50_ms,
+        report.load.p99_ms,
+        report.load.cache_hit_rate * 100.0,
+        report.load.failures
+    );
+    println!(
+        "precision@{}: tf*idf {:.1}% | fused {:.1}% | centralized {:.1}% | overlap {:.1}%",
+        params.k,
+        report.tfidf_precision * 100.0,
+        report.fused_precision * 100.0,
+        report.centralized_precision * 100.0,
+        report.centralized_overlap * 100.0
+    );
+
+    let json = render_bench_json(&report);
+    let path = std::env::var("JXP_RESULTS")
+        .map(|d| std::path::PathBuf::from(d).join("BENCH_serve.json"))
+        .unwrap_or_else(|_| std::path::PathBuf::from("BENCH_serve.json"));
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    std::fs::write(&path, &json).expect("write BENCH_serve.json");
+    println!("[json] {}", path.display());
+
+    assert!(
+        report.fusion_wins,
+        "fused ranking lost to the tf*idf baseline: {:.4} < {:.4}",
+        report.fused_precision, report.tfidf_precision
+    );
+    println!(
+        "fusion wins: fused {:.1}% >= tf*idf {:.1}%",
+        report.fused_precision * 100.0,
+        report.tfidf_precision * 100.0
+    );
+}

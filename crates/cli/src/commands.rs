@@ -151,6 +151,9 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
     let hub = metrics_out.is_some().then(TelemetryHub::shared);
     if let Some(hub) = &hub {
         net.attach_telemetry(Arc::clone(hub));
+        // With a hub attached the exported metrics include per-peer
+        // convergence: jxp_sim_peer_l1_distance{peer="i"}.
+        net.attach_convergence_truth(&truth);
     }
     if estimate_n {
         println!("peers estimate N by FM-sketch gossip (no global knowledge)");
@@ -240,6 +243,7 @@ pub fn cluster(args: &ParsedArgs) -> Result<(), String> {
     let state_dir = args.get("state-dir").map(std::path::PathBuf::from);
     let checkpoint_every: u64 = args.get_or("checkpoint-every", 8)?;
     let round_delay_ms: u64 = args.get_or("round-delay-ms", 0)?;
+    let metrics_listen = args.get("metrics-listen").map(String::from);
 
     let cg = generate_graph_with_scale(args, 0.05)?;
     let n = cg.graph.num_nodes();
@@ -263,6 +267,7 @@ pub fn cluster(args: &ParsedArgs) -> Result<(), String> {
         state_dir,
         checkpoint_every,
         round_delay: (round_delay_ms > 0).then(|| std::time::Duration::from_millis(round_delay_ms)),
+        metrics_listen,
         ..ClusterConfig::default()
     };
     println!(
@@ -297,6 +302,9 @@ pub fn cluster(args: &ParsedArgs) -> Result<(), String> {
         report.bytes_total,
         report.bytes_total as f64 / 1e6
     );
+    if let Some(addr) = report.metrics_addr {
+        println!("metrics endpoint served scrapes on http://{addr}/metrics during the run");
+    }
     if let Some(footrule) = report.footrule {
         println!("footrule@{top} vs centralized PageRank: {footrule:.4}");
     }
@@ -570,5 +578,109 @@ pub fn search(args: &ParsedArgs) -> Result<(), String> {
     }
     let (t, f) = averages(&rows);
     println!("{:<14} {:>7.0}% {:>21.0}%", "average", t * 100.0, f * 100.0);
+    Ok(())
+}
+
+/// Shared flag parsing for the serving commands (`serve`, `loadgen`).
+fn serve_params(args: &ParsedArgs) -> Result<jxp_serve::ServeExperimentParams, String> {
+    let scale: f64 = args.get_or("scale", 0.05)?;
+    if !(0.0..=1.0).contains(&scale) || scale == 0.0 {
+        return Err(format!("--scale must be in (0, 1], got {scale}"));
+    }
+    let peers: usize = args.get_or("peers", 4)?;
+    if peers < 2 {
+        return Err(format!("--peers must be at least 2, got {peers}"));
+    }
+    Ok(jxp_serve::ServeExperimentParams {
+        seed: args.get_or("seed", 42)?,
+        peers,
+        meetings: args.get_or("meetings", 200)?,
+        num_queries: args.get_or("queries", 10)?,
+        k: args.get_or("k", 10)?,
+        repeats: args.get_or("repeats", 3)?,
+        concurrency: args.get_or("concurrency", 2)?,
+        threads: args.get_or("threads", 1)?,
+        scale,
+        dataset: preset(args)?,
+        metrics_listen: args.get("metrics-listen").map(String::from),
+    })
+}
+
+fn print_serve_summary(r: &jxp_serve::ServeBenchReport) {
+    let p = &r.params;
+    println!(
+        "served {} measured requests ({} warmup, {} failures) across {} peers",
+        r.load.measured_requests, r.load.warmup_requests, r.load.failures, p.peers
+    );
+    if let Some(addr) = r.metrics_addr {
+        println!("metrics endpoint served scrapes on http://{addr}/metrics during the run");
+    }
+    println!(
+        "throughput {:.0} qps, latency p50 {:.3} ms / p99 {:.3} ms, cache hit rate {:.0}%",
+        r.load.qps,
+        r.load.p50_ms,
+        r.load.p99_ms,
+        r.load.cache_hit_rate * 100.0
+    );
+    println!(
+        "precision@{}: tf*idf {:.0}%, fused {:.0}%, centralized {:.0}% (top-k overlap with \
+         centralized {:.0}%)",
+        p.k,
+        r.tfidf_precision * 100.0,
+        r.fused_precision * 100.0,
+        r.centralized_precision * 100.0,
+        r.centralized_overlap * 100.0
+    );
+    println!("fusion wins: {}", r.fusion_wins);
+}
+
+/// `jxp-cli serve` — run a cluster with every node fronted by a query
+/// handler, drive it with the seeded load mix, and show the answers.
+pub fn serve(args: &ParsedArgs) -> Result<(), String> {
+    let params = serve_params(args)?;
+    println!(
+        "{} scale {}, {} peers, {} meetings, seed {} — serving top-{} queries while converging",
+        params.dataset.name, params.scale, params.peers, params.meetings, params.seed, params.k
+    );
+    let report = jxp_serve::run_serve_experiment(&params);
+    print_serve_summary(&report);
+    println!("results from node 0 (fused ranking, final pass):");
+    if let Some(replies) = report.load.replies.first() {
+        for (q, reply) in report.query_names.iter().zip(replies) {
+            let hits: Vec<String> = reply
+                .hits
+                .iter()
+                .take(5)
+                .map(|h| format!("{} ({:.3})", h.page.0, h.fused))
+                .collect();
+            println!("  {:<16} {}", q, hits.join(", "));
+        }
+    }
+    Ok(())
+}
+
+/// `jxp-cli loadgen` — run the serving benchmark and write
+/// `BENCH_serve.json`.
+pub fn loadgen(args: &ParsedArgs) -> Result<(), String> {
+    let params = serve_params(args)?;
+    let report = jxp_serve::run_serve_experiment(&params);
+    print_serve_summary(&report);
+    let default_out = std::env::var("JXP_RESULTS")
+        .map(|d| {
+            std::path::PathBuf::from(d)
+                .join("BENCH_serve.json")
+                .display()
+                .to_string()
+        })
+        .unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    let out = args.get("out").unwrap_or(&default_out);
+    if let Some(dir) = Path::new(out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(out, jxp_serve::render_bench_json(&report))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("[json] {out}");
     Ok(())
 }

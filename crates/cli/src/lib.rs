@@ -46,7 +46,8 @@ commands:
              --metrics-out FILE (write a telemetry JSON snapshot),
              --stats-endpoint yes|no (serve + sweep StatsRequest frames),
              --state-dir DIR (durable checkpoints + WAL; reruns resume),
-             --checkpoint-every N (8), --round-delay-ms MS (0)
+             --checkpoint-every N (8), --round-delay-ms MS (0),
+             --metrics-listen ADDR (Prometheus scrape endpoint)
   checkpoint inspect or verify a --state-dir written by cluster
              checkpoint inspect --state-dir DIR [--node N|--key KEY]
              checkpoint verify  --state-dir DIR [--node N|--key KEY]
@@ -55,7 +56,20 @@ commands:
              --in FILE, --format table|prom|json (table)
   node       single-node TCP demo: serve a fragment on an ephemeral port
              and run hello + synopsis probe + meeting against it
-             --dataset, --scale (0.02), --seed N, --duration SECS (0)";
+             --dataset, --scale (0.02), --seed N, --duration SECS (0)
+  serve      run a cluster with per-node top-k query serving (tf*idf +
+             live JXP authority fusion, epoch-validated result cache)
+             and show the seeded load mix's answers
+             --peers N (4), --meetings M (200), --dataset, --scale (0.05),
+             --queries N (10), --k K (10), --repeats N (3),
+             --concurrency N (2), --threads N (1), --seed N,
+             --metrics-listen ADDR (Prometheus scrape endpoint, e.g.
+             127.0.0.1:0 for an ephemeral port)
+  loadgen    run the closed-loop serving benchmark and write
+             BENCH_serve.json (qps, p50/p99, cache hit rate,
+             precision@10 vs the tf*idf and centralized baselines)
+             same flags as serve, plus --out FILE (BENCH_serve.json;
+             the JXP_RESULTS env var moves the default)";
 
 /// Entry point: dispatch a full argument vector (without the program
 /// name). Returns a user-facing error string on bad input.
@@ -78,6 +92,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "cluster" => commands::cluster(&parsed),
         "metrics" => commands::metrics_cmd(&parsed),
         "node" => commands::node(&parsed),
+        "serve" => commands::serve(&parsed),
+        "loadgen" => commands::loadgen(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -292,6 +308,43 @@ mod tests {
     #[test]
     fn search_smoke() {
         run(&argv("search --scale 0.01 --queries 4 --meetings 60")).unwrap();
+    }
+
+    #[test]
+    fn serve_smoke_with_metrics_listener() {
+        run(&argv(
+            "serve --peers 3 --meetings 40 --scale 0.01 --queries 4 --repeats 2 \
+             --metrics-listen 127.0.0.1:0",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn loadgen_writes_bench_json() {
+        let dir = std::env::temp_dir().join(format!("jxp_cli_loadgen_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_serve.json");
+        run(&argv(&format!(
+            "loadgen --peers 3 --meetings 40 --scale 0.01 --queries 4 --repeats 2 --out {}",
+            out.display()
+        )))
+        .unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        for key in [
+            "\"qps\":",
+            "\"cache_hit_rate\":",
+            "\"fused_precision\":",
+            "\"fusion_wins\":",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_rejects_bad_args() {
+        assert!(run(&argv("serve --peers 1")).is_err());
+        assert!(run(&argv("loadgen --scale 0")).is_err());
     }
 
     #[test]

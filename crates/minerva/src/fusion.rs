@@ -153,4 +153,96 @@ mod tests {
         let jxp = Ranking::from_scores(std::iter::empty());
         let _ = rank_by_fusion(&hits(), &jxp, 0.0, 0.0);
     }
+
+    #[test]
+    fn fused_order_is_total_and_permutation_invariant() {
+        // Ties everywhere the sort can see them: equal tf·idf scores and
+        // equal authority, so only the PageId tie-break decides. Every
+        // input permutation must yield the same total order.
+        let tied: Vec<SearchHit> = [5u32, 2, 9, 1, 7]
+            .into_iter()
+            .map(|p| SearchHit {
+                page: PageId(p),
+                tfidf: 4.0,
+            })
+            .collect();
+        let jxp = Ranking::from_scores(tied.iter().map(|h| (h.page, 0.25)));
+        let reference = rank_by_fusion(&tied, &jxp, PAPER_TFIDF_WEIGHT, PAPER_JXP_WEIGHT);
+        let ref_pages: Vec<PageId> = reference.iter().map(|h| h.page).collect();
+        assert_eq!(
+            ref_pages,
+            vec![PageId(1), PageId(2), PageId(5), PageId(7), PageId(9)],
+            "ties must break by ascending page id"
+        );
+        // Rotate through several permutations of the same hit set.
+        let mut perm = tied.clone();
+        for i in 0..perm.len() {
+            perm.rotate_left(1);
+            perm.swap(0, i);
+            let fused = rank_by_fusion(&perm, &jxp, PAPER_TFIDF_WEIGHT, PAPER_JXP_WEIGHT);
+            assert_eq!(fused, reference, "order depends on input permutation");
+            assert_eq!(rank_by_tfidf(&perm), ref_pages);
+        }
+    }
+
+    #[test]
+    fn empty_posting_lists_yield_empty_fusion() {
+        // A query whose terms have no postings anywhere produces an empty
+        // hit list end to end; fusion and the tf·idf ranking must both
+        // pass that through instead of panicking on the normalization.
+        let index = crate::index::PeerIndex::default();
+        let hits: Vec<SearchHit> = index
+            .score_query(&[crate::corpus::TermId(42)])
+            .into_iter()
+            .map(|(page, tfidf)| SearchHit { page, tfidf })
+            .collect();
+        assert!(hits.is_empty());
+        let jxp = Ranking::from_scores([(PageId(1), 0.5)]);
+        assert!(rank_by_fusion(&hits, &jxp, 0.6, 0.4).is_empty());
+        assert!(rank_by_tfidf(&hits).is_empty());
+    }
+
+    #[test]
+    fn duplicate_doc_ids_across_peers_keep_max_and_fuse_once() {
+        // Two peers both indexed page 7 with different local idf stats.
+        // The cross-peer merge rule (ScoredList::from_pairs) keeps the
+        // maximum, so fusion sees each page exactly once.
+        let merged = crate::topk::ScoredList::from_pairs([
+            (PageId(7), 3.0), // peer A's score
+            (PageId(7), 5.0), // peer B's score for the same doc
+            (PageId(9), 4.0),
+        ]);
+        let r = crate::topk::ta_topk(&[merged], 10);
+        let hits = r.hits;
+        let pages: Vec<PageId> = hits.iter().map(|h| h.page).collect();
+        assert_eq!(
+            pages,
+            vec![PageId(7), PageId(9)],
+            "duplicate survived merge"
+        );
+        assert!(
+            (hits[0].tfidf - 5.0).abs() < 1e-12,
+            "max must win the merge"
+        );
+        let jxp = Ranking::from_scores([(PageId(7), 0.2), (PageId(9), 0.8)]);
+        let fused = rank_by_fusion(&hits, &jxp, PAPER_TFIDF_WEIGHT, PAPER_JXP_WEIGHT);
+        assert_eq!(fused.len(), 2);
+        // Even if a caller skips the merge, fusion stays deterministic:
+        // duplicates tie-break adjacent by page id, independent of order.
+        let dup = vec![
+            SearchHit {
+                page: PageId(7),
+                tfidf: 5.0,
+            },
+            SearchHit {
+                page: PageId(7),
+                tfidf: 5.0,
+            },
+        ];
+        let a = rank_by_fusion(&dup, &jxp, 0.6, 0.4);
+        let mut rev = dup.clone();
+        rev.reverse();
+        let b = rank_by_fusion(&rev, &jxp, 0.6, 0.4);
+        assert_eq!(a, b);
+    }
 }

@@ -6,6 +6,7 @@
 //! from the peer's own collection statistics (a peer has no global view).
 
 use crate::corpus::{Corpus, TermId};
+use crate::topk::{ta_topk, ScoredList, TaResult};
 use jxp_webgraph::{FxHashMap, PageId, Subgraph};
 
 /// One posting: a local document containing the term.
@@ -76,6 +77,68 @@ impl PeerIndex {
         let mut out: Vec<(PageId, f64)> = acc.into_iter().collect();
         out.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         out
+    }
+}
+
+/// Score-sorted posting lists keyed by term, precomputed from a
+/// [`PeerIndex`] for query serving.
+///
+/// The raw index stores `(page, tf)` postings and re-derives scores on
+/// every query; a serving node instead materializes each term's list as
+/// descending `(page, (1 + ln tf) · idf)` entries once, so per-request
+/// work is a threshold-algorithm walk over list *prefixes* — the same
+/// math as [`PeerIndex::score_query`], pinned by a test below.
+#[derive(Debug, Clone, Default)]
+pub struct ServingIndex {
+    lists: FxHashMap<TermId, ScoredList>,
+    num_docs: usize,
+}
+
+impl ServingIndex {
+    /// Precompute score-sorted lists for every indexed term.
+    pub fn build(index: &PeerIndex) -> Self {
+        let lists = index
+            .postings
+            .iter()
+            .map(|(&t, posts)| {
+                let idf = index.idf(t);
+                let scored = ScoredList::from_pairs(
+                    posts
+                        .iter()
+                        .map(|p| (p.page, (1.0 + (p.tf as f64).ln()) * idf)),
+                );
+                (t, scored)
+            })
+            .collect();
+        ServingIndex {
+            lists,
+            num_docs: index.num_docs,
+        }
+    }
+
+    /// Number of documents behind the index.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Number of distinct indexed terms.
+    pub fn num_terms(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// The score-sorted list of one term (`None` for unindexed terms).
+    pub fn list(&self, t: TermId) -> Option<&ScoredList> {
+        self.lists.get(&t)
+    }
+
+    /// Exact tf·idf top-`k` for a bag-of-words query, via TA over the
+    /// precomputed lists. Terms without postings contribute nothing.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn topk(&self, terms: &[TermId], k: usize) -> TaResult {
+        let lists: Vec<&ScoredList> = terms.iter().filter_map(|&t| self.lists.get(&t)).collect();
+        ta_topk(&lists, k)
     }
 }
 
@@ -168,5 +231,46 @@ mod tests {
         let results = idx.score_query(&[crate::corpus::TermId(999_999)]);
         assert!(results.is_empty());
         assert_eq!(idx.df(crate::corpus::TermId(999_999)), 0);
+    }
+
+    #[test]
+    fn serving_index_topk_matches_exhaustive_scoring() {
+        let (cg, corpus) = setup();
+        let frag = Subgraph::from_pages(&cg.graph, (0..120).map(PageId));
+        let idx = PeerIndex::build(&frag, &corpus);
+        let serving = ServingIndex::build(&idx);
+        assert_eq!(serving.num_docs(), idx.num_docs());
+        for cat in 0..corpus.num_categories() {
+            let terms = corpus.top_topic_terms(cat, 3);
+            let exhaustive = idx.score_query(&terms);
+            let served = serving.topk(&terms, 10);
+            assert_eq!(served.hits.len(), exhaustive.len().min(10));
+            for (hit, &(page, score)) in served.hits.iter().zip(exhaustive.iter()) {
+                assert_eq!(hit.page, page);
+                assert!((hit.tfidf - score).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn serving_index_lists_are_score_sorted() {
+        let (cg, corpus) = setup();
+        let frag = Subgraph::from_pages(&cg.graph, (0..120).map(PageId));
+        let idx = PeerIndex::build(&frag, &corpus);
+        let serving = ServingIndex::build(&idx);
+        assert!(serving.num_terms() > 0);
+        let term = corpus.top_topic_terms(0, 1)[0];
+        let list = serving.list(term).expect("topic term is indexed");
+        assert_eq!(list.len(), idx.df(term));
+        assert!(serving.list(crate::corpus::TermId(999_999)).is_none());
+    }
+
+    #[test]
+    fn serving_index_skips_unindexed_terms() {
+        let (cg, corpus) = setup();
+        let frag = Subgraph::from_pages(&cg.graph, (0..10).map(PageId));
+        let serving = ServingIndex::build(&PeerIndex::build(&frag, &corpus));
+        let r = serving.topk(&[crate::corpus::TermId(999_999)], 5);
+        assert!(r.hits.is_empty());
     }
 }

@@ -29,4 +29,4 @@ pub mod routing;
 pub mod topk;
 
 pub use corpus::{Corpus, CorpusParams, Query, TermId};
-pub use index::PeerIndex;
+pub use index::{PeerIndex, ServingIndex};

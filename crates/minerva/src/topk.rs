@@ -72,13 +72,16 @@ pub struct TaResult {
 }
 
 /// Fagin's TA over `lists`, combining scores by **sum**, returning the
-/// exact top-`k`.
+/// exact top-`k`. Accepts owned or borrowed lists, so a precomputed
+/// [`crate::index::ServingIndex`] can serve without cloning entries.
 ///
 /// # Panics
 /// Panics if `k == 0`.
-pub fn ta_topk(lists: &[ScoredList], k: usize) -> TaResult {
+pub fn ta_topk<L: std::borrow::Borrow<ScoredList>>(lists: &[L], k: usize) -> TaResult {
     assert!(k > 0, "top-0 is undefined");
-    let total_entries: usize = lists.iter().map(ScoredList::len).sum();
+    let lists: Vec<&ScoredList> = lists.iter().map(std::borrow::Borrow::borrow).collect();
+    let lists = lists.as_slice();
+    let total_entries: usize = lists.iter().map(|l| l.len()).sum();
     let mut seen: FxHashSet<PageId> = FxHashSet::default();
     // Current top-k candidates: (score, page), kept sorted ascending so
     // [0] is the weakest member.

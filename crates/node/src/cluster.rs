@@ -15,12 +15,14 @@ use jxp_core::selection::{PeerSynopses, PreMeetingsConfig};
 use jxp_pagerank::metrics::footrule_distance;
 use jxp_store::{DirStore, StoreMetrics, WalKind, WalRecord};
 use jxp_synopses::mips::MipsPermutations;
-use jxp_telemetry::{Event, TelemetryHub, TelemetrySnapshot};
+use jxp_telemetry::{Event, MetricsServer, TelemetryHub, TelemetrySnapshot};
 use jxp_webgraph::Subgraph;
 use jxp_wire::StatsPayload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -93,6 +95,17 @@ pub struct ClusterConfig {
     /// Enable every node's wire stats endpoint and sweep it after the
     /// run into [`ClusterReport::wire_stats`].
     pub stats_endpoint: bool,
+    /// Serve the Prometheus text exposition over HTTP at this address
+    /// (e.g. `127.0.0.1:9184`; port 0 binds an ephemeral port, reported
+    /// in [`ClusterReport::metrics_addr`]) for the duration of the run.
+    /// Implies a telemetry hub even when [`ClusterConfig::telemetry`]
+    /// is off, but [`ClusterReport::telemetry`] stays gated on that
+    /// flag. Observation-only, like the rest of telemetry.
+    pub metrics_listen: Option<String>,
+    /// Use this hub instead of creating one, so a caller embedding the
+    /// run (e.g. the `jxp-serve` experiment) can register its own
+    /// metrics in the same registry the scrape endpoint exports.
+    pub hub: Option<Arc<TelemetryHub>>,
     /// Durable state directory. When set, every node journals applied
     /// meeting deltas to a per-node WAL under this directory (with
     /// periodic checkpoints) and, on startup, resumes from whatever
@@ -126,6 +139,8 @@ impl Default for ClusterConfig {
             threads: 1,
             telemetry: false,
             stats_endpoint: false,
+            metrics_listen: None,
+            hub: None,
             state_dir: None,
             checkpoint_every: 8,
             checkpoint_on_exit: true,
@@ -165,6 +180,42 @@ pub struct ClusterReport {
     /// Bit-identical runs — including a killed run resumed from its
     /// [`ClusterConfig::state_dir`] — report the same hash.
     pub score_hash: u64,
+    /// Where the Prometheus scrape endpoint listened (when
+    /// [`ClusterConfig::metrics_listen`] was set), with port 0 resolved
+    /// to the real port. The listener itself stops when the run ends.
+    pub metrics_addr: Option<SocketAddr>,
+}
+
+/// What a [`ClusterHooks::concurrent`] driver sees while the meeting
+/// rounds execute.
+pub struct ClusterCtx<'a> {
+    /// The run's transport — send [`jxp_wire::Frame`]s to any node.
+    pub transport: &'a dyn Transport,
+    /// Every node, in id order. Read-only observation (e.g. epochs);
+    /// mutating state from the driver would break determinism.
+    pub nodes: &'a [Arc<JxpNode>],
+    /// Flips to `true` (release ordering) once every meeting round has
+    /// executed. The driver should finish soon after — the run joins it.
+    pub meetings_done: &'a AtomicBool,
+    /// The scrape endpoint's bound address, when one was requested.
+    pub metrics_addr: Option<SocketAddr>,
+}
+
+/// Extension points that let a caller embed extra behaviour in a
+/// cluster run without `jxp-node` growing dependencies on it (the
+/// query front end in `jxp-serve` is the motivating user).
+#[derive(Default)]
+pub struct ClusterHooks<'a> {
+    /// Wrap node `i`'s frame handler. The returned handler sits between
+    /// the node and the stall injector (injector outermost), so wire
+    /// faults still hit the whole chain. The wrapper must delegate any
+    /// frame it does not consume to the node itself.
+    #[allow(clippy::type_complexity)]
+    pub wrap_handler: Option<&'a (dyn Fn(usize, &Arc<JxpNode>) -> Arc<dyn FrameHandler> + Sync)>,
+    /// Run concurrently with the meeting rounds (e.g. a closed-loop
+    /// load generator), started just before the first round and joined
+    /// right after [`ClusterCtx::meetings_done`] flips.
+    pub concurrent: Option<&'a (dyn Fn(&ClusterCtx<'_>) + Sync)>,
 }
 
 /// Run a full cluster experiment over `fragments` (one per node).
@@ -183,6 +234,30 @@ pub fn run_cluster(
     config: &ClusterConfig,
     truth: Option<&[f64]>,
 ) -> ClusterReport {
+    run_cluster_with(
+        fragments,
+        n_total,
+        jxp,
+        config,
+        truth,
+        &ClusterHooks::default(),
+    )
+}
+
+/// [`run_cluster`] with [`ClusterHooks`] — same experiment, plus
+/// caller-supplied handler wrapping and a concurrent driver.
+///
+/// # Panics
+/// Panics like [`run_cluster`], plus if [`ClusterConfig::metrics_listen`]
+/// fails to bind or the concurrent driver panics.
+pub fn run_cluster_with(
+    fragments: Vec<Subgraph>,
+    n_total: u64,
+    jxp: JxpConfig,
+    config: &ClusterConfig,
+    truth: Option<&[f64]>,
+    hooks: &ClusterHooks<'_>,
+) -> ClusterReport {
     /// What resume decided for one scheduled meeting.
     #[derive(Clone, Copy, PartialEq, Eq)]
     enum MeetAction {
@@ -198,7 +273,16 @@ pub fn run_cluster(
     let num_nodes = fragments.len();
     let perms = MipsPermutations::generate(config.mips_dims, config.seed ^ 0x5a5a);
 
-    let hub = config.telemetry.then(TelemetryHub::shared);
+    let hub = config.hub.clone().or_else(|| {
+        (config.telemetry || config.metrics_listen.is_some()).then(TelemetryHub::shared)
+    });
+    // The scrape endpoint stays up for the whole run (dropped on return).
+    let metrics_server = config.metrics_listen.as_ref().map(|addr| {
+        let hub = hub.as_ref().expect("metrics_listen implies a hub");
+        MetricsServer::bind(addr.as_str(), Arc::clone(hub))
+            .unwrap_or_else(|e| panic!("bind metrics listener {addr}: {e}"))
+    });
+    let metrics_addr = metrics_server.as_ref().map(MetricsServer::local_addr);
 
     // Durable state: open the store (if configured), recover whatever
     // each node left behind, and remember per-node recovery facts for
@@ -265,7 +349,14 @@ pub fn run_cluster(
     }
     let injectors: Vec<Arc<StallInjector>> = nodes
         .iter()
-        .map(|n| Arc::new(StallInjector::new(Arc::clone(n) as Arc<dyn FrameHandler>)))
+        .enumerate()
+        .map(|(i, n)| {
+            let inner: Arc<dyn FrameHandler> = match hooks.wrap_handler {
+                Some(wrap) => wrap(i, n),
+                None => Arc::clone(n) as Arc<dyn FrameHandler>,
+            };
+            Arc::new(StallInjector::new(inner))
+        })
         .collect();
 
     // Bring up the chosen transport; TCP servers stay alive in `_servers`.
@@ -434,102 +525,122 @@ pub fn run_cluster(
     // Stall injection must see requests in schedule order to swallow
     // exactly the planned ones, so it pins execution to one worker.
     let workers = if config.stall.is_some() { 1 } else { threads };
-    for (round_no, (full_round, acts)) in rounds.iter().zip(&actions).enumerate() {
-        // Already-journaled meetings (and repaired torn ones) are
-        // skipped on resume; only the remainder executes.
-        let round: Vec<(usize, usize, NodeId)> = full_round
-            .iter()
-            .zip(acts)
-            .filter(|(_, act)| **act == MeetAction::Run)
-            .map(|(&mtg, _)| mtg)
-            .collect();
-        if round.is_empty() {
-            continue;
-        }
-        let arm_stall = |m: usize| {
-            if let Some(plan) = config.stall {
-                if plan.at_meeting == m {
-                    injectors[plan.node_index].stall_next(plan.count);
-                }
+    // The concurrent driver (if any) runs for the whole meeting phase
+    // and is joined before any teardown, so every frame it sends meets
+    // a live handler chain.
+    let meetings_done = AtomicBool::new(false);
+    std::thread::scope(|driver_scope| {
+        let driver = hooks.concurrent.map(|run| {
+            let ctx = ClusterCtx {
+                transport: transport.as_ref(),
+                nodes: &nodes,
+                meetings_done: &meetings_done,
+                metrics_addr,
+            };
+            driver_scope.spawn(move || run(&ctx))
+        });
+        for (round_no, (full_round, acts)) in rounds.iter().zip(&actions).enumerate() {
+            // Already-journaled meetings (and repaired torn ones) are
+            // skipped on resume; only the remainder executes.
+            let round: Vec<(usize, usize, NodeId)> = full_round
+                .iter()
+                .zip(acts)
+                .filter(|(_, act)| **act == MeetAction::Run)
+                .map(|(&mtg, _)| mtg)
+                .collect();
+            if round.is_empty() {
+                continue;
             }
-        };
-        // Outcomes are collected in schedule order so telemetry events
-        // can be emitted serially afterwards: the event stream is then
-        // independent of how the round's meetings interleaved.
-        let mut outcomes: Vec<Option<crate::node::MeetOutcome>> = vec![None; round.len()];
-        if workers.min(round.len()) <= 1 {
-            for (k, &(m, initiator, target)) in round.iter().enumerate() {
-                arm_stall(m);
-                // Failures are part of the experiment: counted, never fatal.
-                outcomes[k] = nodes[initiator]
-                    .meet(target, transport.as_ref(), &config.retry)
-                    .ok();
-            }
-        } else {
-            let num_buckets = workers.min(round.len());
-            let mut buckets: Vec<Vec<(usize, usize, NodeId)>> =
-                (0..num_buckets).map(|_| Vec::new()).collect();
-            for (k, &(_, initiator, target)) in round.iter().enumerate() {
-                buckets[k % num_buckets].push((k, initiator, target));
-            }
-            let nodes = &nodes;
-            let transport = transport.as_ref();
-            let retry = &config.retry;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = buckets
-                    .into_iter()
-                    .map(|bucket| {
-                        scope.spawn(move || {
-                            bucket
-                                .into_iter()
-                                .map(|(k, initiator, target)| {
-                                    (k, nodes[initiator].meet(target, transport, retry).ok())
-                                })
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                for handle in handles {
-                    for (k, outcome) in handle.join().expect("meeting worker panicked") {
-                        outcomes[k] = outcome;
+            let arm_stall = |m: usize| {
+                if let Some(plan) = config.stall {
+                    if plan.at_meeting == m {
+                        injectors[plan.node_index].stall_next(plan.count);
                     }
                 }
-            });
-        }
-        if let Some(hub) = &hub {
-            for (&(m, initiator, target), outcome) in round.iter().zip(&outcomes) {
-                hub.events().record(Event::MeetingStarted {
-                    meeting: m as u64,
-                    initiator: initiator as u64,
-                    partner: target,
-                });
-                hub.events().record(match outcome {
-                    Some(o) => Event::MeetingCompleted {
-                        meeting: m as u64,
-                        initiator: initiator as u64,
-                        partner: target,
-                        bytes: o.bytes_sent + o.bytes_received,
-                    },
-                    None => Event::MeetingFailed {
-                        meeting: m as u64,
-                        initiator: initiator as u64,
-                        partner: target,
-                    },
+            };
+            // Outcomes are collected in schedule order so telemetry events
+            // can be emitted serially afterwards: the event stream is then
+            // independent of how the round's meetings interleaved.
+            let mut outcomes: Vec<Option<crate::node::MeetOutcome>> = vec![None; round.len()];
+            if workers.min(round.len()) <= 1 {
+                for (k, &(m, initiator, target)) in round.iter().enumerate() {
+                    arm_stall(m);
+                    // Failures are part of the experiment: counted, never fatal.
+                    outcomes[k] = nodes[initiator]
+                        .meet(target, transport.as_ref(), &config.retry)
+                        .ok();
+                }
+            } else {
+                let num_buckets = workers.min(round.len());
+                let mut buckets: Vec<Vec<(usize, usize, NodeId)>> =
+                    (0..num_buckets).map(|_| Vec::new()).collect();
+                for (k, &(_, initiator, target)) in round.iter().enumerate() {
+                    buckets[k % num_buckets].push((k, initiator, target));
+                }
+                let nodes = &nodes;
+                let transport = transport.as_ref();
+                let retry = &config.retry;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = buckets
+                        .into_iter()
+                        .map(|bucket| {
+                            scope.spawn(move || {
+                                bucket
+                                    .into_iter()
+                                    .map(|(k, initiator, target)| {
+                                        (k, nodes[initiator].meet(target, transport, retry).ok())
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        for (k, outcome) in handle.join().expect("meeting worker panicked") {
+                            outcomes[k] = outcome;
+                        }
+                    }
                 });
             }
-            hub.events().record(Event::RoundExecuted {
-                round: round_no as u64,
-                pairs: round.len() as u64,
-                threads: workers.min(round.len().max(1)) as u64,
-            });
-            let (rounds_total, round_width) = round_metrics.as_ref().expect("registered with hub");
-            rounds_total.inc();
-            round_width.observe(round.len() as f64);
+            if let Some(hub) = &hub {
+                for (&(m, initiator, target), outcome) in round.iter().zip(&outcomes) {
+                    hub.events().record(Event::MeetingStarted {
+                        meeting: m as u64,
+                        initiator: initiator as u64,
+                        partner: target,
+                    });
+                    hub.events().record(match outcome {
+                        Some(o) => Event::MeetingCompleted {
+                            meeting: m as u64,
+                            initiator: initiator as u64,
+                            partner: target,
+                            bytes: o.bytes_sent + o.bytes_received,
+                        },
+                        None => Event::MeetingFailed {
+                            meeting: m as u64,
+                            initiator: initiator as u64,
+                            partner: target,
+                        },
+                    });
+                }
+                hub.events().record(Event::RoundExecuted {
+                    round: round_no as u64,
+                    pairs: round.len() as u64,
+                    threads: workers.min(round.len().max(1)) as u64,
+                });
+                let (rounds_total, round_width) =
+                    round_metrics.as_ref().expect("registered with hub");
+                rounds_total.inc();
+                round_width.observe(round.len() as f64);
+            }
+            if let Some(delay) = config.round_delay {
+                std::thread::sleep(delay);
+            }
         }
-        if let Some(delay) = config.round_delay {
-            std::thread::sleep(delay);
+        meetings_done.store(true, Ordering::Release);
+        if let Some(driver) = driver {
+            driver.join().expect("concurrent driver panicked");
         }
-    }
+    });
 
     // Clean shutdown: one final checkpoint per node, so a later resume
     // starts from the finished state instead of replaying the tail.
@@ -563,8 +674,12 @@ pub fn run_cluster(
         hub.registry().gauge("jxp_cluster_footrule").set(f);
     }
     // Snapshot before any stats-endpoint sweep so counter totals match
-    // `per_node` exactly (the sweep itself moves bytes).
-    let telemetry = hub.as_ref().map(|h| h.snapshot());
+    // `per_node` exactly (the sweep itself moves bytes). Gated on the
+    // telemetry flag: a hub forced by `metrics_listen` alone stays out
+    // of the report.
+    let telemetry = config
+        .telemetry
+        .then(|| hub.as_ref().expect("telemetry implies a hub").snapshot());
     let wire_stats = config.stats_endpoint.then(|| {
         (0..num_nodes)
             .map(|j| {
@@ -591,6 +706,7 @@ pub fn run_cluster(
         telemetry,
         wire_stats,
         score_hash,
+        metrics_addr,
     }
 }
 
@@ -828,6 +944,85 @@ mod tests {
         assert_eq!(on.footrule, off.footrule);
         assert_eq!(on.per_node, off.per_node);
         assert_eq!(on.bytes_total, off.bytes_total);
+    }
+
+    #[test]
+    fn metrics_listener_serves_scrapes_mid_run() {
+        use std::io::{Read as _, Write as _};
+        let (frags, n_total) = ring_fragments(4);
+        let config = ClusterConfig {
+            meetings: 24,
+            seed: 19,
+            metrics_listen: Some("127.0.0.1:0".into()),
+            ..ClusterConfig::default()
+        };
+        let scraped = std::sync::Mutex::new(String::new());
+        let scrape = |ctx: &ClusterCtx<'_>| {
+            let addr = ctx.metrics_addr.expect("listener requested");
+            let mut stream = std::net::TcpStream::connect(addr).expect("connect scrape");
+            stream
+                .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .expect("send scrape");
+            let mut out = String::new();
+            stream.read_to_string(&mut out).expect("read scrape");
+            *jxp_telemetry::lock_unpoisoned(&scraped) = out;
+        };
+        let hooks = ClusterHooks {
+            concurrent: Some(&scrape),
+            ..ClusterHooks::default()
+        };
+        let report = run_cluster_with(frags, n_total, JxpConfig::default(), &config, None, &hooks);
+        assert_eq!(report.meetings_completed, 24);
+        assert!(report.metrics_addr.is_some());
+        assert!(
+            report.telemetry.is_none(),
+            "metrics_listen alone must not put telemetry in the report"
+        );
+        let body = jxp_telemetry::lock_unpoisoned(&scraped);
+        assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
+        assert!(body.contains("jxp_node_meetings_attempted_total"), "{body}");
+    }
+
+    #[test]
+    fn wrapped_handlers_see_every_frame_without_perturbing_results() {
+        use std::sync::atomic::AtomicU64;
+
+        struct Counting {
+            inner: Arc<JxpNode>,
+            seen: Arc<AtomicU64>,
+        }
+        impl FrameHandler for Counting {
+            fn handle(&self, frame: jxp_wire::Frame) -> Option<jxp_wire::Frame> {
+                self.seen.fetch_add(1, Ordering::AcqRel);
+                self.inner.handle(frame)
+            }
+        }
+
+        let (frags, n_total) = ring_fragments(4);
+        let base = ClusterConfig {
+            meetings: 24,
+            seed: 11,
+            ..ClusterConfig::default()
+        };
+        let control = run_cluster(frags.clone(), n_total, JxpConfig::default(), &base, None);
+
+        let seen = Arc::new(AtomicU64::new(0));
+        let wrap = |_: usize, node: &Arc<JxpNode>| {
+            Arc::new(Counting {
+                inner: Arc::clone(node),
+                seen: Arc::clone(&seen),
+            }) as Arc<dyn FrameHandler>
+        };
+        let hooks = ClusterHooks {
+            wrap_handler: Some(&wrap),
+            ..ClusterHooks::default()
+        };
+        let wrapped = run_cluster_with(frags, n_total, JxpConfig::default(), &base, None, &hooks);
+        // A read-only wrapper changes nothing about the experiment…
+        assert_eq!(wrapped.score_hash, control.score_hash);
+        assert_eq!(wrapped.per_node, control.per_node);
+        // …and every inbound request passed through it (hellos + meets).
+        assert!(seen.load(Ordering::Acquire) >= 24 + 4);
     }
 
     #[test]

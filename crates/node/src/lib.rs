@@ -20,7 +20,10 @@ pub mod persist;
 pub mod tcp;
 pub mod transport;
 
-pub use cluster::{run_cluster, ClusterConfig, ClusterReport, StallPlan, TransportKind};
+pub use cluster::{
+    run_cluster, run_cluster_with, ClusterConfig, ClusterCtx, ClusterHooks, ClusterReport,
+    StallPlan, TransportKind,
+};
 pub use loopback::{Fault, LoopbackNetwork};
 pub use node::{JxpNode, MeetOutcome, NodeMetrics, NodeStats};
 pub use persist::{NodePersist, PersistConfig, SharedStore};

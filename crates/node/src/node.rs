@@ -21,7 +21,7 @@ use jxp_core::selection::{PeerSynopses, PreMeetingsConfig};
 use jxp_synopses::mips::MipsPermutations;
 use jxp_telemetry::{Counter, Registry};
 use jxp_wire::{encoded_len, ErrorCode, Frame, StatsPayload, SynopsisPayload};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Per-node traffic and meeting counters (point-in-time snapshot of a
@@ -130,6 +130,10 @@ pub struct JxpNode {
     state: Arc<Mutex<NodeState>>,
     metrics: NodeMetrics,
     stats_endpoint: AtomicBool,
+    /// Bumped every time a meeting (initiated, served, or repaired)
+    /// changes the peer's scores. Serving layers key result caches on
+    /// this: an advanced epoch means cached fused rankings are stale.
+    score_epoch: AtomicU64,
 }
 
 impl JxpNode {
@@ -157,6 +161,7 @@ impl JxpNode {
             })),
             metrics,
             stats_endpoint: AtomicBool::new(false),
+            score_epoch: AtomicU64::new(0),
         }
     }
 
@@ -188,6 +193,7 @@ impl JxpNode {
             p.record_absorb(peer, payload);
             p.metrics().repairs_total.inc();
         }
+        self.bump_score_epoch();
     }
 
     /// This node's id.
@@ -217,6 +223,19 @@ impl JxpNode {
     /// Whether the stats endpoint is enabled.
     pub fn stats_endpoint_enabled(&self) -> bool {
         self.stats_endpoint.load(Ordering::Acquire)
+    }
+
+    /// The current score epoch: how many absorbed meetings (initiated,
+    /// served, or repaired) have changed this peer's scores.
+    pub fn score_epoch(&self) -> u64 {
+        self.score_epoch.load(Ordering::Acquire)
+    }
+
+    /// Advance the score epoch after an absorb. AcqRel so a serving
+    /// thread that observes the new epoch also observes the score
+    /// update published by the lock release that follows.
+    fn bump_score_epoch(&self) {
+        self.score_epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// This node's counters as a wire payload.
@@ -316,6 +335,7 @@ impl JxpNode {
             if let Some(p) = persist.as_mut() {
                 p.record_absorb(peer, &remote);
             }
+            self.bump_score_epoch();
         }
         self.metrics.meetings_completed.inc();
         self.metrics.retries.add(u64::from(outcome.retries));
@@ -415,6 +435,8 @@ fn unexpected_reply(frame: &Frame) -> &'static str {
         Frame::Error { .. } => "unexpected Error reply",
         Frame::StatsRequest => "unexpected StatsRequest reply",
         Frame::StatsReply(_) => "unexpected StatsReply reply",
+        Frame::QueryRequest(_) => "unexpected QueryRequest reply",
+        Frame::QueryReply(_) => "unexpected QueryReply reply",
     }
 }
 
@@ -443,6 +465,7 @@ impl FrameHandler for JxpNode {
                         if let Some(p) = persist.as_mut() {
                             p.record_serve(peer, &payload, &own);
                         }
+                        self.bump_score_epoch();
                         self.metrics.meetings_served.inc();
                         Frame::MeetReply(own)
                     }
@@ -473,7 +496,16 @@ impl FrameHandler for JxpNode {
                 }
             }
             Frame::Ack { of } => Frame::Ack { of },
-            Frame::MeetReply(_) | Frame::Error { .. } | Frame::StatsReply(_) => Frame::Error {
+            // A bare node has no index to search; the serve layer
+            // (jxp-serve) intercepts queries before delegation.
+            Frame::QueryRequest(_) => Frame::Error {
+                code: ErrorCode::Refused,
+                detail: "query endpoint disabled".to_string(),
+            },
+            Frame::MeetReply(_)
+            | Frame::Error { .. }
+            | Frame::StatsReply(_)
+            | Frame::QueryReply(_) => Frame::Error {
                 code: ErrorCode::BadRequest,
                 detail: "frame type is reply-only".to_string(),
             },
@@ -640,6 +672,75 @@ mod tests {
             .handle(Frame::StatsReply(StatsPayload::default()))
             .unwrap();
         assert!(matches!(reply, Frame::Error { .. }));
+    }
+
+    #[test]
+    fn score_epoch_advances_on_every_absorb_path() {
+        let (a, b) = two_fragment_nodes();
+        let net = LoopbackNetwork::new();
+        let b = Arc::new(b);
+        net.register(2, Arc::clone(&b) as Arc<dyn FrameHandler>);
+        assert_eq!(a.score_epoch(), 0);
+        assert_eq!(b.score_epoch(), 0);
+
+        // Initiator absorb and responder serve each bump once.
+        a.meet(2, &net, &RetryPolicy::default()).unwrap();
+        assert_eq!(a.score_epoch(), 1);
+        assert_eq!(b.score_epoch(), 1);
+
+        // Repair is an absorb too.
+        let payload = b.current_payload();
+        a.apply_repair(&payload);
+        assert_eq!(a.score_epoch(), 2);
+
+        // Non-mutating traffic leaves the epoch alone.
+        a.handle(Frame::Hello {
+            node_id: 9,
+            num_pages: 1,
+        });
+        a.handle(Frame::StatsRequest);
+        assert_eq!(a.score_epoch(), 2);
+    }
+
+    #[test]
+    fn bare_node_refuses_queries_and_rejects_query_replies() {
+        let (a, _) = two_fragment_nodes();
+        let reply = a
+            .handle(Frame::QueryRequest(jxp_wire::QueryPayload {
+                query_id: 1,
+                k: 10,
+                terms: vec![3],
+            }))
+            .unwrap();
+        assert!(
+            matches!(
+                &reply,
+                Frame::Error {
+                    code: ErrorCode::Refused,
+                    ..
+                }
+            ),
+            "expected Refused, got {reply:?}"
+        );
+        let reply = a
+            .handle(Frame::QueryReply(jxp_wire::QueryReplyPayload {
+                node_id: 2,
+                query_id: 1,
+                epoch: 0,
+                cached: false,
+                hits: vec![],
+            }))
+            .unwrap();
+        assert!(
+            matches!(
+                &reply,
+                Frame::Error {
+                    code: ErrorCode::BadRequest,
+                    ..
+                }
+            ),
+            "reply-only frame must be rejected, got {reply:?}"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use jxp_core::selection::{
 use jxp_core::{JxpConfig, JxpPeer};
 use jxp_pagerank::Ranking;
 use jxp_synopses::mips::MipsPermutations;
-use jxp_telemetry::{Counter, Event, Histogram, TelemetryHub};
+use jxp_telemetry::{Counter, Event, Gauge, Histogram, TelemetryHub};
 use jxp_webgraph::Subgraph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -93,6 +93,13 @@ pub(crate) struct SimTelemetry {
     pub(crate) rounds: Arc<Counter>,
     pub(crate) round_width: Arc<Histogram>,
     pub(crate) round_seconds: Arc<Histogram>,
+    /// Centralized PageRank vector (global page index order) against
+    /// which per-peer L1 convergence gauges are computed; set by
+    /// [`Network::attach_convergence_truth`].
+    pub(crate) l1_truth: Option<Vec<f64>>,
+    /// Per-peer `jxp_sim_peer_l1_distance{peer="i"}` gauges, cached by
+    /// peer index and grown on demand (churn can add peers).
+    pub(crate) l1_gauges: Vec<Arc<Gauge>>,
 }
 
 impl SimTelemetry {
@@ -114,7 +121,41 @@ impl SimTelemetry {
                 &[1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0],
             ),
             hub,
+            l1_truth: None,
+            l1_gauges: Vec::new(),
         }
+    }
+
+    /// The cached L1 gauge of peer `p`, registering any missing ones.
+    fn peer_l1_gauge(&mut self, p: usize) -> &Arc<Gauge> {
+        while self.l1_gauges.len() <= p {
+            let i = self.l1_gauges.len();
+            self.l1_gauges.push(
+                self.hub
+                    .registry()
+                    .gauge(&format!("jxp_sim_peer_l1_distance{{peer=\"{i}\"}}")),
+            );
+        }
+        &self.l1_gauges[p]
+    }
+
+    /// Refresh peer `p`'s L1-distance-to-centralized gauge. A no-op
+    /// until [`Network::attach_convergence_truth`] supplies the truth
+    /// vector. Called only from the serial accounting phase, so the
+    /// gauge sequence is a pure function of the meeting schedule and
+    /// thread-count equivalence is untouched.
+    fn update_l1_gauge(&mut self, p: usize, peer: &JxpPeer) {
+        let Some(truth) = &self.l1_truth else {
+            return;
+        };
+        let d: f64 = peer
+            .graph()
+            .pages()
+            .iter()
+            .zip(peer.scores())
+            .map(|(page, s)| (s - truth.get(page.0 as usize).copied().unwrap_or(0.0)).abs())
+            .sum();
+        self.peer_l1_gauge(p).set(d);
     }
 }
 
@@ -189,6 +230,31 @@ impl Network {
     /// The attached telemetry hub, if any.
     pub fn telemetry_hub(&self) -> Option<&Arc<TelemetryHub>> {
         self.telemetry.as_ref().map(|t| &t.hub)
+    }
+
+    /// Attach the centralized PageRank vector (global page index order)
+    /// and start publishing a per-peer convergence gauge,
+    /// `jxp_sim_peer_l1_distance{peer="i"}`: the L1 distance between
+    /// peer *i*'s local scores and the centralized scores of the same
+    /// pages. Gauges refresh for both participants of every meeting,
+    /// from the serial accounting phase only — like all simulator
+    /// telemetry, enabling them cannot perturb scores at any thread
+    /// count. Peers are labelled by their current index (swap-remove
+    /// churn renumbers the last peer, as everywhere in the simulator).
+    ///
+    /// # Panics
+    /// Panics if no telemetry hub is attached.
+    pub fn attach_convergence_truth(&mut self, truth: &[f64]) {
+        let t = self
+            .telemetry
+            .as_mut()
+            .expect("attach_telemetry before attach_convergence_truth");
+        t.l1_truth = Some(truth.to_vec());
+        // Publish the starting distances so the gauges exist (and are
+        // meaningful) before the first meeting.
+        for (p, peer) in self.peers.iter().enumerate() {
+            t.update_l1_gauge(p, peer);
+        }
     }
 
     /// Number of peers currently in the network.
@@ -312,6 +378,11 @@ impl Network {
             for p in [initiator, partner] {
                 let est = counter.estimate(p).max(self.peers[p].num_pages() as f64);
                 self.peers[p].set_n_total(est);
+            }
+        }
+        if let Some(t) = &mut self.telemetry {
+            for p in [initiator, partner] {
+                t.update_l1_gauge(p, &self.peers[p]);
             }
         }
         self.meetings += 1;
@@ -721,6 +792,69 @@ mod tests {
         assert_eq!(churn, vec![(6, true), (departed_index as u64, false)]);
         // 30 meetings × (started + completed) + 2 churn events.
         assert_eq!(hub.events().recorded(), 62);
+    }
+
+    #[test]
+    fn per_peer_l1_gauges_shrink_and_are_thread_count_invariant() {
+        let (cg, frags) = small_world();
+        let truth = pagerank(&cg.graph, &PageRankConfig::default());
+
+        // Run the parallel engine at a given thread count and return
+        // (initial gauges, final gauges, score fingerprint).
+        let run = |threads: usize| {
+            let config = NetworkConfig {
+                threads,
+                ..NetworkConfig::default()
+            };
+            let mut net = Network::new(frags.clone(), cg.graph.num_nodes() as u64, config, 13);
+            let hub = jxp_telemetry::TelemetryHub::shared();
+            net.attach_telemetry(Arc::clone(&hub));
+            net.attach_convergence_truth(truth.scores());
+            let read = |hub: &jxp_telemetry::TelemetryHub, n: usize| -> Vec<f64> {
+                let gauges = hub.snapshot().metrics.gauges;
+                (0..n)
+                    .map(|p| gauges[&format!("jxp_sim_peer_l1_distance{{peer=\"{p}\"}}")])
+                    .collect()
+            };
+            let initial = read(&hub, net.num_peers());
+            net.run_parallel(120);
+            let fin = read(&hub, net.num_peers());
+            let scores: Vec<f64> = net
+                .peers()
+                .iter()
+                .flat_map(|p| p.scores().to_vec())
+                .collect();
+            (initial, fin, scores)
+        };
+
+        let (initial, final_1, scores_1) = run(1);
+        // Gauges exist for every peer before the first meeting and the
+        // network as a whole moved toward the centralized scores.
+        assert_eq!(initial.len(), 6);
+        assert!(initial.iter().all(|d| d.is_finite() && *d >= 0.0));
+        assert!(
+            final_1.iter().sum::<f64>() < initial.iter().sum::<f64>(),
+            "total L1 distance should shrink: {initial:?} -> {final_1:?}"
+        );
+
+        // The serial accounting phase updates the gauges, so they are
+        // bit-identical at any thread count — like the scores.
+        let (_, final_8, scores_8) = run(8);
+        assert_eq!(final_1, final_8);
+        assert_eq!(scores_1, scores_8);
+    }
+
+    #[test]
+    #[should_panic(expected = "attach_telemetry before")]
+    fn convergence_truth_requires_a_hub() {
+        let (cg, frags) = small_world();
+        let mut net = Network::new(
+            frags,
+            cg.graph.num_nodes() as u64,
+            NetworkConfig::default(),
+            13,
+        );
+        net.attach_convergence_truth(&[0.0; 4]);
     }
 
     #[test]

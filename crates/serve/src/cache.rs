@@ -1,0 +1,184 @@
+//! Bounded, epoch-validated LRU result cache.
+//!
+//! Every cached entry is stamped with the node's **score epoch** at
+//! compute time. A query served after the node absorbed another meeting
+//! (epoch advanced) must not see the stale fused ranking, so a lookup
+//! passes the node's *current* epoch and an entry from an older epoch is
+//! treated as a miss and dropped on the spot — invalidation is lazy but
+//! exact (DESIGN.md §13).
+//!
+//! Eviction is deterministic: recency is a monotonically increasing tick
+//! (unique per touch), and the entry with the smallest tick — the least
+//! recently used, with no ties possible — is evicted when the cache is
+//! full. Given the same request sequence, two runs evict identically.
+
+use jxp_webgraph::FxHashMap;
+use std::hash::Hash;
+
+/// Outcome of a cache lookup, distinguishing the two miss causes so the
+/// serving metrics can count invalidations separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup<V> {
+    /// Present and computed at the current epoch.
+    Hit(V),
+    /// Never cached (or evicted).
+    MissCold,
+    /// Cached at an older epoch; the entry has been dropped.
+    MissStale,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<V> {
+    value: V,
+    epoch: u64,
+    tick: u64,
+}
+
+/// A bounded LRU map whose entries are only valid at the epoch they
+/// were inserted under.
+#[derive(Debug)]
+pub struct EpochLru<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: FxHashMap<K, Entry<V>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> EpochLru<K, V> {
+    /// An empty cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity cache cannot hold anything");
+        EpochLru {
+            capacity,
+            tick: 0,
+            map: FxHashMap::default(),
+        }
+    }
+
+    /// Look up `key` as of `epoch`. A hit refreshes the entry's recency;
+    /// an entry stamped with a different epoch is removed and reported
+    /// as [`Lookup::MissStale`].
+    pub fn get(&mut self, key: &K, epoch: u64) -> Lookup<V> {
+        match self.map.get_mut(key) {
+            None => Lookup::MissCold,
+            Some(entry) if entry.epoch == epoch => {
+                self.tick += 1;
+                entry.tick = self.tick;
+                Lookup::Hit(entry.value.clone())
+            }
+            Some(_) => {
+                self.map.remove(key);
+                Lookup::MissStale
+            }
+        }
+    }
+
+    /// Insert `value` computed at `epoch`, evicting the least recently
+    /// used entry if the cache is full.
+    pub fn insert(&mut self, key: K, value: V, epoch: u64) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            // Ticks are unique, so the minimum is unambiguous and the
+            // eviction order is a pure function of the request sequence.
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map at capacity");
+            self.map.remove(&lru);
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                epoch,
+                tick: self.tick,
+            },
+        );
+    }
+
+    /// Live entries (stale ones linger until looked up or evicted).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_only_at_matching_epoch() {
+        let mut c: EpochLru<u32, &'static str> = EpochLru::new(4);
+        assert_eq!(c.get(&1, 0), Lookup::MissCold);
+        c.insert(1, "a", 0);
+        assert_eq!(c.get(&1, 0), Lookup::Hit("a"));
+        // The epoch advanced: the entry is stale, reported as such, and
+        // gone afterwards (the next lookup is a cold miss).
+        assert_eq!(c.get(&1, 1), Lookup::MissStale);
+        assert_eq!(c.get(&1, 1), Lookup::MissCold);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn reinsert_at_new_epoch_replaces() {
+        let mut c: EpochLru<u32, u64> = EpochLru::new(4);
+        c.insert(7, 10, 0);
+        c.insert(7, 20, 3);
+        assert_eq!(c.get(&7, 3), Lookup::Hit(20));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_deterministic() {
+        let run = || {
+            let mut c: EpochLru<u32, u32> = EpochLru::new(2);
+            c.insert(1, 1, 0);
+            c.insert(2, 2, 0);
+            let _ = c.get(&1, 0); // 2 is now least recent
+            c.insert(3, 3, 0); // evicts 2
+            let mut seen = Vec::new();
+            for k in [1u32, 2, 3] {
+                if let Lookup::Hit(v) = c.get(&k, 0) {
+                    seen.push(v);
+                }
+            }
+            seen
+        };
+        assert_eq!(run(), vec![1, 3]);
+        assert_eq!(run(), run(), "eviction must be reproducible");
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c: EpochLru<u32, u32> = EpochLru::new(3);
+        for k in 0..50 {
+            c.insert(k, k, 0);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.capacity(), 3);
+        // The newest three survive.
+        for k in 47..50 {
+            assert_eq!(c.get(&k, 0), Lookup::Hit(k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_panics() {
+        let _: EpochLru<u32, u32> = EpochLru::new(0);
+    }
+}

@@ -1,0 +1,34 @@
+//! jxp-serve: the per-node query front end of the JXP network.
+//!
+//! JXP nodes converge on PageRank authority scores through pairwise
+//! meetings; this crate makes those scores *searchable while they
+//! converge*. A [`ServeHandler`] fronts a [`jxp_node::JxpNode`]: it
+//! answers `QueryRequest` wire frames with top-k results whose ranking
+//! fuses the peer's tf·idf posting lists ([`jxp_minerva::ServingIndex`])
+//! with the node's **live** JXP authority scores
+//! ([`jxp_minerva::fusion::rank_by_fusion`]), and forwards every other
+//! frame — meetings included — to the node untouched. Results are
+//! cached in a bounded LRU ([`EpochLru`]) validated against the node's
+//! score epoch, so a cache entry dies the moment the node absorbs
+//! another meeting.
+//!
+//! [`LoadGen`] is the matching measurement harness: a deterministic
+//! closed-loop load generator with warmup and measurement windows,
+//! reporting qps, latency quantiles, and cache hit rates through
+//! `jxp-telemetry`. [`run_serve_experiment`] ties it all together into
+//! the seeded benchmark behind `BENCH_serve.json` (DESIGN.md §13).
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod experiment;
+pub mod loadgen;
+
+pub use cache::{EpochLru, Lookup};
+pub use engine::{query_node, ServeConfig, ServeHandler, ServeMetrics};
+pub use experiment::{
+    contiguous_fragments, render_bench_json, run_serve_experiment, ServeBenchReport,
+    ServeExperimentParams,
+};
+pub use loadgen::{LoadGen, LoadGenConfig, LoadReport, LATENCY_BOUNDS_MS};

@@ -1,0 +1,167 @@
+//! Non-disruption guarantees: serving queries is a read-only side show.
+//!
+//! The acceptance bar for the serve subsystem is that it changes
+//! *nothing* about the algorithm: the same meetings produce the same
+//! scores whether or not every frame flows through a [`ServeHandler`]
+//! and a load generator hammers the cluster concurrently — at any
+//! thread count, and across a crash/resume boundary.
+
+use jxp_core::JxpConfig;
+use jxp_minerva::{Corpus, CorpusParams, PeerIndex, ServingIndex};
+use jxp_node::{
+    run_cluster, run_cluster_with, ClusterConfig, ClusterCtx, ClusterHooks, FrameHandler, JxpNode,
+};
+use jxp_pagerank::{pagerank, PageRankConfig};
+use jxp_serve::{
+    contiguous_fragments, LoadGen, LoadGenConfig, ServeConfig, ServeHandler, ServeMetrics,
+};
+use jxp_webgraph::generators::amazon_2005;
+use jxp_webgraph::Subgraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const SEED: u64 = 23;
+const PEERS: usize = 3;
+
+struct Fixture {
+    n_total: u64,
+    truth: Vec<f64>,
+    corpus: Corpus,
+    fragments: Vec<Subgraph>,
+    indexes: Vec<PeerIndex>,
+}
+
+fn fixture() -> Fixture {
+    let cg = amazon_2005().generate_scaled(0.02);
+    let truth = pagerank(&cg.graph, &PageRankConfig::default()).into_scores();
+    let corpus = Corpus::generate(
+        &cg,
+        &truth,
+        CorpusParams::default(),
+        &mut StdRng::seed_from_u64(SEED ^ 1),
+    );
+    let fragments = contiguous_fragments(&cg, PEERS);
+    let indexes = fragments
+        .iter()
+        .map(|f| PeerIndex::build(f, &corpus))
+        .collect();
+    Fixture {
+        n_total: cg.graph.num_nodes() as u64,
+        truth,
+        corpus,
+        fragments,
+        indexes,
+    }
+}
+
+fn base_config(threads: usize) -> ClusterConfig {
+    ClusterConfig {
+        meetings: 60,
+        seed: SEED,
+        threads,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Run the fixture's cluster with every node fronted by a
+/// [`ServeHandler`] and the load generator driving it concurrently.
+fn run_serving(fx: &Fixture, config: &ClusterConfig) -> jxp_node::ClusterReport {
+    let serve_config = ServeConfig::default();
+    let wrap = |i: usize, node: &Arc<JxpNode>| {
+        Arc::new(ServeHandler::new(
+            Arc::clone(node),
+            ServingIndex::build(&fx.indexes[i]),
+            serve_config.clone(),
+            ServeMetrics::detached(),
+        )) as Arc<dyn FrameHandler>
+    };
+    let loadgen = LoadGen::new(
+        &fx.corpus,
+        LoadGenConfig {
+            seed: SEED ^ 2,
+            num_queries: 5,
+            repeats: 2,
+            ..LoadGenConfig::default()
+        },
+    );
+    let drive = |ctx: &ClusterCtx<'_>| {
+        let report = loadgen.drive(ctx, None);
+        assert_eq!(report.failures, 0, "every query must be answered");
+    };
+    let hooks = ClusterHooks {
+        wrap_handler: Some(&wrap),
+        concurrent: Some(&drive),
+    };
+    run_cluster_with(
+        fx.fragments.clone(),
+        fx.n_total,
+        JxpConfig::default(),
+        config,
+        Some(&fx.truth),
+        &hooks,
+    )
+}
+
+#[test]
+fn serving_under_load_does_not_perturb_scores_at_any_thread_count() {
+    let fx = fixture();
+    let control = run_cluster(
+        fx.fragments.clone(),
+        fx.n_total,
+        JxpConfig::default(),
+        &base_config(1),
+        Some(&fx.truth),
+    );
+    for threads in [1usize, 2, 8] {
+        let served = run_serving(&fx, &base_config(threads));
+        assert_eq!(
+            served.score_hash, control.score_hash,
+            "{threads} threads: serving changed the outcome"
+        );
+        assert_eq!(served.footrule, control.footrule, "{threads} threads");
+        assert_eq!(
+            served.meetings_completed, control.meetings_completed,
+            "{threads} threads"
+        );
+    }
+}
+
+#[test]
+fn crash_recovery_stays_bit_identical_while_serving() {
+    let fx = fixture();
+    let base = ClusterConfig {
+        checkpoint_every: 4,
+        ..base_config(2)
+    };
+    let control = run_serving(&fx, &base);
+
+    // Die after half the meetings without a final checkpoint — disk is
+    // left exactly as a crash would leave it — while queries were being
+    // served the whole time.
+    let dir = std::env::temp_dir().join(format!("jxp-serve-resume-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let interrupted = ClusterConfig {
+        meetings: base.meetings / 2,
+        state_dir: Some(dir.clone()),
+        checkpoint_on_exit: false,
+        ..base.clone()
+    };
+    let half = run_serving(&fx, &interrupted);
+    assert_eq!(half.meetings_completed, (base.meetings / 2) as u64);
+
+    // Resume (still serving): only the back half executes, and the
+    // final state matches the uninterrupted serving run bit for bit.
+    let resumed_cfg = ClusterConfig {
+        state_dir: Some(dir.clone()),
+        ..base.clone()
+    };
+    let resumed = run_serving(&fx, &resumed_cfg);
+    assert_eq!(
+        resumed.meetings_completed,
+        (base.meetings - base.meetings / 2) as u64
+    );
+    assert_eq!(resumed.score_hash, control.score_hash);
+    assert_eq!(resumed.footrule, control.footrule);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,175 @@
+//! Dependency-light Prometheus scrape endpoint.
+//!
+//! [`MetricsServer`] binds a plain [`std::net::TcpListener`] and answers
+//! every HTTP/1.x `GET` with the hub's current
+//! [`TelemetrySnapshot::to_prometheus`](crate::TelemetrySnapshot)
+//! exposition — enough for a stock Prometheus scraper pointed at
+//! `--metrics-listen <addr>`, with no HTTP library in the tree. One
+//! accept loop, one connection at a time: scrapes are rare (seconds
+//! apart) and the rendered body is small, so serial handling keeps the
+//! server a single bounded thread whose handle is joined on shutdown.
+
+use crate::TelemetryHub;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running scrape endpoint. Dropping (or calling
+/// [`MetricsServer::shutdown`]) stops the accept loop and joins its
+/// thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9184`, port 0 for ephemeral) and
+    /// start answering scrapes with live snapshots of `hub`.
+    pub fn bind(addr: impl ToSocketAddrs, hub: Arc<TelemetryHub>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("jxp-metrics-http".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if loop_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(mut stream) = conn {
+                        let _ = serve_one(&mut stream, &hub);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking `accept` with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Answer one connection: read the request head, reply with the
+/// exposition (or 404 off the known paths), close.
+fn serve_one(stream: &mut TcpStream, hub: &TelemetryHub) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    // Read until the blank line ending the request head; cap the head at
+    // 8 KiB so a misbehaving client cannot grow the buffer unboundedly.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(e),
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            String::from("method not allowed\n"),
+        )
+    } else if path == "/metrics" || path == "/" {
+        ("200 OK", hub.snapshot().to_prometheus())
+    } else {
+        ("404 Not Found", String::from("try /metrics\n"))
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn serves_prometheus_exposition_over_http() {
+        let hub = TelemetryHub::shared();
+        hub.registry().counter("jxp_scrape_test_total").add(7);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&hub)).expect("bind");
+        let response = scrape(
+            server.local_addr(),
+            "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n",
+        );
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("jxp_scrape_test_total 7"), "{response}");
+        // Live snapshots: a later scrape sees newer values.
+        hub.registry().counter("jxp_scrape_test_total").add(1);
+        let response = scrape(server.local_addr(), "GET / HTTP/1.0\r\n\r\n");
+        assert!(response.contains("jxp_scrape_test_total 8"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_unknown_paths_and_methods() {
+        let server = MetricsServer::bind("127.0.0.1:0", TelemetryHub::shared()).expect("bind");
+        let response = scrape(server.local_addr(), "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+        let response = scrape(server.local_addr(), "POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    }
+
+    #[test]
+    fn shutdown_joins_the_server_thread() {
+        let server = MetricsServer::bind("127.0.0.1:0", TelemetryHub::shared()).expect("bind");
+        let addr = server.local_addr();
+        server.shutdown();
+        // The listener is gone: a fresh bind to the same port succeeds.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "port still held after shutdown");
+    }
+}

@@ -16,10 +16,12 @@
 
 pub mod events;
 pub mod export;
+pub mod http;
 pub mod metrics;
 pub mod sync;
 
 pub use events::{Event, EventRecord, EventRing};
+pub use http::MetricsServer;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
 pub use sync::{lock_unpoisoned, read_unpoisoned, write_unpoisoned};
 

@@ -49,6 +49,8 @@ const TYPE_ACK: u8 = 5;
 const TYPE_ERROR: u8 = 6;
 const TYPE_STATS_REQUEST: u8 = 7;
 const TYPE_STATS_REPLY: u8 = 8;
+const TYPE_QUERY_REQUEST: u8 = 9;
+const TYPE_QUERY_REPLY: u8 = 10;
 
 /// Decode failures. `Truncated` is retriable-by-reading-more when the
 /// input is a stream prefix; everything else is a protocol violation.
@@ -183,6 +185,65 @@ impl StatsPayload {
     }
 }
 
+/// A top-k search request answered by peers running the serve layer.
+/// Peers without a query front end answer [`Frame::Error`]/`Refused`,
+/// mirroring the stats endpoint's opt-in contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPayload {
+    /// Caller-chosen id echoed in the reply (correlates request/reply
+    /// on a shared transport).
+    pub query_id: u64,
+    /// Number of fused results requested.
+    pub k: u32,
+    /// Term ids of the (conjunctive-free, bag-of-words) query.
+    pub terms: Vec<u32>,
+}
+
+impl QueryPayload {
+    /// Exact body length of the [`Frame::QueryRequest`] encoding.
+    pub fn wire_size(&self) -> usize {
+        8 + 4 + 4 + 4 * self.terms.len()
+    }
+}
+
+/// One result entry in a [`Frame::QueryReply`]: both the raw tf·idf
+/// score and the fused (tf·idf ⊕ JXP authority) score travel, so a
+/// client can rank either way without a second round trip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryHit {
+    /// Matching page.
+    pub page: PageId,
+    /// Local tf·idf score from the responder's posting lists.
+    pub tfidf: f64,
+    /// Fused score combining tf·idf with the responder's live JXP
+    /// authority estimate.
+    pub fused: f64,
+}
+
+/// A peer's answer to a [`Frame::QueryRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReplyPayload {
+    /// Responding node's id.
+    pub node_id: u64,
+    /// Echo of the request's `query_id`.
+    pub query_id: u64,
+    /// The responder's score epoch when the result set was computed.
+    /// Advances after every absorbed meeting; clients can detect how
+    /// fresh the authority component is.
+    pub epoch: u64,
+    /// Whether the result set was served from the responder's LRU cache.
+    pub cached: bool,
+    /// Fused top-k hits, highest fused score first.
+    pub hits: Vec<QueryHit>,
+}
+
+impl QueryReplyPayload {
+    /// Exact body length of the [`Frame::QueryReply`] encoding.
+    pub fn wire_size(&self) -> usize {
+        8 + 8 + 8 + 1 + 4 + 20 * self.hits.len()
+    }
+}
+
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -216,6 +277,11 @@ pub enum Frame {
     StatsRequest,
     /// A peer's counter snapshot.
     StatsReply(StatsPayload),
+    /// A top-k search request. Peers without a serve layer answer
+    /// [`Frame::Error`]/`Refused`.
+    QueryRequest(QueryPayload),
+    /// A peer's fused top-k result set.
+    QueryReply(QueryReplyPayload),
 }
 
 impl Frame {
@@ -229,6 +295,8 @@ impl Frame {
             Frame::Error { .. } => TYPE_ERROR,
             Frame::StatsRequest => TYPE_STATS_REQUEST,
             Frame::StatsReply(_) => TYPE_STATS_REPLY,
+            Frame::QueryRequest(_) => TYPE_QUERY_REQUEST,
+            Frame::QueryReply(_) => TYPE_QUERY_REPLY,
         }
     }
 
@@ -242,6 +310,8 @@ impl Frame {
             Frame::Error { detail, .. } => 2 + 4 + detail.len(),
             Frame::StatsRequest => 0,
             Frame::StatsReply(_) => StatsPayload::wire_size(),
+            Frame::QueryRequest(q) => q.wire_size(),
+            Frame::QueryReply(r) => r.wire_size(),
         }
     }
 }
@@ -309,6 +379,26 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             buf.put_u64_le(s.retries);
             buf.put_u64_le(s.bytes_in);
             buf.put_u64_le(s.bytes_out);
+        }
+        Frame::QueryRequest(q) => {
+            buf.put_u64_le(q.query_id);
+            buf.put_u32_le(q.k);
+            buf.put_u32_le(q.terms.len() as u32);
+            for &t in &q.terms {
+                buf.put_u32_le(t);
+            }
+        }
+        Frame::QueryReply(r) => {
+            buf.put_u64_le(r.node_id);
+            buf.put_u64_le(r.query_id);
+            buf.put_u64_le(r.epoch);
+            buf.put_u8(u8::from(r.cached));
+            buf.put_u32_le(r.hits.len() as u32);
+            for h in &r.hits {
+                buf.put_u32_le(h.page.0);
+                buf.put_f64_le(h.tfidf);
+                buf.put_f64_le(h.fused);
+            }
         }
     }
     debug_assert_eq!(buf.len(), HEADER_LEN + body_len, "body_len out of sync");
@@ -424,6 +514,44 @@ pub fn decode_frame(input: &[u8]) -> Result<(Frame, usize), WireError> {
             bytes_in: take_u64(&mut body)?,
             bytes_out: take_u64(&mut body)?,
         }),
+        TYPE_QUERY_REQUEST => {
+            let query_id = take_u64(&mut body)?;
+            let k = take_u32(&mut body)?;
+            let num_terms = take_u32(&mut body)? as usize;
+            check_claimed(&body, num_terms, 4)?;
+            let mut terms = Vec::with_capacity(num_terms);
+            for _ in 0..num_terms {
+                terms.push(take_u32(&mut body)?);
+            }
+            Frame::QueryRequest(QueryPayload { query_id, k, terms })
+        }
+        TYPE_QUERY_REPLY => {
+            let node_id = take_u64(&mut body)?;
+            let query_id = take_u64(&mut body)?;
+            let epoch = take_u64(&mut body)?;
+            let cached = match take_u8(&mut body)? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed("bad cached flag byte")),
+            };
+            let num_hits = take_u32(&mut body)? as usize;
+            check_claimed(&body, num_hits, 20)?;
+            let mut hits = Vec::with_capacity(num_hits);
+            for _ in 0..num_hits {
+                hits.push(QueryHit {
+                    page: PageId(take_u32(&mut body)?),
+                    tfidf: take_f64(&mut body)?,
+                    fused: take_f64(&mut body)?,
+                });
+            }
+            Frame::QueryReply(QueryReplyPayload {
+                node_id,
+                query_id,
+                epoch,
+                cached,
+                hits,
+            })
+        }
         other => return Err(WireError::UnknownFrameType(other)),
     };
     if body.has_remaining() {
@@ -711,6 +839,114 @@ mod tests {
         assert_eq!(encoded.len(), HEADER_LEN + StatsPayload::wire_size());
         let (decoded, _) = decode_frame(&encoded).unwrap();
         assert_eq!(decoded, Frame::StatsReply(payload));
+    }
+
+    fn sample_query() -> QueryPayload {
+        QueryPayload {
+            query_id: 42,
+            k: 10,
+            terms: vec![3, 17, 99],
+        }
+    }
+
+    fn sample_query_reply() -> QueryReplyPayload {
+        QueryReplyPayload {
+            node_id: 5,
+            query_id: 42,
+            epoch: 13,
+            cached: true,
+            hits: vec![
+                QueryHit {
+                    page: PageId(7),
+                    tfidf: 2.5,
+                    fused: 0.9,
+                },
+                QueryHit {
+                    page: PageId(1),
+                    tfidf: 1.25,
+                    fused: 0.4,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn query_frames_roundtrip_at_exact_wire_size() {
+        let q = sample_query();
+        let encoded = encode_frame(&Frame::QueryRequest(q.clone()));
+        assert_eq!(encoded.len(), HEADER_LEN + q.wire_size());
+        let (decoded, used) = decode_frame(&encoded).unwrap();
+        assert_eq!(used, encoded.len());
+        assert_eq!(decoded, Frame::QueryRequest(q));
+
+        let r = sample_query_reply();
+        let encoded = encode_frame(&Frame::QueryReply(r.clone()));
+        assert_eq!(encoded.len(), HEADER_LEN + r.wire_size());
+        let (decoded, used) = decode_frame(&encoded).unwrap();
+        assert_eq!(used, encoded.len());
+        assert_eq!(decoded, Frame::QueryReply(r));
+    }
+
+    #[test]
+    fn empty_query_and_reply_roundtrip() {
+        let q = QueryPayload {
+            query_id: 0,
+            k: 0,
+            terms: vec![],
+        };
+        let (decoded, _) = decode_frame(&encode_frame(&Frame::QueryRequest(q.clone()))).unwrap();
+        assert_eq!(decoded, Frame::QueryRequest(q));
+        let r = QueryReplyPayload {
+            node_id: 0,
+            query_id: 0,
+            epoch: 0,
+            cached: false,
+            hits: vec![],
+        };
+        let (decoded, _) = decode_frame(&encode_frame(&Frame::QueryReply(r.clone()))).unwrap();
+        assert_eq!(decoded, Frame::QueryReply(r));
+    }
+
+    #[test]
+    fn corrupt_query_lengths_are_rejected_without_allocating() {
+        // Term count is the u32 at offset 12 (query_id) + 4 (k).
+        let mut encoded = encode_frame(&Frame::QueryRequest(sample_query()));
+        let off = HEADER_LEN + 8 + 4;
+        encoded[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_frame(&encoded),
+            Err(WireError::Malformed("length field overruns body"))
+        );
+        // Hit count sits after node_id + query_id + epoch + cached flag.
+        let mut encoded = encode_frame(&Frame::QueryReply(sample_query_reply()));
+        let off = HEADER_LEN + 8 + 8 + 8 + 1;
+        encoded[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_frame(&encoded),
+            Err(WireError::Malformed("length field overruns body"))
+        );
+    }
+
+    #[test]
+    fn bad_cached_flag_byte_is_rejected() {
+        let mut encoded = encode_frame(&Frame::QueryReply(sample_query_reply()));
+        encoded[HEADER_LEN + 24] = 7;
+        assert_eq!(
+            decode_frame(&encoded),
+            Err(WireError::Malformed("bad cached flag byte"))
+        );
+    }
+
+    #[test]
+    fn truncated_query_reply_body_is_rejected() {
+        let encoded = encode_frame(&Frame::QueryReply(sample_query_reply()));
+        let mut short = encoded.clone();
+        short.truncate(HEADER_LEN + 30);
+        short[8..12].copy_from_slice(&30u32.to_le_bytes());
+        assert_eq!(
+            decode_frame(&short),
+            Err(WireError::Malformed("length field overruns body"))
+        );
     }
 
     #[test]

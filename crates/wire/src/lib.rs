@@ -5,6 +5,7 @@
 pub mod frame;
 
 pub use frame::{
-    decode_frame, encode_frame, encoded_len, ErrorCode, Frame, StatsPayload, SynopsisPayload,
-    WireError, HEADER_LEN, MAGIC, MAX_BODY_LEN, PROTOCOL_VERSION,
+    decode_frame, encode_frame, encoded_len, ErrorCode, Frame, QueryHit, QueryPayload,
+    QueryReplyPayload, StatsPayload, SynopsisPayload, WireError, HEADER_LEN, MAGIC, MAX_BODY_LEN,
+    PROTOCOL_VERSION,
 };

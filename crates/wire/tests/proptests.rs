@@ -9,8 +9,8 @@ use jxp_synopses::fm_sketch::FmSketch;
 use jxp_synopses::mips::MipsVector;
 use jxp_webgraph::PageId;
 use jxp_wire::{
-    decode_frame, encode_frame, encoded_len, ErrorCode, Frame, StatsPayload, SynopsisPayload,
-    WireError, HEADER_LEN,
+    decode_frame, encode_frame, encoded_len, ErrorCode, Frame, QueryHit, QueryPayload,
+    QueryReplyPayload, StatsPayload, SynopsisPayload, WireError, HEADER_LEN,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -97,20 +97,57 @@ fn stats_payloads() -> impl Strategy<Value = StatsPayload> {
     })
 }
 
+fn query_payloads() -> impl Strategy<Value = QueryPayload> {
+    (0u64..u64::MAX, 0u32..1000, vec(0u32..100_000, 0..12))
+        .prop_map(|(query_id, k, terms)| QueryPayload { query_id, k, terms })
+}
+
+fn query_replies() -> impl Strategy<Value = QueryReplyPayload> {
+    let hits = vec((0u32..50_000, 0.0f64..100.0, 0.0f64..2.0), 0..10).prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(page, tfidf, fused)| QueryHit {
+                page: PageId(page),
+                tfidf,
+                fused,
+            })
+            .collect::<Vec<_>>()
+    });
+    (0u64..u64::MAX, 0u64..u64::MAX, 0u64..100_000, 0u8..2, hits).prop_map(
+        |(node_id, query_id, epoch, cached, hits)| QueryReplyPayload {
+            node_id,
+            query_id,
+            epoch,
+            cached: cached == 1,
+            hits,
+        },
+    )
+}
+
 /// One strategy covering every frame type: the selector picks a variant
 /// and the components feed it.
 fn frames() -> impl Strategy<Value = Frame> {
     (
-        0u8..8,
+        0u8..10,
         (0u64..u64::MAX, 0u64..1_000_000),
         meeting_payloads(),
         synopsis_payloads(),
         0u8..=255,
         vec(32u8..127, 0..40),
         stats_payloads(),
+        (query_payloads(), query_replies()),
     )
         .prop_map(
-            |(selector, (node_id, num_pages), meeting, synopsis, ack_of, detail, stats)| {
+            |(
+                selector,
+                (node_id, num_pages),
+                meeting,
+                synopsis,
+                ack_of,
+                detail,
+                stats,
+                (query, reply),
+            )| {
                 match selector {
                     0 => Frame::Hello { node_id, num_pages },
                     1 => Frame::MeetRequest(meeting),
@@ -119,6 +156,8 @@ fn frames() -> impl Strategy<Value = Frame> {
                     4 => Frame::Ack { of: ack_of },
                     5 => Frame::StatsRequest,
                     6 => Frame::StatsReply(stats),
+                    7 => Frame::QueryRequest(query),
+                    8 => Frame::QueryReply(reply),
                     _ => Frame::Error {
                         code: ErrorCode::Busy,
                         detail: String::from_utf8(detail).unwrap(),
@@ -179,6 +218,17 @@ proptest! {
         if let Frame::MeetRequest(p) = &frame {
             prop_assert_eq!(bytes.len(), HEADER_LEN + p.wire_size());
         }
+    }
+
+    #[test]
+    fn query_body_lengths_always_match_wire_size(
+        query in query_payloads(),
+        reply in query_replies(),
+    ) {
+        let bytes = encode_frame(&Frame::QueryRequest(query.clone()));
+        prop_assert_eq!(bytes.len(), HEADER_LEN + query.wire_size());
+        let bytes = encode_frame(&Frame::QueryReply(reply.clone()));
+        prop_assert_eq!(bytes.len(), HEADER_LEN + reply.wire_size());
     }
 
     #[test]
