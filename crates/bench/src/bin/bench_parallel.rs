@@ -8,6 +8,14 @@
 //! comparison is pure wall clock. Results are printed and written to
 //! `BENCH_parallel.json` in the current directory (`JXP_RESULTS` moves
 //! it next to the CSV artifacts instead).
+//!
+//! **Honesty rule:** a run with more worker threads than the host has
+//! cores measures timeslicing, not parallelism. Such runs still execute
+//! (the determinism check is thread-count independent and still
+//! valuable) but are marked `"valid": false` in the JSON, print no
+//! speedup, and never participate in the speedup gate. The committed
+//! `BENCH_parallel.json` must come from a host whose `host_cores` covers
+//! the sweep — CI enforces this on a multi-core runner.
 
 use jxp_bench::{build_network, load_dataset, score_hash, ExperimentCtx};
 use jxp_core::selection::SelectionStrategy;
@@ -55,9 +63,23 @@ fn main() {
         "{:>8} {:>10} {:>9} {:>7} {:>18}",
         "threads", "seconds", "speedup", "rounds", "score hash"
     );
-    let mut results: Vec<(usize, f64, u64, u64)> = Vec::new();
+    struct Run {
+        threads: usize,
+        secs: f64,
+        rounds: u64,
+        hash: u64,
+        valid: bool,
+    }
+    let mut results: Vec<Run> = Vec::new();
     let mut serial_secs = 0.0f64;
     for &threads in &thread_counts {
+        let valid = threads <= available;
+        if !valid {
+            eprintln!(
+                "warning: {threads} threads oversubscribe this {available}-core host — \
+                 timing measures timeslicing, not parallelism; run marked invalid"
+            );
+        }
         let mut net = build_network(
             &ds,
             JxpConfig::baseline(),
@@ -75,23 +97,35 @@ fn main() {
             serial_secs = secs;
         }
         let hash = score_hash(&net);
-        let speedup = serial_secs / secs;
+        // No speedup figure for oversubscribed runs: printing one would
+        // be the exact lie this flag exists to prevent.
+        let speedup = if valid {
+            format!("{:>8.2}x", serial_secs / secs)
+        } else {
+            format!("{:>9}", "invalid")
+        };
         println!(
-            "{:>8} {:>10.3} {:>8.2}x {:>7} {:>18}",
+            "{:>8} {:>10.3} {speedup} {:>7} {:>18}",
             threads,
             secs,
-            speedup,
             report.rounds,
             format!("{hash:016x}")
         );
-        results.push((threads, secs, report.rounds, hash));
+        results.push(Run {
+            threads,
+            secs,
+            rounds: report.rounds,
+            hash,
+            valid,
+        });
     }
 
-    let baseline_hash = results[0].3;
-    for &(threads, _, _, hash) in &results {
+    let baseline_hash = results[0].hash;
+    for run in &results {
         assert_eq!(
-            hash, baseline_hash,
-            "scores diverged at {threads} threads — the engine lost determinism"
+            run.hash, baseline_hash,
+            "scores diverged at {} threads — the engine lost determinism",
+            run.threads
         );
     }
     println!("score hashes identical across all thread counts ✓");
@@ -105,13 +139,20 @@ fn main() {
     let _ = writeln!(json, "  \"telemetry\": {metrics_on},");
     let _ = writeln!(json, "  \"score_hash\": \"{baseline_hash:016x}\",");
     let _ = writeln!(json, "  \"runs\": [");
-    for (i, &(threads, secs, rounds, _)) in results.iter().enumerate() {
+    for (i, run) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
+        // `speedup` is only present on valid runs; consumers must treat
+        // its absence as "not measurable on this host".
+        let speedup = if run.valid {
+            format!(", \"speedup\": {:.3}", serial_secs / run.secs)
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             json,
-            "    {{\"threads\": {threads}, \"seconds\": {secs:.4}, \
-             \"speedup\": {:.3}, \"rounds\": {rounds}}}{comma}",
-            serial_secs / secs
+            "    {{\"threads\": {}, \"seconds\": {:.4}, \"valid\": {}{speedup}, \
+             \"rounds\": {}}}{comma}",
+            run.threads, run.secs, run.valid, run.rounds
         );
     }
     let _ = writeln!(json, "  ]");
@@ -128,14 +169,16 @@ fn main() {
     std::fs::write(&path, &json).expect("write BENCH_parallel.json");
     println!("[json] {}", path.display());
 
-    if let Some(&(_, four_secs, _, _)) = results.iter().find(|r| r.0 == 4) {
-        let speedup = serial_secs / four_secs;
+    if let Some(four) = results.iter().find(|r| r.threads == 4 && r.valid) {
+        let speedup = serial_secs / four.secs;
         println!("speedup at 4 threads: {speedup:.2}x");
-        if available >= 4 {
-            assert!(
-                speedup >= 1.5,
-                "expected parallel speedup at 4 threads, measured {speedup:.2}x"
-            );
-        }
+        // Smoke floor for any multi-core host; the ≥2.0x release gate
+        // is asserted from the JSON by the CI parallel-bench job.
+        assert!(
+            speedup >= 1.5,
+            "expected parallel speedup at 4 threads, measured {speedup:.2}x"
+        );
+    } else if available < 4 {
+        println!("host has {available} core(s): no valid 4-thread run, speedup gate skipped");
     }
 }

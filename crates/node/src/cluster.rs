@@ -571,34 +571,21 @@ pub fn run_cluster_with(
                         .ok();
                 }
             } else {
-                let num_buckets = workers.min(round.len());
-                let mut buckets: Vec<Vec<(usize, usize, NodeId)>> =
-                    (0..num_buckets).map(|_| Vec::new()).collect();
-                for (k, &(_, initiator, target)) in round.iter().enumerate() {
-                    buckets[k % num_buckets].push((k, initiator, target));
-                }
+                // Persistent shared pool instead of spawn-per-round
+                // scoped threads: each task owns its outcome slot, so
+                // placement (dealing or stealing) cannot reorder or
+                // lose results.
                 let nodes = &nodes;
                 let transport = transport.as_ref();
                 let retry = &config.retry;
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = buckets
-                        .into_iter()
-                        .map(|bucket| {
-                            scope.spawn(move || {
-                                bucket
-                                    .into_iter()
-                                    .map(|(k, initiator, target)| {
-                                        (k, nodes[initiator].meet(target, transport, retry).ok())
-                                    })
-                                    .collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    for handle in handles {
-                        for (k, outcome) in handle.join().expect("meeting worker panicked") {
-                            outcomes[k] = outcome;
-                        }
-                    }
+                let tasks: Vec<(usize, NodeId, &mut Option<crate::node::MeetOutcome>)> = round
+                    .iter()
+                    .zip(outcomes.iter_mut())
+                    .map(|(&(_, initiator, target), slot)| (initiator, target, slot))
+                    .collect();
+                jxp_pool::global().run_dealt(workers, tasks, |(initiator, target, slot)| {
+                    // Failures are part of the experiment: counted, never fatal.
+                    *slot = nodes[initiator].meet(target, transport, retry).ok();
                 });
             }
             if let Some(hub) = &hub {
@@ -625,7 +612,6 @@ pub fn run_cluster_with(
                 hub.events().record(Event::RoundExecuted {
                     round: round_no as u64,
                     pairs: round.len() as u64,
-                    threads: workers.min(round.len().max(1)) as u64,
                 });
                 let (rounds_total, round_width) =
                     round_metrics.as_ref().expect("registered with hub");

@@ -15,35 +15,52 @@
 //! 2. **Execute concurrently.** The round's pairs are pairwise disjoint,
 //!    so each meeting gets true `&mut JxpPeer` borrows of its two peers
 //!    (handed out safely via take-from-slot splitting) and the meetings
-//!    run on `std::thread::scope` workers.
+//!    run on the persistent [`jxp_pool`] workers — dealt round-robin,
+//!    with work-stealing of the dealt buckets (meetings commute, so
+//!    placement only moves wall clock, never results).
 //! 3. **Account serially.** Bandwidth, pre-meetings bookkeeping, gossip
 //!    merges and the meeting counter replay in schedule order through the
 //!    same code path as [`Network::step`].
 //!
-//! **Determinism argument.** All randomness is consumed in phase 1 on one
-//! thread; phase 2 touches pairwise-disjoint state, so its result is
-//! independent of execution order and interleaving (each meeting performs
-//! the identical float operations it would perform alone); phase 3 is
+//! **Pipelining.** While round *k* executes on the pool, the scheduler
+//! thread already draws round *k + 1*; once the draw is done it joins
+//! the round's execution, and accounting of round *k* runs after the
+//! round barrier. This is safe because the two overlapped phases touch
+//! disjoint state — drawing reads/writes only the RNG and the selector
+//! states, execution only the peers — and Rust's borrow splitting proves
+//! it at compile time. The observable consequence: partner selection for
+//! round *k + 1* sees the selector state as of round *k − 1*'s
+//! accounting, so pre-meeting candidates observed while accounting round
+//! *k* become eligible in round *k + 2* (one round later than the
+//! pre-pipelining engine). Under the `Random` strategy, accounting does
+//! not feed selection at all and the schedule is unchanged.
+//!
+//! **Determinism argument.** All randomness is consumed in the draw
+//! phase on one thread, and the draw/execute/account interleaving on
+//! that thread is fixed by program order — never by the worker count.
+//! Execution touches pairwise-disjoint state, so its result is
+//! independent of placement and interleaving (each meeting performs the
+//! identical float operations it would perform alone); accounting is
 //! serial in schedule order. Hence the final state is **bit-identical**
-//! for every thread count, including the serial fallback — which is the
-//! canonical sequential replay of the same schedule. This is verified by
-//! tests at 1/2/8 threads and enforced in CI.
+//! for every thread count, including `threads = 1` — which executes the
+//! same canonical sequence inline without touching the pool. This is
+//! verified by tests at 1/2/8 threads and enforced in CI.
 //!
 //! The only observable difference vs. the one-at-a-time [`Network::run`]
 //! loop is *scheduling granularity*: within a round, partner selection
-//! sees the selector state as of the round's start (candidates queued by
-//! a meeting of the same round become visible one round later). That
-//! matches the paper's asynchronous model — a peer cannot observe the
-//! outcome of a meeting that is still in flight.
+//! sees a slightly older selector state (see above). That matches the
+//! paper's asynchronous model — a peer cannot observe the outcome of a
+//! meeting that is still in flight.
 //!
 //! [`SelectionStrategy`]: jxp_core::selection::SelectionStrategy
 
 use crate::sim::{meet_via_wire, Network};
 use jxp_core::meeting::{meet, MeetingStats};
-use jxp_core::selection::select_partner;
+use jxp_core::selection::{select_partner, SelectionStrategy, SelectorState};
 use jxp_core::JxpPeer;
 use jxp_pagerank::par::resolve_threads;
 use jxp_telemetry::Event;
+use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Summary of one [`Network::run_parallel`] invocation.
@@ -55,105 +72,112 @@ pub struct ParallelRunReport {
     pub rounds: u64,
     /// Size of the largest round (meetings executed concurrently).
     pub max_round: usize,
-    /// Worker threads used for round execution.
+    /// The resolved worker-thread knob (`NetworkConfig::threads` with
+    /// `0` replaced by the machine's available parallelism). This is
+    /// the **one** definition of "threads" the engine reports; each
+    /// round actually engages `min(threads, pairs)` executors, a
+    /// scheduling detail that is deliberately not part of any report
+    /// or event (it varies per round).
     pub threads: usize,
+    /// Meetings executed by a pool worker other than the one they were
+    /// dealt to (work-stealing traffic; scheduling-dependent).
+    pub stolen: u64,
+}
+
+/// Draw the next round: a greedy maximal matching of disjoint
+/// `(initiator, partner)` pairs, at most `budget` of them. `pending`
+/// carries the pair whose draw closed the previous round.
+///
+/// A free function over exactly the state drawing touches — the RNG and
+/// the selector states — so the borrow checker proves it can overlap
+/// with round execution (which touches only the peers).
+fn draw_round(
+    rng: &mut StdRng,
+    states: &mut [SelectorState],
+    strategy: &SelectionStrategy,
+    n: usize,
+    budget: usize,
+    pending: &mut Option<(usize, usize)>,
+) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    if budget == 0 {
+        return pairs;
+    }
+    let mut busy = vec![false; n];
+    if let Some((i, p)) = pending.take() {
+        busy[i] = true;
+        busy[p] = true;
+        pairs.push((i, p));
+    }
+    while pairs.len() < budget {
+        let initiator = rng.gen_range(0..n);
+        let partner = select_partner(&mut states[initiator], strategy, initiator, n, rng);
+        debug_assert_ne!(initiator, partner);
+        if busy[initiator] || busy[partner] {
+            // The matching is maximal for this draw sequence; the
+            // conflicting pair opens the next round.
+            *pending = Some((initiator, partner));
+            break;
+        }
+        busy[initiator] = true;
+        busy[partner] = true;
+        pairs.push((initiator, partner));
+    }
+    pairs
+}
+
+/// Execute one round of pairwise-disjoint meetings on the shared
+/// [`jxp_pool`] while `draw_next` runs on the calling thread, returning
+/// the next round's pairs, this round's per-pair stats in schedule
+/// order, and the pool's round stats.
+fn execute_and_draw<D>(
+    peers: &mut [JxpPeer],
+    via_wire: bool,
+    pairs: &[(usize, usize)],
+    threads: usize,
+    draw_next: D,
+) -> (Vec<(usize, usize)>, Vec<MeetingStats>, jxp_pool::RoundStats)
+where
+    D: FnOnce() -> Vec<(usize, usize)>,
+{
+    let run_one = |a: &mut JxpPeer, b: &mut JxpPeer| {
+        if via_wire {
+            meet_via_wire(a, b)
+        } else {
+            meet(a, b)
+        }
+    };
+    // Hand out disjoint `&mut JxpPeer` pairs: every peer reference
+    // sits in a take-once slot, so a non-disjoint schedule is a
+    // loud panic instead of undefined behavior.
+    let mut slots: Vec<Option<&mut JxpPeer>> = peers.iter_mut().map(Some).collect();
+    let mut results: Vec<Option<MeetingStats>> = pairs.iter().map(|_| None).collect();
+    let tasks: Vec<(&mut JxpPeer, &mut JxpPeer, &mut Option<MeetingStats>)> = pairs
+        .iter()
+        .zip(results.iter_mut())
+        .map(|(&(i, j), slot)| {
+            let a = slots[i].take().expect("round pairs must be disjoint");
+            let b = slots[j].take().expect("round pairs must be disjoint");
+            (a, b, slot)
+        })
+        .collect();
+    // Each task writes only its own two peers and its own stats slot —
+    // placement-invariant by construction, as the pool requires. With
+    // `threads = 1` the pool runs the round inline (exact serial replay).
+    let (next, round) = jxp_pool::global().run_with(
+        threads,
+        tasks,
+        |(a, b, slot)| *slot = Some(run_one(a, b)),
+        draw_next,
+    );
+    let stats = results
+        .into_iter()
+        .map(|r| r.expect("every pair executed"))
+        .collect();
+    (next, stats, round)
 }
 
 impl Network {
-    /// Draw the next round: a greedy maximal matching of disjoint
-    /// `(initiator, partner)` pairs, at most `budget` of them. `pending`
-    /// carries the pair whose draw closed the previous round.
-    fn draw_round(
-        &mut self,
-        budget: usize,
-        pending: &mut Option<(usize, usize)>,
-    ) -> Vec<(usize, usize)> {
-        let n = self.peers.len();
-        let mut busy = vec![false; n];
-        let mut pairs = Vec::new();
-        if let Some((i, p)) = pending.take() {
-            busy[i] = true;
-            busy[p] = true;
-            pairs.push((i, p));
-        }
-        while pairs.len() < budget {
-            let initiator = self.rng.gen_range(0..n);
-            let partner = select_partner(
-                &mut self.states[initiator],
-                &self.config.strategy,
-                initiator,
-                n,
-                &mut self.rng,
-            );
-            debug_assert_ne!(initiator, partner);
-            if busy[initiator] || busy[partner] {
-                // The matching is maximal for this draw sequence; the
-                // conflicting pair opens the next round.
-                *pending = Some((initiator, partner));
-                break;
-            }
-            busy[initiator] = true;
-            busy[partner] = true;
-            pairs.push((initiator, partner));
-        }
-        pairs
-    }
-
-    /// Execute one round of pairwise-disjoint meetings on up to
-    /// `threads` scoped workers, returning per-pair stats in schedule
-    /// order.
-    fn execute_round(&mut self, pairs: &[(usize, usize)], threads: usize) -> Vec<MeetingStats> {
-        let via_wire = self.config.route_via_wire;
-        let run_one = |a: &mut JxpPeer, b: &mut JxpPeer| {
-            if via_wire {
-                meet_via_wire(a, b)
-            } else {
-                meet(a, b)
-            }
-        };
-        // Hand out disjoint `&mut JxpPeer` pairs: every peer reference
-        // sits in a take-once slot, so a non-disjoint schedule is a
-        // loud panic instead of undefined behavior.
-        let mut slots: Vec<Option<&mut JxpPeer>> = self.peers.iter_mut().map(Some).collect();
-        let mut results: Vec<Option<MeetingStats>> = pairs.iter().map(|_| None).collect();
-        let mut tasks: Vec<(&mut JxpPeer, &mut JxpPeer, &mut Option<MeetingStats>)> = pairs
-            .iter()
-            .zip(results.iter_mut())
-            .map(|(&(i, j), slot)| {
-                let a = slots[i].take().expect("round pairs must be disjoint");
-                let b = slots[j].take().expect("round pairs must be disjoint");
-                (a, b, slot)
-            })
-            .collect();
-        let workers = threads.min(tasks.len()).max(1);
-        if workers == 1 {
-            for (a, b, slot) in tasks {
-                *slot = Some(run_one(a, b));
-            }
-        } else {
-            // Round-robin deal; meetings commute, so placement only
-            // affects wall clock, never results.
-            let mut buckets: Vec<Vec<_>> = (0..workers).map(|_| Vec::new()).collect();
-            for (k, task) in tasks.drain(..).enumerate() {
-                buckets[k % workers].push(task);
-            }
-            let run_one = &run_one;
-            std::thread::scope(|scope| {
-                for bucket in buckets {
-                    scope.spawn(move || {
-                        for (a, b, slot) in bucket {
-                            *slot = Some(run_one(a, b));
-                        }
-                    });
-                }
-            });
-        }
-        results
-            .into_iter()
-            .map(|r| r.expect("every pair executed"))
-            .collect()
-    }
-
     /// Run `count` meetings through the round-based parallel engine,
     /// using [`NetworkConfig::threads`](crate::sim::NetworkConfig)
     /// workers (`0` = available parallelism).
@@ -161,19 +185,53 @@ impl Network {
     /// The resulting scores, bandwidth log and selector statistics are
     /// **bit-identical** for every thread count (see the module docs for
     /// the argument); only wall-clock time differs.
+    ///
+    /// # Panics
+    /// Panics if the network holds fewer than two peers — a meeting
+    /// needs a distinct partner, so no schedule can be drawn.
     pub fn run_parallel(&mut self, count: usize) -> ParallelRunReport {
+        let n = self.peers.len();
+        assert!(
+            n >= 2,
+            "run_parallel needs at least two peers (got {n}): every meeting \
+             requires a partner distinct from its initiator"
+        );
         let threads = resolve_threads(self.config.threads);
         let mut report = ParallelRunReport {
             threads,
             ..Default::default()
         };
         let mut pending = None;
-        while (report.meetings as usize) < count {
-            let budget = count - report.meetings as usize;
-            let pairs = self.draw_round(budget, &mut pending);
-            debug_assert!(!pairs.is_empty(), "a round always holds >= 1 pair");
+        let mut drawn = 0usize;
+        let mut pairs = draw_round(
+            &mut self.rng,
+            &mut self.states,
+            &self.config.strategy,
+            n,
+            count,
+            &mut pending,
+        );
+        drawn += pairs.len();
+        while !pairs.is_empty() {
             let started = std::time::Instant::now();
-            let stats = self.execute_round(&pairs, threads);
+            let budget = count - drawn;
+            let queue_depth = self.telemetry.as_ref().map(|_| jxp_pool::global().queued());
+            // Disjoint field borrows: execution mutates `peers`, the
+            // overlapped draw mutates `rng` + `states` — never both.
+            let (next, stats, round) = {
+                let Network {
+                    peers,
+                    states,
+                    rng,
+                    config,
+                    ..
+                } = self;
+                let strategy = &config.strategy;
+                execute_and_draw(peers, config.route_via_wire, &pairs, threads, || {
+                    draw_round(rng, states, strategy, n, budget, &mut pending)
+                })
+            };
+            drawn += next.len();
             let elapsed = started.elapsed().as_secs_f64();
             for (&(initiator, partner), s) in pairs.iter().zip(&stats) {
                 self.account_meeting(initiator, partner, s);
@@ -181,20 +239,25 @@ impl Network {
             if let Some(t) = &self.telemetry {
                 t.rounds.inc();
                 // Matching width is schedule-determined (identical at
-                // every thread count); round wall time is the slowest
-                // worker — the straggler — and lives only in a
-                // histogram, never in an event.
+                // every thread count). Wall clock, steal traffic and
+                // pool backlog are scheduling-dependent and live only
+                // in histograms, never in counters or events.
                 t.round_width.observe(pairs.len() as f64);
                 t.round_seconds.observe(elapsed);
+                t.pool_steals.observe(round.stolen as f64);
+                if let Some(depth) = queue_depth {
+                    t.pool_queue_depth.observe(depth as f64);
+                }
                 t.hub.events().record(Event::RoundExecuted {
                     round: report.rounds,
                     pairs: pairs.len() as u64,
-                    threads: threads.min(pairs.len()).max(1) as u64,
                 });
             }
             report.rounds += 1;
             report.max_round = report.max_round.max(pairs.len());
             report.meetings += pairs.len() as u64;
+            report.stolen += round.stolen;
+            pairs = next;
         }
         report
     }
@@ -317,6 +380,23 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "at least two peers")]
+    fn single_peer_network_cannot_run_parallel() {
+        // `Network::new` already rejects < 2 fragments, but churn-style
+        // surgery (or a future constructor) could leave a degenerate
+        // network; `run_parallel` must fail loudly instead of feeding
+        // `select_partner` an empty candidate set (a hang or a
+        // context-free debug_assert deep in the selector).
+        let mut net = net_with(4, NetworkConfig::default());
+        while net.peers.len() > 1 {
+            net.peers.pop();
+            net.synopses.pop();
+            net.states.pop();
+        }
+        let _ = net.run_parallel(5);
+    }
+
+    #[test]
     fn parallel_run_converges_like_sequential() {
         use jxp_pagerank::{metrics, pagerank, PageRankConfig};
         let (cg, frags) = small_world();
@@ -337,30 +417,14 @@ mod tests {
 
     #[test]
     fn telemetry_is_deterministic_across_thread_counts() {
-        use jxp_telemetry::{Event, EventRecord, TelemetryHub, TelemetrySnapshot};
+        use jxp_telemetry::{TelemetryHub, TelemetrySnapshot};
         use std::sync::Arc;
-
-        // `threads` in RoundExecuted reflects the actual worker count,
-        // the one field that legitimately varies with the knob; zero it
-        // before comparing streams.
-        fn normalized(snap: &TelemetrySnapshot) -> Vec<EventRecord> {
-            snap.events
-                .iter()
-                .cloned()
-                .map(|mut r| {
-                    if let Event::RoundExecuted { threads, .. } = &mut r.event {
-                        *threads = 0;
-                    }
-                    r
-                })
-                .collect()
-        }
 
         let config = NetworkConfig {
             strategy: SelectionStrategy::PreMeetings(PreMeetingsConfig::default()),
             ..Default::default()
         };
-        let run = |threads: usize| {
+        let run = |threads: usize| -> (Fingerprint, TelemetrySnapshot, (u64, u64)) {
             let mut net = net_with(threads, config.clone());
             let hub = TelemetryHub::shared();
             net.attach_telemetry(Arc::clone(&hub));
@@ -395,9 +459,12 @@ mod tests {
                 snap.metrics.counters, snap1.metrics.counters,
                 "counter totals diverge at {threads} threads"
             );
+            // Events carry only schedule-determined fields, so the
+            // streams compare bit-for-bit — no normalization. (The
+            // worker count lives in reports and histograms instead;
+            // see ParallelRunReport::threads.)
             assert_eq!(
-                normalized(&snap),
-                normalized(&snap1),
+                snap.events, snap1.events,
                 "event streams diverge at {threads} threads"
             );
         }
@@ -407,12 +474,36 @@ mod tests {
     fn run_and_run_parallel_can_interleave() {
         // The engines share all state; switching between them mid-run
         // keeps every invariant (counters, bandwidth, selector state).
+        // Repeated `run_parallel` calls also reuse the same persistent
+        // pool workers — interleaving engines must not wedge or leak
+        // rounds (pool lifecycle coverage through the public API).
         let mut net = net_with(4, NetworkConfig::default());
         net.run(15);
         let report = net.run_parallel(30);
         net.run(5);
+        let again = net.run_parallel(25);
         assert_eq!(report.meetings, 30);
-        assert_eq!(net.meetings(), 50);
+        assert_eq!(again.meetings, 25);
+        assert_eq!(net.meetings(), 75);
         assert!(net.bandwidth().total_bytes() > 0);
+    }
+
+    #[test]
+    fn pipelined_schedule_is_reproducible_for_same_seed() {
+        // Two identical networks must draw the identical round
+        // structure — the pipelined draw consumes the RNG on the
+        // scheduler thread only, so the schedule is a pure function of
+        // the seed regardless of pool scheduling.
+        let run = |threads: usize| {
+            let mut net = net_with(threads, NetworkConfig::default());
+            let report = net.run_parallel(150);
+            (report.rounds, report.max_round, fingerprint(&net))
+        };
+        let (rounds1, max1, fp1) = run(1);
+        for threads in [2, 8] {
+            let (rounds, max_round, fp) = run(threads);
+            assert_eq!((rounds, max_round), (rounds1, max1));
+            assert_eq!(fp, fp1);
+        }
     }
 }

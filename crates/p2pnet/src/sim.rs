@@ -80,9 +80,11 @@ pub struct MeetingRecord {
 /// never walks the registry's name map. Counters and events are only
 /// updated from the serial accounting phase (see
 /// [`Network::account_meeting`]), so enabling telemetry cannot perturb
-/// the engine's bit-identical thread-count determinism; the duration
-/// histogram holds the only wall-clock quantity and is deliberately
-/// excluded from determinism comparisons.
+/// the engine's bit-identical thread-count determinism. Histograms are
+/// the one exception: wall clock, steal traffic and pool backlog are
+/// scheduling-dependent by nature and are deliberately excluded from
+/// determinism comparisons — scheduling-dependent quantities must never
+/// land in counters or events.
 pub(crate) struct SimTelemetry {
     pub(crate) hub: Arc<TelemetryHub>,
     pub(crate) meetings: Arc<Counter>,
@@ -93,6 +95,14 @@ pub(crate) struct SimTelemetry {
     pub(crate) rounds: Arc<Counter>,
     pub(crate) round_width: Arc<Histogram>,
     pub(crate) round_seconds: Arc<Histogram>,
+    /// Per-round count of meetings a pool worker stole from another
+    /// worker's dealt stripe. Scheduling-dependent, so a histogram —
+    /// never a counter or event (those must stay bit-identical across
+    /// thread counts).
+    pub(crate) pool_steals: Arc<Histogram>,
+    /// Jobs still queued on the shared worker pool when a round is
+    /// submitted (straggler/backlog signal; scheduling-dependent).
+    pub(crate) pool_queue_depth: Arc<Histogram>,
     /// Centralized PageRank vector (global page index order) against
     /// which per-peer L1 convergence gauges are computed; set by
     /// [`Network::attach_convergence_truth`].
@@ -119,6 +129,14 @@ impl SimTelemetry {
             round_seconds: reg.histogram(
                 "jxp_sim_round_seconds",
                 &[1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0],
+            ),
+            pool_steals: reg.histogram(
+                "jxp_sim_pool_steals",
+                &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
+            ),
+            pool_queue_depth: reg.histogram(
+                "jxp_sim_pool_queue_depth",
+                &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
             ),
             hub,
             l1_truth: None,

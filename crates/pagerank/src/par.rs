@@ -16,7 +16,10 @@
 //! Writes are *pull-based and disjoint*: chunk `c` writes only
 //! `out[c·CHUNK .. (c+1)·CHUNK]`, reading shared immutable state, so the
 //! borrow checker proves data-race freedom via `split_at_mut`-style
-//! chunking — no locks, no atomics, no unsafe.
+//! chunking — no locks or atomics in this module. Execution runs on the
+//! workspace's persistent [`jxp_pool`] workers (dealt round-robin with
+//! work-stealing) rather than spawn-per-call scoped threads; stealing
+//! only moves chunks between workers and cannot affect results.
 
 /// Fixed chunk width of all deterministic parallel loops.
 ///
@@ -40,8 +43,8 @@ pub fn resolve_threads(threads: usize) -> usize {
 }
 
 /// Fill `out` chunk by chunk with `fill(chunk_start, chunk_slice) ->
-/// partial`, using up to `threads` scoped threads, and return the per-
-/// chunk partials **in chunk order**.
+/// partial`, using up to `threads` executors on the shared persistent
+/// [`jxp_pool`], and return the per-chunk partials **in chunk order**.
 ///
 /// `fill` receives the global start index of its chunk and the chunk's
 /// mutable output slice; it must derive everything else from shared
@@ -65,22 +68,19 @@ where
             .collect();
     }
     let mut partials: Vec<P> = (0..num_chunks).map(|_| P::default()).collect();
-    // Deal chunks round-robin so threads interleave over the index space
-    // (consecutive chunks often have correlated cost in web graphs).
-    let mut buckets: Vec<Vec<(usize, &mut [f64], &mut P)>> =
-        (0..threads).map(|_| Vec::new()).collect();
-    for (c, (chunk, slot)) in out.chunks_mut(CHUNK).zip(partials.iter_mut()).enumerate() {
-        buckets[c % threads].push((c * CHUNK, chunk, slot));
-    }
-    let fill = &fill;
-    std::thread::scope(|scope| {
-        for bucket in buckets {
-            scope.spawn(move || {
-                for (start, chunk, slot) in bucket {
-                    *slot = fill(start, chunk);
-                }
-            });
-        }
+    // Persistent shared pool instead of spawn-per-call scoped threads.
+    // Chunks are dealt round-robin so executors interleave over the
+    // index space (consecutive chunks often have correlated cost in web
+    // graphs); work-stealing may move a chunk elsewhere, which cannot
+    // change results — each chunk writes only its own slice and slot.
+    let tasks: Vec<(usize, &mut [f64], &mut P)> = out
+        .chunks_mut(CHUNK)
+        .zip(partials.iter_mut())
+        .enumerate()
+        .map(|(c, (chunk, slot))| (c * CHUNK, chunk, slot))
+        .collect();
+    jxp_pool::global().run_dealt(threads, tasks, |(start, chunk, slot)| {
+        *slot = fill(start, chunk);
     });
     partials
 }

@@ -48,13 +48,15 @@ pub enum Event {
         partner: u64,
     },
     /// The parallel engine finished one round of disjoint meetings.
+    ///
+    /// Carries only schedule-determined fields: event streams must be
+    /// bit-identical across thread counts, so the worker count lives in
+    /// run reports and histograms, never here.
     RoundExecuted {
         /// Round number within the run.
         round: u64,
         /// Disjoint meetings the round carried (matching width).
         pairs: u64,
-        /// Worker threads configured for the round.
-        threads: u64,
     },
     /// Power iteration completed one sweep.
     PrIterated {

@@ -253,11 +253,9 @@ fn event_to_json(r: &EventRecord) -> String {
             initiator,
             partner,
         } => format!("\"meeting\": {meeting}, \"initiator\": {initiator}, \"partner\": {partner}"),
-        Event::RoundExecuted {
-            round,
-            pairs,
-            threads,
-        } => format!("\"round\": {round}, \"pairs\": {pairs}, \"threads\": {threads}"),
+        Event::RoundExecuted { round, pairs } => {
+            format!("\"round\": {round}, \"pairs\": {pairs}")
+        }
         Event::PrIterated {
             iteration,
             residual,
@@ -296,10 +294,11 @@ fn event_from_json(v: &JsonValue) -> Result<EventRecord, String> {
             initiator: u("initiator")?,
             partner: u("partner")?,
         },
+        // Unknown-field-tolerant: files written before the `threads`
+        // field was dropped still parse (the field is ignored).
         "round_executed" => Event::RoundExecuted {
             round: u("round")?,
             pairs: u("pairs")?,
-            threads: u("threads")?,
         },
         "pr_iterated" => Event::PrIterated {
             iteration: u("iteration")?,
@@ -598,11 +597,8 @@ mod tests {
             iteration: 3,
             residual: 0.5,
         });
-        hub.events().record(Event::RoundExecuted {
-            round: 1,
-            pairs: 4,
-            threads: 8,
-        });
+        hub.events()
+            .record(Event::RoundExecuted { round: 1, pairs: 4 });
         hub.events().record(Event::MeetingFailed {
             meeting: 1,
             initiator: 5,
