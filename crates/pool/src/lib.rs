@@ -608,3 +608,24 @@ mod tests {
         assert!(stats.stolen <= 100);
     }
 }
+
+#[cfg(test)]
+mod review_tests {
+    use super::*;
+
+    #[test]
+    fn task_panic_on_caller_propagates() {
+        let pool = WorkerPool::new();
+        // stripe 0 (caller): panic task; stripe 1 (worker): slow task.
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_dealt(2, vec![0usize, 1usize], |t| {
+                if t == 0 {
+                    panic!("caller boom");
+                } else {
+                    std::thread::sleep(std::time::Duration::from_millis(200));
+                }
+            });
+        }));
+        assert!(caught.is_err());
+    }
+}
