@@ -24,6 +24,10 @@ pub struct Config {
     pub c3_critical: Vec<String>,
     /// Path prefixes exempt from C4 (detached spawns).
     pub c4_allow: Vec<String>,
+    /// Path prefixes where N1 (blocking socket calls) is enforced —
+    /// the reactor's event loop, where one blocking call stalls every
+    /// in-flight exchange.
+    pub n1_critical: Vec<String>,
 }
 
 impl Default for Config {
@@ -50,6 +54,7 @@ impl Default for Config {
                 "crates/p2pnet/src".to_string(),
             ],
             c4_allow: vec![],
+            n1_critical: vec!["crates/reactor/src".to_string()],
         }
     }
 }
@@ -64,6 +69,7 @@ impl Config {
             c2_allow: Vec::new(),
             c3_critical: Vec::new(),
             c4_allow: Vec::new(),
+            n1_critical: Vec::new(),
         };
         let mut section = String::new();
         // Multi-line arrays accumulate until the closing bracket.
@@ -121,6 +127,7 @@ impl Config {
             ("rules.C2", "allow") => self.c2_allow = values,
             ("rules.C3", "critical") => self.c3_critical = values,
             ("rules.C4", "allow") => self.c4_allow = values,
+            ("rules.N1", "critical") => self.n1_critical = values,
             _ => return Err(format!("analyze.toml: unknown key [{section}] {key}")),
         }
         Ok(())
@@ -154,6 +161,11 @@ impl Config {
     /// Whether this path is exempt from C4.
     pub fn c4_exempt(&self, rel: &str) -> bool {
         self.c4_allow.iter().any(|p| prefix_match(p, rel))
+    }
+
+    /// Whether N1 applies to this path.
+    pub fn n1_applies(&self, rel: &str) -> bool {
+        self.n1_critical.iter().any(|p| prefix_match(p, rel))
     }
 }
 

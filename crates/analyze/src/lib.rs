@@ -3,7 +3,7 @@
 //!
 //! JXP's headline invariant — bit-identical score hashes at any thread
 //! count — is only as strong as the discipline of the code that
-//! computes them. This crate machine-checks that discipline with six
+//! computes them. This crate machine-checks that discipline with seven
 //! rules:
 //!
 //! | Rule | What it forbids |
@@ -14,6 +14,7 @@
 //! | `C2` | `Ordering::Relaxed` on atomics without a reasoned annotation |
 //! | `C3` | unbounded `mpsc::channel()` in runtime modules (use `sync_channel`) |
 //! | `C4` | detached `thread::spawn` whose `JoinHandle` is discarded |
+//! | `N1` | blocking socket calls (`read_exact`, `connect_timeout`, `set_nonblocking(false)`) inside the reactor |
 //!
 //! Findings can be suppressed inline with
 //! `// jxp-analyze: allow(D2, reason = "...")` (same line or the line
@@ -51,6 +52,8 @@ pub enum RuleId {
     C3,
     /// Detached spawn: `thread::spawn` with its `JoinHandle` discarded.
     C4,
+    /// Blocking socket call inside the non-blocking reactor.
+    N1,
     /// Malformed suppression pragma.
     Pragma,
 }
@@ -65,6 +68,7 @@ impl RuleId {
             "C2" => Some(RuleId::C2),
             "C3" => Some(RuleId::C3),
             "C4" => Some(RuleId::C4),
+            "N1" => Some(RuleId::N1),
             _ => None,
         }
     }
@@ -97,6 +101,11 @@ impl RuleId {
                 "thread::spawn as a statement discards its JoinHandle; bind \
                  it and join on shutdown, or use a scoped thread"
             }
+            RuleId::N1 => {
+                "no blocking socket calls in the reactor — read_exact, \
+                 connect_timeout, or set_nonblocking(false) stalls every \
+                 in-flight meeting behind one peer"
+            }
             RuleId::Pragma => "suppression pragmas must name known rules and give a reason",
         }
     }
@@ -111,6 +120,7 @@ impl fmt::Display for RuleId {
             RuleId::C2 => write!(f, "C2"),
             RuleId::C3 => write!(f, "C3"),
             RuleId::C4 => write!(f, "C4"),
+            RuleId::N1 => write!(f, "N1"),
             RuleId::Pragma => write!(f, "pragma"),
         }
     }
@@ -230,6 +240,7 @@ mod tests {
             RuleId::C2,
             RuleId::C3,
             RuleId::C4,
+            RuleId::N1,
         ] {
             assert_eq!(RuleId::parse(&id.to_string()), Some(id));
         }

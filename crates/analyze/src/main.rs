@@ -86,7 +86,7 @@ fn run_check(args: &[String]) -> ExitCode {
 
     match check_workspace(&root, &config) {
         Ok(diags) if diags.is_empty() => {
-            println!("jxp-analyze: clean (rules D1 D2 C1 C2 C3 C4)");
+            println!("jxp-analyze: clean (rules D1 D2 C1 C2 C3 C4 N1)");
             ExitCode::SUCCESS
         }
         Ok(diags) => {
@@ -130,6 +130,7 @@ fn print_rules() {
         RuleId::C2,
         RuleId::C3,
         RuleId::C4,
+        RuleId::N1,
         RuleId::Pragma,
     ] {
         println!("  {:<7} {}", id.to_string(), id.describe());
@@ -143,6 +144,6 @@ fn print_rules() {
          \n\
          Path-level scoping lives in analyze.toml ([rules.D1] critical,\n\
          [rules.D2] allow, [rules.C2] allow, [rules.C3] critical,\n\
-         [rules.C4] allow)."
+         [rules.C4] allow, [rules.N1] critical)."
     );
 }

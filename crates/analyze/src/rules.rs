@@ -1,4 +1,4 @@
-//! The rule engine: D1/D2/C1/C2/C3/C4 checks over preprocessed source.
+//! The rule engine: D1/D2/C1/C2/C3/C4/N1 checks over preprocessed source.
 //!
 //! All rules operate on the code-only token stream produced by
 //! [`crate::scan`]. They are deliberately heuristic — this is a lint
@@ -58,6 +58,9 @@ pub fn check_file(rel_path: &str, prepared: &Prepared, config: &Config) -> Vec<D
     }
     if !config.c4_exempt(rel_path) {
         rule_c4(rel_path, prepared, &mut diags);
+    }
+    if config.n1_applies(rel_path) {
+        rule_n1(rel_path, prepared, &mut diags);
     }
     diags.retain(|d| d.rule == RuleId::Pragma || !prepared.is_allowed(d.rule, d.line));
     diags.sort_by_key(|a| (a.line, a.rule));
@@ -381,6 +384,48 @@ fn rule_c4(rel_path: &str, prepared: &Prepared, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// N1: no blocking socket calls inside the reactor. Its contract is
+/// that one loop thread drives every connection through non-blocking
+/// readiness polling; a single blocking call — a `read_exact` that
+/// waits for bytes, a `connect_timeout` that waits for a handshake, or
+/// flipping a socket back to blocking mode — stalls every in-flight
+/// meeting behind one slow peer.
+fn rule_n1(rel_path: &str, prepared: &Prepared, diags: &mut Vec<Diagnostic>) {
+    const FORBIDDEN: &[(&str, &[&str], &str)] = &[
+        (
+            "read_exact",
+            &["read_exact", "("],
+            "a blocking read parks the loop on one peer; do non-blocking \
+             reads and accumulate partial frames with FrameAccumulator",
+        ),
+        (
+            "connect_timeout",
+            &["connect_timeout", "("],
+            "a blocking connect parks the loop for the whole handshake; \
+             connect without a timeout and bound it with a reactor timer",
+        ),
+        (
+            "set_nonblocking(false)",
+            &["set_nonblocking", "(", "false", ")"],
+            "reactor sockets must stay non-blocking; flipping one back \
+             lets any later I/O call park the loop thread",
+        ),
+    ];
+    for line in &prepared.lines {
+        let tokens = scan::tokenize(&line.code);
+        for (name, pattern, why) in FORBIDDEN {
+            if contains_seq(&tokens, pattern) {
+                diags.push(Diagnostic {
+                    rule: RuleId::N1,
+                    file: rel_path.to_string(),
+                    line: line.number,
+                    message: format!("blocking socket call `{name}` in the reactor: {why}"),
+                });
+            }
+        }
+    }
+}
+
 /// Does `haystack` contain `needle` as a contiguous token run?
 fn contains_seq(haystack: &[String], needle: &[&str]) -> bool {
     haystack
@@ -539,6 +584,38 @@ mod tests {
                    scope.spawn(move || {});\n\
                    handles.push(scope.spawn(job));\n";
         assert!(check("crates/node/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn n1_flags_blocking_socket_calls_only_in_the_reactor() {
+        let src = "stream.read_exact(&mut buf)?;\n\
+                   let s = TcpStream::connect_timeout(&addr, dur)?;\n\
+                   stream.set_nonblocking(false)?;\n";
+        let diags = check("crates/reactor/src/machine.rs", src);
+        assert_eq!(diags.len(), 3);
+        assert!(diags.iter().all(|d| d.rule == RuleId::N1));
+        assert_eq!(
+            diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        // Outside the reactor the same calls are the intended blocking
+        // idiom (the threaded TCP transport lives on them).
+        assert!(check("crates/node/src/tcp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn n1_accepts_the_nonblocking_idiom() {
+        let src = "stream.set_nonblocking(true)?;\n\
+                   let n = stream.read(&mut chunk);\n\
+                   let c = TcpStream::connect(addr);\n";
+        assert!(check("crates/reactor/src/machine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn n1_respects_reasoned_pragmas() {
+        let src = "stream.read_exact(&mut buf)?; \
+                   // jxp-analyze: allow(N1, reason = \"test harness\")\n";
+        assert!(check("crates/reactor/src/machine.rs", src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Threads-vs-reactor transport benchmark: the same deterministic
+//! node-disjoint meeting schedule driven twice over real localhost
+//! sockets — once on the thread-per-connection TCP transport, once on
+//! the `jxp-reactor` multiplexed transport — timing every meeting.
+//!
+//! Both modes execute identical rounds against fresh nodes, so the
+//! final score hashes must match bit-for-bit (asserted); the comparison
+//! is pure wall clock. The reactor run also reports its peak in-flight
+//! submission count. Results print and land in `BENCH_reactor.json`
+//! (`JXP_RESULTS` moves the directory).
+
+use jxp_bench::ExperimentCtx;
+use jxp_core::peer::JxpPeer;
+use jxp_core::JxpConfig;
+use jxp_node::{
+    Exchange, FrameHandler, HandlerService, JxpNode, NodeId, ReactorTransport, RetryPolicy,
+    TcpConfig, TcpServer, TcpTransport,
+};
+use jxp_reactor::{Reactor, ReactorConfig, ReactorMetrics};
+use jxp_serve::contiguous_fragments;
+use jxp_synopses::mips::MipsPermutations;
+use jxp_webgraph::generators::amazon_2005;
+use jxp_webgraph::Subgraph;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Fragments requested from the dataset; trimmed to an even count so
+/// the rotating node-disjoint schedule never pairs a node with itself.
+const PEERS: usize = 64;
+
+/// One pair per even index, targets rotating over the odd indices:
+/// round `r` meets `2i` with `(2i + 1 + 2r) mod n`. With even `n` the
+/// initiators are the even nodes and the targets the odd ones, so every
+/// round is node-disjoint by construction.
+fn schedule(n: usize, meetings: usize) -> Vec<Vec<(usize, NodeId)>> {
+    let per_round = n / 2;
+    let rounds = meetings.div_ceil(per_round);
+    (0..rounds)
+        .map(|r| {
+            (0..per_round)
+                .map(|i| (2 * i, ((2 * i + 1 + 2 * r) % n) as NodeId))
+                .collect()
+        })
+        .collect()
+}
+
+fn build_nodes(
+    fragments: &[Subgraph],
+    n_total: u64,
+    perms: &MipsPermutations,
+) -> Vec<Arc<JxpNode>> {
+    fragments
+        .iter()
+        .enumerate()
+        .map(|(i, frag)| {
+            let peer = JxpPeer::new(frag.clone(), n_total, JxpConfig::default());
+            Arc::new(JxpNode::new(i as NodeId, peer, perms))
+        })
+        .collect()
+}
+
+/// FNV-1a over every node's final score bits, node order — the same
+/// witness `run_cluster` reports.
+fn score_hash(nodes: &[Arc<JxpNode>]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for node in nodes {
+        node.with_peer(|peer| {
+            for &score in peer.scores() {
+                for byte in score.to_bits().to_le_bytes() {
+                    hash ^= u64::from(byte);
+                    hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+        });
+    }
+    hash
+}
+
+struct ModeResult {
+    secs: f64,
+    completed: usize,
+    /// Per-meeting latency in milliseconds, schedule order.
+    lat_ms: Vec<f64>,
+    hash: u64,
+    peak_inflight: Option<u64>,
+}
+
+/// Threaded control: `workers` blocking `meet` calls per round over the
+/// thread-per-connection TCP transport.
+fn run_threads(
+    fragments: &[Subgraph],
+    n_total: u64,
+    perms: &MipsPermutations,
+    rounds: &[Vec<(usize, NodeId)>],
+    workers: usize,
+) -> ModeResult {
+    let nodes = build_nodes(fragments, n_total, perms);
+    let transport = TcpTransport::new(TcpConfig::default());
+    let mut servers = Vec::with_capacity(nodes.len());
+    for (i, node) in nodes.iter().enumerate() {
+        let server = TcpServer::spawn(Arc::clone(node) as Arc<dyn FrameHandler>)
+            .expect("bind localhost TCP server");
+        transport.add_route(i as NodeId, server.addr());
+        servers.push(server);
+    }
+    let retry = RetryPolicy::default();
+    let total: usize = rounds.iter().map(Vec::len).sum();
+    let mut lat_ms = vec![0.0f64; total];
+    let mut done = vec![false; total];
+    let start = Instant::now();
+    let mut base = 0usize;
+    for round in rounds {
+        let chunk = round.len().div_ceil(workers.max(1));
+        let lat_round = &mut lat_ms[base..base + round.len()];
+        let done_round = &mut done[base..base + round.len()];
+        std::thread::scope(|s| {
+            for ((tasks, lats), dones) in round
+                .chunks(chunk)
+                .zip(lat_round.chunks_mut(chunk))
+                .zip(done_round.chunks_mut(chunk))
+            {
+                let nodes = &nodes;
+                let transport = &transport;
+                let retry = &retry;
+                s.spawn(move || {
+                    for ((&(initiator, target), lat), ok) in tasks.iter().zip(lats).zip(dones) {
+                        let t0 = Instant::now();
+                        *ok = nodes[initiator].meet(target, transport, retry).is_ok();
+                        *lat = t0.elapsed().as_secs_f64() * 1e3;
+                    }
+                });
+            }
+        });
+        base += round.len();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    ModeResult {
+        secs,
+        completed: done.iter().filter(|&&d| d).count(),
+        lat_ms,
+        hash: score_hash(&nodes),
+        peak_inflight: None,
+    }
+}
+
+/// Reactor mode: submit every meeting of a round up front, harvest in
+/// schedule order — one driver thread, one loop thread, the whole round
+/// in flight at once.
+fn run_reactor(
+    fragments: &[Subgraph],
+    n_total: u64,
+    perms: &MipsPermutations,
+    rounds: &[Vec<(usize, NodeId)>],
+) -> ModeResult {
+    let nodes = build_nodes(fragments, n_total, perms);
+    let reactor = Reactor::start(ReactorConfig::default(), ReactorMetrics::detached());
+    let rt = ReactorTransport::new(reactor.handle());
+    for (i, node) in nodes.iter().enumerate() {
+        let service = Arc::new(HandlerService(Arc::clone(node) as Arc<dyn FrameHandler>));
+        let addr = reactor
+            .handle()
+            .listen(service)
+            .expect("bind reactor listener");
+        rt.add_route(i as NodeId, addr);
+    }
+    let total: usize = rounds.iter().map(Vec::len).sum();
+    let mut lat_ms = Vec::with_capacity(total);
+    let mut completed = 0usize;
+    let start = Instant::now();
+    for round in rounds {
+        let mut pending = Vec::with_capacity(round.len());
+        for &(initiator, target) in round {
+            let request = nodes[initiator].meet_begin();
+            let t0 = Instant::now();
+            let ticket = rt.submit(target, &request);
+            pending.push((initiator, target, request, ticket, t0));
+        }
+        for (initiator, target, request, ticket, t0) in pending {
+            let node = &nodes[initiator];
+            // One resubmission on failure, mirroring the blocking
+            // path's retry without timing noise from backoff sleeps.
+            let reply = ticket.ok().and_then(|t| match t.wait_full() {
+                Ok(x) => Some(x),
+                Err(_) => rt
+                    .submit(target, &request)
+                    .ok()
+                    .and_then(|t2| t2.wait_full().ok()),
+            });
+            match reply {
+                Some((reply, bytes_sent, bytes_received)) => {
+                    if node
+                        .meet_finish(
+                            Exchange {
+                                reply,
+                                bytes_sent,
+                                bytes_received,
+                            },
+                            0,
+                        )
+                        .is_ok()
+                    {
+                        completed += 1;
+                    }
+                }
+                None => node.meet_abort(0),
+            }
+            lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    ModeResult {
+        secs,
+        completed,
+        lat_ms,
+        hash: score_hash(&nodes),
+        peak_inflight: Some(reactor.peak_inflight()),
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let ctx = ExperimentCtx::from_env(1024);
+    let workers = jxp_pagerank::par::resolve_threads(ctx.threads);
+    let cg = amazon_2005().generate_scaled(ctx.scale);
+    let n_total = cg.graph.num_nodes() as u64;
+    let mut fragments = contiguous_fragments(&cg, PEERS);
+    // Tiny datasets can yield fewer fragments than requested; the
+    // rotating schedule needs an even peer count.
+    if fragments.len() % 2 == 1 {
+        fragments.pop();
+    }
+    let peers = fragments.len();
+    assert!(peers >= 2, "dataset too small to split into peers");
+    println!(
+        "== Transport bench: threads vs reactor (scale {}, {} peers, {} meetings, {} workers) ==",
+        ctx.scale, peers, ctx.meetings, workers
+    );
+    let perms = MipsPermutations::generate(64, 0x5a5a);
+    let rounds = schedule(peers, ctx.meetings);
+    let total: usize = rounds.iter().map(Vec::len).sum();
+    println!(
+        "dataset: {} pages, {} rounds of {} node-disjoint pairs ({} meetings)",
+        n_total,
+        rounds.len(),
+        peers / 2,
+        total
+    );
+
+    let modes: Vec<(&str, ModeResult)> = vec![
+        (
+            "threads",
+            run_threads(&fragments, n_total, &perms, &rounds, workers),
+        ),
+        ("reactor", run_reactor(&fragments, n_total, &perms, &rounds)),
+    ];
+
+    println!(
+        "{:>8} {:>10} {:>14} {:>10} {:>10} {:>18}",
+        "mode", "seconds", "meetings/sec", "p50 ms", "p99 ms", "score hash"
+    );
+    for (name, r) in &modes {
+        assert_eq!(
+            r.completed, total,
+            "{name}: {} of {total} meetings completed",
+            r.completed
+        );
+        let mut sorted = r.lat_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        println!(
+            "{:>8} {:>10.3} {:>14.0} {:>10.3} {:>10.3} {:>18}",
+            name,
+            r.secs,
+            total as f64 / r.secs,
+            percentile(&sorted, 0.50),
+            percentile(&sorted, 0.99),
+            format!("{:016x}", r.hash)
+        );
+        if let Some(peak) = r.peak_inflight {
+            println!("{:>8} peak in-flight meetings: {peak}", "");
+        }
+    }
+    let threads_hash = modes[0].1.hash;
+    for (name, r) in &modes {
+        assert_eq!(
+            r.hash, threads_hash,
+            "score hash diverged on the {name} transport"
+        );
+    }
+    println!("score hashes identical across transports ✓");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"reactor\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"rotating node-disjoint rounds, amazon\","
+    );
+    let _ = writeln!(json, "  \"scale\": {},", ctx.scale);
+    let _ = writeln!(json, "  \"peers\": {peers},");
+    let _ = writeln!(json, "  \"meetings\": {total},");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"score_hash\": \"{threads_hash:016x}\",");
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, (name, r)) in modes.iter().enumerate() {
+        let comma = if i + 1 == modes.len() { "" } else { "," };
+        let mut sorted = r.lat_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let peak = r
+            .peak_inflight
+            .map(|p| format!(", \"peak_inflight\": {p}"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            json,
+            "    {{\"transport\": \"{name}\", \"seconds\": {:.4}, \
+             \"meetings_per_sec\": {:.1}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}{peak}}}{comma}",
+            r.secs,
+            total as f64 / r.secs,
+            percentile(&sorted, 0.50),
+            percentile(&sorted, 0.99),
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    let path = std::env::var("JXP_RESULTS")
+        .map(|d| std::path::PathBuf::from(d).join("BENCH_reactor.json"))
+        .unwrap_or_else(|_| std::path::PathBuf::from("BENCH_reactor.json"));
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    std::fs::write(&path, &json).expect("write BENCH_reactor.json");
+    println!("[json] {}", path.display());
+}

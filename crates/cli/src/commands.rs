@@ -233,7 +233,11 @@ pub fn cluster(args: &ParsedArgs) -> Result<(), String> {
     let meetings: usize = args.get_or("meetings", 200)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let transport: TransportKind = args
-        .get_choice("transport", &["loopback", "tcp"], "loopback")?
+        .get_choice(
+            "transport",
+            &["loopback", "tcp", "threads", "reactor"],
+            "loopback",
+        )?
         .parse()?;
     let premeetings = args.get_choice("premeetings", &["yes", "no"], "no")? == "yes";
     let stall: u32 = args.get_or("stall", 0)?;
@@ -304,6 +308,9 @@ pub fn cluster(args: &ParsedArgs) -> Result<(), String> {
     );
     if let Some(addr) = report.metrics_addr {
         println!("metrics endpoint served scrapes on http://{addr}/metrics during the run");
+    }
+    if let Some(peak) = report.inflight_peak {
+        println!("peak in-flight meetings: {peak}");
     }
     if let Some(footrule) = report.footrule {
         println!("footrule@{top} vs centralized PageRank: {footrule:.4}");
@@ -603,6 +610,13 @@ fn serve_params(args: &ParsedArgs) -> Result<jxp_serve::ServeExperimentParams, S
         scale,
         dataset: preset(args)?,
         metrics_listen: args.get("metrics-listen").map(String::from),
+        transport: args
+            .get_choice(
+                "transport",
+                &["loopback", "tcp", "threads", "reactor"],
+                "loopback",
+            )?
+            .parse()?,
     })
 }
 

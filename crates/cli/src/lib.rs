@@ -39,7 +39,8 @@ commands:
   search     run the Minerva search experiment (Table 2 style)
              --scale (0.05), --queries N (10), --meetings N (400), --seed N
   cluster    run N networked nodes through M meetings over the wire codec
-             --peers N (8), --meetings M (200), --transport loopback|tcp,
+             --peers N (8), --meetings M (200),
+             --transport loopback|tcp|threads|reactor,
              --premeetings yes|no, --stall K (stall node 1 for K requests),
              --dataset, --scale (0.05), --seed N, --top K,
              --threads N (0 = all cores; results thread-count-invariant),
@@ -63,6 +64,7 @@ commands:
              --peers N (4), --meetings M (200), --dataset, --scale (0.05),
              --queries N (10), --k K (10), --repeats N (3),
              --concurrency N (2), --threads N (1), --seed N,
+             --transport loopback|tcp|threads|reactor,
              --metrics-listen ADDR (Prometheus scrape endpoint, e.g.
              127.0.0.1:0 for an ephemeral port)
   loadgen    run the closed-loop serving benchmark and write

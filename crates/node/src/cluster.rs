@@ -7,12 +7,14 @@
 use crate::loopback::LoopbackNetwork;
 use crate::node::{JxpNode, NodeMetrics, NodeStats};
 use crate::persist::{NodePersist, PersistConfig, SharedStore};
+use crate::reactor::{reactor_premeet_sweep, run_reactor_round, HandlerService, ReactorTransport};
 use crate::tcp::{TcpConfig, TcpServer, TcpTransport};
 use crate::transport::{FrameHandler, NodeId, RetryPolicy, StallInjector, Transport};
 use jxp_core::config::JxpConfig;
 use jxp_core::evaluate::{centralized_ranking, total_ranking};
 use jxp_core::selection::{PeerSynopses, PreMeetingsConfig};
 use jxp_pagerank::metrics::footrule_distance;
+use jxp_reactor::{Reactor, ReactorConfig, ReactorMetrics};
 use jxp_store::{DirStore, StoreMetrics, WalKind, WalRecord};
 use jxp_synopses::mips::MipsPermutations;
 use jxp_telemetry::{Event, MetricsServer, TelemetryHub, TelemetrySnapshot};
@@ -26,13 +28,22 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Sliding submission window for the reactor's all-pairs pre-meetings
+/// sweep: how many synopsis probes one driver thread keeps in flight.
+/// Sized so even modest clusters exercise hundreds of concurrent
+/// exchanges; the in-flight gauge peaks at `min(window, pairs)`.
+const PREMEET_WINDOW: usize = 512;
+
 /// Which transport carries the frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransportKind {
     /// Deterministic in-memory codec loopback.
     Loopback,
-    /// Localhost TCP with one server per node.
+    /// Localhost TCP, thread-per-connection (alias: `threads`).
     Tcp,
+    /// Non-blocking multiplexed reactor: one loop thread moves every
+    /// frame, hundreds of meetings stay in flight at once.
+    Reactor,
 }
 
 impl std::str::FromStr for TransportKind {
@@ -41,9 +52,10 @@ impl std::str::FromStr for TransportKind {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "loopback" => Ok(TransportKind::Loopback),
-            "tcp" => Ok(TransportKind::Tcp),
+            "tcp" | "threads" => Ok(TransportKind::Tcp),
+            "reactor" => Ok(TransportKind::Reactor),
             other => Err(format!(
-                "unknown transport '{other}' (expected loopback|tcp)"
+                "unknown transport '{other}' (expected loopback|tcp|threads|reactor)"
             )),
         }
     }
@@ -184,6 +196,11 @@ pub struct ClusterReport {
     /// [`ClusterConfig::metrics_listen`] was set), with port 0 resolved
     /// to the real port. The listener itself stops when the run ends.
     pub metrics_addr: Option<SocketAddr>,
+    /// High-water mark of concurrent in-flight requests over the whole
+    /// run, as tracked by the `jxp_node_inflight_meetings` gauge. Only
+    /// on [`TransportKind::Reactor`] — the blocking transports have no
+    /// submission queue to measure.
+    pub inflight_peak: Option<u64>,
 }
 
 /// What a [`ClusterHooks::concurrent`] driver sees while the meeting
@@ -359,8 +376,14 @@ pub fn run_cluster_with(
         })
         .collect();
 
-    // Bring up the chosen transport; TCP servers stay alive in `_servers`.
+    // Bring up the chosen transport; TCP servers stay alive in
+    // `_servers`, the reactor's loop thread in `reactor`. The typed
+    // `reactor_rt` clone is what the batch paths (premeet sweep,
+    // pipelined rounds) use — the `Box<dyn Transport>` facade only
+    // carries the serial traffic (hellos, stats sweep, stall runs).
     let mut _servers: Vec<TcpServer> = Vec::new();
+    let mut reactor: Option<Reactor> = None;
+    let mut reactor_rt: Option<ReactorTransport> = None;
     let transport: Box<dyn Transport> = match config.transport {
         TransportKind::Loopback => {
             let net = LoopbackNetwork::new();
@@ -379,6 +402,22 @@ pub fn run_cluster_with(
             }
             Box::new(tcp)
         }
+        TransportKind::Reactor => {
+            let metrics = match &hub {
+                Some(hub) => ReactorMetrics::registered(hub.registry()),
+                None => ReactorMetrics::detached(),
+            };
+            let r = Reactor::start(ReactorConfig::default(), metrics);
+            let rt = ReactorTransport::new(r.handle());
+            for (i, inj) in injectors.iter().enumerate() {
+                let service = Arc::new(HandlerService(Arc::clone(inj) as Arc<dyn FrameHandler>));
+                let addr = r.handle().listen(service).expect("bind reactor listener");
+                rt.add_route(i as NodeId, addr);
+            }
+            reactor = Some(r);
+            reactor_rt = Some(rt.clone());
+            Box::new(rt)
+        }
     };
 
     // Join handshake: each node hellos its ring successor over the wire.
@@ -388,9 +427,16 @@ pub fn run_cluster_with(
     }
 
     // Pre-meetings: one synopsis sweep per node, over the wire, so the
-    // probe traffic is real and counted.
+    // probe traffic is real and counted. On the reactor the all-pairs
+    // sweep runs under a sliding submission window — synopses are
+    // immutable until the first meeting, so the answers (and the bytes
+    // counted) are identical to the serial sweep's, just concurrent.
     let premeet_cfg = PreMeetingsConfig::default();
-    let remote_synopses: Vec<Vec<(NodeId, PeerSynopses)>> = if config.premeetings {
+    let remote_synopses: Vec<Vec<(NodeId, PeerSynopses)>> = if !config.premeetings {
+        Vec::new()
+    } else if let Some(rt) = &reactor_rt {
+        reactor_premeet_sweep(rt, &nodes, &config.retry, PREMEET_WINDOW)
+    } else {
         nodes
             .iter()
             .enumerate()
@@ -405,8 +451,6 @@ pub fn run_cluster_with(
                     .collect()
             })
             .collect()
-    } else {
-        Vec::new()
     };
 
     // Draw the whole schedule serially (round-robin initiators, seeded
@@ -562,7 +606,19 @@ pub fn run_cluster_with(
             // can be emitted serially afterwards: the event stream is then
             // independent of how the round's meetings interleaved.
             let mut outcomes: Vec<Option<crate::node::MeetOutcome>> = vec![None; round.len()];
-            if workers.min(round.len()) <= 1 {
+            if let (Some(rt), None) = (&reactor_rt, config.stall) {
+                // Reactor path: submit the whole node-disjoint round,
+                // then harvest in schedule order. Disjointness makes
+                // the reordering invisible (no pair touches another's
+                // state), so outcomes are bit-identical to the serial
+                // and pooled paths at every `threads` value.
+                let tasks: Vec<(usize, NodeId, &mut Option<crate::node::MeetOutcome>)> = round
+                    .iter()
+                    .zip(outcomes.iter_mut())
+                    .map(|(&(_, initiator, target), slot)| (initiator, target, slot))
+                    .collect();
+                run_reactor_round(rt, &nodes, &config.retry, tasks);
+            } else if workers.min(round.len()) <= 1 {
                 for (k, &(m, initiator, target)) in round.iter().enumerate() {
                     arm_stall(m);
                     // Failures are part of the experiment: counted, never fatal.
@@ -693,6 +749,7 @@ pub fn run_cluster_with(
         wire_stats,
         score_hash,
         metrics_addr,
+        inflight_peak: reactor.as_ref().map(Reactor::peak_inflight),
     }
 }
 
@@ -1025,6 +1082,166 @@ mod tests {
         let report = run_cluster(frags, n_total, JxpConfig::default(), &config, Some(&truth));
         assert_eq!(report.meetings_completed, 15);
         assert!(report.footrule.is_some());
+    }
+
+    #[test]
+    fn transport_kind_parses_every_spelling() {
+        assert_eq!(
+            "loopback".parse::<TransportKind>(),
+            Ok(TransportKind::Loopback)
+        );
+        assert_eq!("tcp".parse::<TransportKind>(), Ok(TransportKind::Tcp));
+        assert_eq!("threads".parse::<TransportKind>(), Ok(TransportKind::Tcp));
+        assert_eq!(
+            "reactor".parse::<TransportKind>(),
+            Ok(TransportKind::Reactor)
+        );
+        let err = "bogus".parse::<TransportKind>().unwrap_err();
+        assert!(err.contains("loopback|tcp|threads|reactor"), "{err}");
+    }
+
+    #[test]
+    fn reactor_transport_matches_loopback_and_tcp_bit_for_bit() {
+        let (frags, n_total) = ring_fragments(4);
+        let run = |transport: TransportKind, threads: usize| {
+            let config = ClusterConfig {
+                meetings: 24,
+                seed: 11,
+                premeetings: true,
+                transport,
+                threads,
+                ..ClusterConfig::default()
+            };
+            run_cluster(frags.clone(), n_total, JxpConfig::default(), &config, None)
+        };
+        let want = run(TransportKind::Loopback, 1);
+        assert_eq!(want.meetings_completed, 24);
+        assert_eq!(want.inflight_peak, None, "no gauge off the reactor");
+        let tcp = run(TransportKind::Tcp, 8);
+        assert_eq!(tcp.score_hash, want.score_hash);
+        for threads in [1usize, 2, 8] {
+            let got = run(TransportKind::Reactor, threads);
+            assert_eq!(got.score_hash, want.score_hash, "{threads} threads");
+            assert_eq!(got.meetings_completed, 24, "{threads} threads");
+            for (g, w) in got.per_node.iter().zip(&want.per_node) {
+                assert_eq!(g.meetings_attempted, w.meetings_attempted);
+                assert_eq!(g.meetings_completed, w.meetings_completed);
+                assert_eq!(g.meetings_served, w.meetings_served);
+                assert_eq!(g.bytes_out, w.bytes_out, "{threads} threads");
+                assert_eq!(g.bytes_in, w.bytes_in, "{threads} threads");
+            }
+            assert!(got.inflight_peak.unwrap_or(0) >= 1, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn stall_on_the_reactor_is_survived_via_retry() {
+        let (frags, n_total) = ring_fragments(4);
+        let config = ClusterConfig {
+            meetings: 12,
+            seed: 5,
+            transport: TransportKind::Reactor,
+            retry: RetryPolicy {
+                max_attempts: 4,
+                base_delay: std::time::Duration::from_millis(1),
+                max_delay: std::time::Duration::from_millis(2),
+            },
+            stall: Some(StallPlan {
+                node_index: 1,
+                at_meeting: 0,
+                count: 2,
+            }),
+            ..ClusterConfig::default()
+        };
+        let report = run_cluster(frags, n_total, JxpConfig::default(), &config, None);
+        // A swallowed request drains the multiplexed connection; the
+        // retry reconnects and the run completes in full.
+        assert_eq!(report.meetings_completed, 12);
+        assert_eq!(report.meetings_failed, 0);
+        assert!(report.retries >= 1, "expected recorded retries");
+    }
+
+    #[test]
+    fn reactor_premeet_sweep_holds_many_probes_in_flight() {
+        use std::io::{Read as _, Write as _};
+        // 12 nodes -> 132 ordered pairs: the sweep's initial window
+        // fill outpaces the loop thread's connect handshakes by orders
+        // of magnitude, so dozens of probes pile up in flight.
+        let (frags, n_total) = ring_fragments(12);
+        let config = ClusterConfig {
+            meetings: 24,
+            seed: 23,
+            premeetings: true,
+            transport: TransportKind::Reactor,
+            metrics_listen: Some("127.0.0.1:0".into()),
+            ..ClusterConfig::default()
+        };
+        let scraped = std::sync::Mutex::new(String::new());
+        let scrape = |ctx: &ClusterCtx<'_>| {
+            let addr = ctx.metrics_addr.expect("listener requested");
+            let mut stream = std::net::TcpStream::connect(addr).expect("connect scrape");
+            stream
+                .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .expect("send scrape");
+            let mut out = String::new();
+            stream.read_to_string(&mut out).expect("read scrape");
+            *jxp_telemetry::lock_unpoisoned(&scraped) = out;
+        };
+        let hooks = ClusterHooks {
+            concurrent: Some(&scrape),
+            ..ClusterHooks::default()
+        };
+        let report = run_cluster_with(frags, n_total, JxpConfig::default(), &config, None, &hooks);
+        assert_eq!(report.meetings_completed, 24);
+        let peak = report.inflight_peak.expect("reactor reports its peak");
+        assert!(peak >= 16, "expected a crowded window, saw peak {peak}");
+        // The gauge is a first-class scrape metric, not just a report
+        // field.
+        let body = jxp_telemetry::lock_unpoisoned(&scraped);
+        assert!(body.contains("jxp_node_inflight_meetings"), "{body}");
+        assert!(body.contains("jxp_node_inflight_meetings_peak"), "{body}");
+    }
+
+    #[test]
+    fn reactor_run_resumes_bit_identically() {
+        let (frags, n_total) = ring_fragments(4);
+        let base = ClusterConfig {
+            meetings: 60,
+            seed: 17,
+            premeetings: true,
+            transport: TransportKind::Reactor,
+            checkpoint_every: 4,
+            ..ClusterConfig::default()
+        };
+        let control = run_cluster(frags.clone(), n_total, JxpConfig::default(), &base, None);
+
+        let dir = temp_state_dir("reactor-resume");
+        let interrupted = ClusterConfig {
+            meetings: 30,
+            state_dir: Some(dir.clone()),
+            checkpoint_on_exit: false,
+            ..base.clone()
+        };
+        let half = run_cluster(
+            frags.clone(),
+            n_total,
+            JxpConfig::default(),
+            &interrupted,
+            None,
+        );
+        assert_eq!(half.meetings_completed, 30);
+
+        let resumed_cfg = ClusterConfig {
+            state_dir: Some(dir.clone()),
+            ..base.clone()
+        };
+        let resumed = run_cluster(frags, n_total, JxpConfig::default(), &resumed_cfg, None);
+        // Journal-before-reply held over the multiplexed wire: the back
+        // half replays onto the recovered state and lands on the exact
+        // hash of the uninterrupted run.
+        assert_eq!(resumed.meetings_completed, 30);
+        assert_eq!(resumed.score_hash, control.score_hash);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Fresh state directory under the OS temp dir, unique per call.

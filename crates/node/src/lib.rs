@@ -17,6 +17,7 @@ pub mod cluster;
 pub mod loopback;
 pub mod node;
 pub mod persist;
+pub mod reactor;
 pub mod tcp;
 pub mod transport;
 
@@ -27,6 +28,7 @@ pub use cluster::{
 pub use loopback::{Fault, LoopbackNetwork};
 pub use node::{JxpNode, MeetOutcome, NodeMetrics, NodeStats};
 pub use persist::{NodePersist, PersistConfig, SharedStore};
+pub use reactor::{reactor_premeet_sweep, run_reactor_round, HandlerService, ReactorTransport};
 pub use tcp::{TcpConfig, TcpServer, TcpTransport};
 pub use transport::{
     request_with_retry, Exchange, FrameHandler, NodeId, RetryError, RetryPolicy, StallInjector,

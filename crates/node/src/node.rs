@@ -13,7 +13,7 @@
 
 use crate::persist::NodePersist;
 use crate::transport::{
-    request_with_retry, FrameHandler, NodeId, RetryPolicy, Transport, TransportError,
+    request_with_retry, Exchange, FrameHandler, NodeId, RetryPolicy, Transport, TransportError,
 };
 use jxp_core::payload::MeetingPayload;
 use jxp_core::peer::JxpPeer;
@@ -304,18 +304,36 @@ impl JxpNode {
         transport: &dyn Transport,
         policy: &RetryPolicy,
     ) -> Result<MeetOutcome, TransportError> {
-        self.metrics.meetings_attempted.inc();
-        let payload = self.lock().peer.payload();
-        let request = Frame::MeetRequest(payload);
+        let request = self.meet_begin();
         let outcome = match request_with_retry(transport, target, &request, policy) {
             Ok(done) => done,
             Err(failed) => {
-                self.metrics.meetings_failed.inc();
-                self.metrics.retries.add(u64::from(failed.retries));
+                self.meet_abort(failed.retries);
                 return Err(failed.error);
             }
         };
-        let remote = match outcome.exchange.reply {
+        self.meet_finish(outcome.exchange, outcome.retries)
+    }
+
+    /// First half of [`JxpNode::meet`]: count the attempt and build the
+    /// request frame from pre-absorption state. A multiplexed transport
+    /// pairs this with [`JxpNode::meet_finish`] (reply arrived) or
+    /// [`JxpNode::meet_abort`] (transport gave up), producing exactly
+    /// the counter trace [`JxpNode::meet`] would.
+    pub fn meet_begin(&self) -> Frame {
+        self.metrics.meetings_attempted.inc();
+        Frame::MeetRequest(self.lock().peer.payload())
+    }
+
+    /// Second half of [`JxpNode::meet`]: decode the reply, absorb it
+    /// (journaling the delta), and settle the success counters.
+    /// `retries` is how many times the transport resubmitted.
+    pub fn meet_finish(
+        &self,
+        exchange: Exchange,
+        retries: u32,
+    ) -> Result<MeetOutcome, TransportError> {
+        let remote = match exchange.reply {
             Frame::MeetReply(remote) => remote,
             Frame::Error { detail, .. } => {
                 self.metrics.meetings_failed.inc();
@@ -338,14 +356,21 @@ impl JxpNode {
             self.bump_score_epoch();
         }
         self.metrics.meetings_completed.inc();
-        self.metrics.retries.add(u64::from(outcome.retries));
-        self.metrics.bytes_out.add(outcome.exchange.bytes_sent);
-        self.metrics.bytes_in.add(outcome.exchange.bytes_received);
+        self.metrics.retries.add(u64::from(retries));
+        self.metrics.bytes_out.add(exchange.bytes_sent);
+        self.metrics.bytes_in.add(exchange.bytes_received);
         Ok(MeetOutcome {
-            bytes_sent: outcome.exchange.bytes_sent,
-            bytes_received: outcome.exchange.bytes_received,
-            retries: outcome.retries,
+            bytes_sent: exchange.bytes_sent,
+            bytes_received: exchange.bytes_received,
+            retries,
         })
+    }
+
+    /// Failure half of [`JxpNode::meet`]: the transport exhausted its
+    /// retries without a reply.
+    pub fn meet_abort(&self, retries: u32) {
+        self.metrics.meetings_failed.inc();
+        self.metrics.retries.add(u64::from(retries));
     }
 
     /// Pre-meetings probe: swap synopses with `target` and return theirs.
@@ -355,13 +380,25 @@ impl JxpNode {
         transport: &dyn Transport,
         policy: &RetryPolicy,
     ) -> Result<PeerSynopses, TransportError> {
-        let request = Frame::SynopsisExchange(SynopsisPayload {
+        let request = self.synopses_request();
+        let outcome = request_with_retry(transport, target, &request, policy)?;
+        self.synopses_accept(outcome.exchange)
+    }
+
+    /// First half of [`JxpNode::fetch_synopses`]: the request frame.
+    pub fn synopses_request(&self) -> Frame {
+        Frame::SynopsisExchange(SynopsisPayload {
             synopses: self.synopses(),
             sketch: None,
             bloom: None,
-        });
-        let outcome = request_with_retry(transport, target, &request, policy)?;
-        let remote = match outcome.exchange.reply {
+        })
+    }
+
+    /// Second half of [`JxpNode::fetch_synopses`]: decode the reply,
+    /// counting bytes only on success — the same accounting the
+    /// blocking path performs.
+    pub fn synopses_accept(&self, exchange: Exchange) -> Result<PeerSynopses, TransportError> {
+        let remote = match exchange.reply {
             Frame::SynopsisExchange(p) => p.synopses,
             Frame::Error { detail, .. } => return Err(TransportError::Rejected(detail)),
             other => {
@@ -370,8 +407,8 @@ impl JxpNode {
                 )))
             }
         };
-        self.metrics.bytes_out.add(outcome.exchange.bytes_sent);
-        self.metrics.bytes_in.add(outcome.exchange.bytes_received);
+        self.metrics.bytes_out.add(exchange.bytes_sent);
+        self.metrics.bytes_in.add(exchange.bytes_received);
         Ok(remote)
     }
 

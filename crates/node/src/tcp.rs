@@ -50,24 +50,55 @@ pub struct TcpServer {
 }
 
 impl TcpServer {
+    /// [`TcpServer::spawn_with`] under the default [`TcpConfig`].
+    pub fn spawn(handler: Arc<dyn FrameHandler>) -> std::io::Result<TcpServer> {
+        TcpServer::spawn_with(handler, TcpConfig::default())
+    }
+
     /// Bind an ephemeral localhost port and start accepting. Each
     /// connection is served on its own thread: one frame in, one frame
     /// out (or none, if the handler stalls), then the connection closes.
-    pub fn spawn(handler: Arc<dyn FrameHandler>) -> std::io::Result<TcpServer> {
+    /// Per-connection reads time out after `config.io_timeout` — the
+    /// same budget the client side applies to the reply.
+    pub fn spawn_with(
+        handler: Arc<dyn FrameHandler>,
+        config: TcpConfig,
+    ) -> std::io::Result<TcpServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        // A non-blocking acceptor polls the stop flag between accepts,
+        // so shutdown needs no self-connect to unwedge it.
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let accept_thread = std::thread::spawn(move || {
-            let mut workers = Vec::new();
-            for conn in listener.incoming() {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            loop {
                 if stop_flag.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(mut stream) = conn else { continue };
+                // Reap finished workers as we go: an unjoined thread
+                // keeps its stack mapped, and a long run serves far
+                // more connections than the address space has stacks.
+                workers.retain(|w| !w.is_finished());
+                let mut stream = match listener.accept() {
+                    Ok((stream, _peer)) => stream,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                        continue;
+                    }
+                    Err(_) => continue,
+                };
+                // The listener's non-blocking mode is inherited by some
+                // platforms; the per-connection worker wants plain
+                // blocking reads under a read timeout.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let io_timeout = config.io_timeout;
                 let handler = Arc::clone(&handler);
                 workers.push(std::thread::spawn(move || {
-                    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                    let _ = stream.set_read_timeout(Some(io_timeout));
                     let Ok((frame, _)) = read_frame(&mut stream) else {
                         return;
                     };
@@ -94,12 +125,12 @@ impl TcpServer {
         self.addr
     }
 
-    /// Stop accepting and join the acceptor thread.
+    /// Stop accepting and join the acceptor thread. The acceptor polls
+    /// the stop flag on every accept-timeout tick, so this converges
+    /// without poking the listener.
     pub fn shutdown(&mut self) {
         if let Some(thread) = self.accept_thread.take() {
             self.stop.store(true, Ordering::SeqCst);
-            // Poke the listener so the blocking accept returns.
-            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
             let _ = thread.join();
         }
     }
@@ -238,6 +269,37 @@ mod tests {
         let req = Frame::Ack { of: 1 };
         assert!(transport.request(2, &req).is_err());
         assert!(transport.request(2, &req).is_ok());
+    }
+
+    #[test]
+    fn server_read_timeout_comes_from_config() {
+        let mut server = TcpServer::spawn_with(
+            Arc::new(Echo),
+            TcpConfig {
+                io_timeout: Duration::from_millis(100),
+                ..TcpConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Send half a header, then stall: the worker's read must give
+        // up on the configured budget and drop the connection.
+        stream.write_all(&jxp_wire::MAGIC[..2]).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        let n = stream.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "expected EOF once the server timed the read out");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_converges_without_a_self_connect() {
+        let mut server = TcpServer::spawn(Arc::new(Echo)).unwrap();
+        // No connection ever arrives; the flag poll alone must unblock
+        // the acceptor.
+        server.shutdown();
     }
 
     #[test]

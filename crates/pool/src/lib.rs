@@ -377,7 +377,14 @@ impl WorkerPool {
         // before the unwind releases the borrowed task state.
         let _guard = WaitOnDrop(&sync);
         let r = meanwhile();
-        state.run(0);
+        if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| state.run(0))) {
+            // A caller-run task panicked after being popped, so `pending`
+            // can never drain to zero. Flag the round — quiescence
+            // accepts `panicked` in lieu of a zero count — or the
+            // guard's wait would deadlock on our own lost task.
+            sync.panicked.store(true, Ordering::Release);
+            std::panic::resume_unwind(payload);
+        }
         sync.wait_quiescent();
         assert!(
             !sync.panicked.load(Ordering::Acquire),

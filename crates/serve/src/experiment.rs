@@ -22,7 +22,9 @@ use jxp_minerva::eval::precision_at_k;
 use jxp_minerva::fusion::{rank_by_fusion, PAPER_JXP_WEIGHT, PAPER_TFIDF_WEIGHT};
 use jxp_minerva::query::SearchHit;
 use jxp_minerva::{Corpus, CorpusParams, PeerIndex, ServingIndex};
-use jxp_node::{run_cluster_with, ClusterConfig, ClusterHooks, FrameHandler, JxpNode};
+use jxp_node::{
+    run_cluster_with, ClusterConfig, ClusterHooks, FrameHandler, JxpNode, TransportKind,
+};
 use jxp_pagerank::{pagerank, PageRankConfig};
 use jxp_telemetry::sync::lock_unpoisoned;
 use jxp_telemetry::TelemetryHub;
@@ -62,6 +64,11 @@ pub struct ServeExperimentParams {
     pub dataset: DatasetPreset,
     /// Optional Prometheus scrape address for the run.
     pub metrics_listen: Option<String>,
+    /// Which wire carries meetings and queries. Queries ride the same
+    /// transport as the meeting traffic, so on
+    /// [`TransportKind::Reactor`] the load generator's requests
+    /// multiplex over the reactor's per-peer connections.
+    pub transport: TransportKind,
 }
 
 impl Default for ServeExperimentParams {
@@ -78,6 +85,7 @@ impl Default for ServeExperimentParams {
             scale: 0.05,
             dataset: amazon_2005(),
             metrics_listen: None,
+            transport: TransportKind::Loopback,
         }
     }
 }
@@ -187,6 +195,7 @@ pub fn run_serve_experiment(params: &ServeExperimentParams) -> ServeBenchReport 
         meetings: params.meetings,
         seed: params.seed,
         threads: params.threads,
+        transport: params.transport,
         metrics_listen: params.metrics_listen.clone(),
         hub: Some(Arc::clone(&hub)),
         ..ClusterConfig::default()
@@ -407,6 +416,25 @@ mod tests {
         assert_eq!(a.load.cache_hits, b.load.cache_hits);
         for (ra, rb) in a.load.replies.iter().zip(&b.load.replies) {
             assert_eq!(ra, rb, "measurement replies must be deterministic");
+        }
+    }
+
+    #[test]
+    fn reactor_transport_serves_the_same_answers_as_loopback() {
+        let control = run_serve_experiment(&small_params());
+        let over_reactor = run_serve_experiment(&ServeExperimentParams {
+            transport: TransportKind::Reactor,
+            ..small_params()
+        });
+        // Queries multiplex over the reactor's per-peer connections,
+        // yet every deterministic output matches the loopback run.
+        assert_eq!(over_reactor.score_hash, control.score_hash);
+        assert_eq!(over_reactor.footrule, control.footrule);
+        assert_eq!(over_reactor.fused_precision, control.fused_precision);
+        assert_eq!(over_reactor.load.failures, 0);
+        assert_eq!(over_reactor.load.cache_hits, control.load.cache_hits);
+        for (ra, rb) in over_reactor.load.replies.iter().zip(&control.load.replies) {
+            assert_eq!(ra, rb, "replies must not depend on the transport");
         }
     }
 

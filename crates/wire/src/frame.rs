@@ -52,6 +52,13 @@ const TYPE_STATS_REPLY: u8 = 8;
 const TYPE_QUERY_REQUEST: u8 = 9;
 const TYPE_QUERY_REPLY: u8 = 10;
 
+/// Whether a header type byte names a frame this protocol version
+/// defines. The streaming accumulator uses this to reject garbage
+/// streams from the header prefix, before the body length arrives.
+pub(crate) fn frame_type_known(ty: u8) -> bool {
+    (TYPE_HELLO..=TYPE_QUERY_REPLY).contains(&ty)
+}
+
 /// Decode failures. `Truncated` is retriable-by-reading-more when the
 /// input is a stream prefix; everything else is a protocol violation.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -2,8 +2,10 @@
 //! Wire protocol for JXP meetings: a versioned, length-prefixed binary
 //! framing plus codecs for every message exchanged between peers.
 
+pub mod accum;
 pub mod frame;
 
+pub use accum::FrameAccumulator;
 pub use frame::{
     decode_frame, encode_frame, encoded_len, ErrorCode, Frame, QueryHit, QueryPayload,
     QueryReplyPayload, StatsPayload, SynopsisPayload, WireError, HEADER_LEN, MAGIC, MAX_BODY_LEN,

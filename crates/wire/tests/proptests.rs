@@ -9,8 +9,9 @@ use jxp_synopses::fm_sketch::FmSketch;
 use jxp_synopses::mips::MipsVector;
 use jxp_webgraph::PageId;
 use jxp_wire::{
-    decode_frame, encode_frame, encoded_len, ErrorCode, Frame, QueryHit, QueryPayload,
-    QueryReplyPayload, StatsPayload, SynopsisPayload, WireError, HEADER_LEN,
+    decode_frame, encode_frame, encoded_len, ErrorCode, Frame, FrameAccumulator, QueryHit,
+    QueryPayload, QueryReplyPayload, StatsPayload, SynopsisPayload, WireError, HEADER_LEN, MAGIC,
+    MAX_BODY_LEN,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -241,5 +242,118 @@ proptest! {
             bytes[pos] = bad;
         }
         prop_assert!(matches!(decode_frame(&bytes), Err(WireError::BadMagic(_))));
+    }
+}
+
+// ---------------------------------------------------------------------
+// FrameAccumulator: streaming reassembly must be byte-identical to
+// whole-buffer decoding no matter where the chunk boundaries fall.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn accumulator_matches_whole_buffer_decode_at_any_split(
+        stream_frames in vec(frames(), 1..4),
+        chunk_sizes in vec(1usize..17, 1..64),
+    ) {
+        let mut stream = Vec::new();
+        for f in &stream_frames {
+            stream.extend_from_slice(&encode_frame(f));
+        }
+
+        let mut acc = FrameAccumulator::new();
+        let mut got = Vec::new();
+        let mut offset = 0usize; // bytes fed so far
+        let mut consumed = 0usize; // bytes yielded as frames so far
+        let mut pick = 0usize;
+        while offset < stream.len() {
+            let take = chunk_sizes[pick % chunk_sizes.len()].min(stream.len() - offset);
+            pick += 1;
+            acc.feed(&stream[offset..offset + take]);
+            offset += take;
+            while let Some((frame, used)) = acc.next_frame().expect("valid stream") {
+                // Byte-identical to decoding the same stream whole.
+                let (whole, whole_used) =
+                    decode_frame(&stream[consumed..]).expect("whole-buffer decode");
+                prop_assert_eq!(&frame, &whole);
+                prop_assert_eq!(used, whole_used);
+                consumed += used;
+                got.push(frame);
+            }
+        }
+        prop_assert_eq!(got, stream_frames);
+        prop_assert_eq!(consumed, stream.len());
+        prop_assert_eq!(acc.buffered(), 0);
+    }
+
+    #[test]
+    fn accumulator_survives_one_byte_feeds(frame in frames()) {
+        let bytes = encode_frame(&frame);
+        let mut acc = FrameAccumulator::new();
+        for (i, &b) in bytes.iter().enumerate() {
+            acc.feed(&[b]);
+            let step = acc.next_frame().expect("valid stream");
+            if i + 1 < bytes.len() {
+                prop_assert_eq!(step, None);
+            } else {
+                prop_assert_eq!(step, Some((frame.clone(), bytes.len())));
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_rejects_garbage_prefixes_and_stays_poisoned(
+        garbage in vec(0u8..=255, 4..40),
+        frame in frames(),
+    ) {
+        let mut garbage = garbage;
+        if garbage[..4] == MAGIC {
+            garbage[0] ^= 0xff; // force a non-magic prefix
+        }
+        let mut acc = FrameAccumulator::new();
+        acc.feed(&garbage);
+        prop_assert!(matches!(acc.next_frame(), Err(WireError::BadMagic(_))));
+        // A poisoned stream cannot resynchronize, even on valid bytes.
+        acc.feed(&encode_frame(&frame));
+        prop_assert!(matches!(acc.next_frame(), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn accumulator_rejects_oversize_lengths_from_the_header_alone(
+        frame in frames(),
+        extra in 1u32..1000,
+    ) {
+        let mut bytes = encode_frame(&frame);
+        bytes[8..12].copy_from_slice(&((MAX_BODY_LEN as u32) + extra).to_le_bytes());
+        let mut acc = FrameAccumulator::new();
+        // Header only: the body never needs to arrive to be refused.
+        acc.feed(&bytes[..HEADER_LEN]);
+        prop_assert!(matches!(
+            acc.next_frame(),
+            Err(WireError::OversizedBody(_))
+        ));
+    }
+
+    #[test]
+    fn accumulator_keeps_good_frames_before_a_version_clobber(
+        good in frames(),
+        bad in frames(),
+        version in 2u16..1000,
+    ) {
+        let mut stream = encode_frame(&good);
+        let mut second = encode_frame(&bad);
+        second[4..6].copy_from_slice(&version.to_le_bytes());
+        stream.extend_from_slice(&second);
+
+        let mut acc = FrameAccumulator::new();
+        acc.feed(&stream);
+        let (frame, _) = acc.next_frame().expect("first frame intact").expect("ready");
+        prop_assert_eq!(frame, good);
+        prop_assert!(matches!(
+            acc.next_frame(),
+            Err(WireError::VersionMismatch { .. })
+        ));
     }
 }
