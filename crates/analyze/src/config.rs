@@ -28,6 +28,19 @@ pub struct Config {
     /// the reactor's event loop, where one blocking call stalls every
     /// in-flight exchange.
     pub n1_critical: Vec<String>,
+    /// Path prefixes where D1X (cross-file hash flow) is enforced.
+    /// Empty means "mirror `d1_critical`" — the two rules guard the
+    /// same modules, D1X just sees across file boundaries.
+    pub d1x_critical: Vec<String>,
+    /// Path prefixes exempt from L1 (lock-order cycles). L1 is
+    /// workspace-wide by default: a cycle is a deadlock wherever the
+    /// two halves live.
+    pub l1_allow: Vec<String>,
+    /// Pool-submission points for P1 as `name:closure_arg_index`
+    /// entries (0-based), e.g. `run_dealt:2` — the third argument of
+    /// any `run_dealt(...)` call is a task closure executed on pool
+    /// workers and must not block.
+    pub p1_submit: Vec<String>,
 }
 
 impl Default for Config {
@@ -55,6 +68,9 @@ impl Default for Config {
             ],
             c4_allow: vec![],
             n1_critical: vec!["crates/reactor/src".to_string()],
+            d1x_critical: vec![],
+            l1_allow: vec![],
+            p1_submit: vec!["run_dealt:2".to_string(), "run_with:2".to_string()],
         }
     }
 }
@@ -70,6 +86,9 @@ impl Config {
             c3_critical: Vec::new(),
             c4_allow: Vec::new(),
             n1_critical: Vec::new(),
+            d1x_critical: Vec::new(),
+            l1_allow: Vec::new(),
+            p1_submit: Vec::new(),
         };
         let mut section = String::new();
         // Multi-line arrays accumulate until the closing bracket.
@@ -128,6 +147,9 @@ impl Config {
             ("rules.C3", "critical") => self.c3_critical = values,
             ("rules.C4", "allow") => self.c4_allow = values,
             ("rules.N1", "critical") => self.n1_critical = values,
+            ("rules.D1X", "critical") => self.d1x_critical = values,
+            ("rules.L1", "allow") => self.l1_allow = values,
+            ("rules.P1", "submit") => self.p1_submit = values,
             _ => return Err(format!("analyze.toml: unknown key [{section}] {key}")),
         }
         Ok(())
@@ -166,6 +188,34 @@ impl Config {
     /// Whether N1 applies to this path.
     pub fn n1_applies(&self, rel: &str) -> bool {
         self.n1_critical.iter().any(|p| prefix_match(p, rel))
+    }
+
+    /// Whether D1X applies to this path (falls back to the D1 set when
+    /// no dedicated `[rules.D1X] critical` list is configured).
+    pub fn d1x_applies(&self, rel: &str) -> bool {
+        let set = if self.d1x_critical.is_empty() {
+            &self.d1_critical
+        } else {
+            &self.d1x_critical
+        };
+        set.iter().any(|p| prefix_match(p, rel))
+    }
+
+    /// Whether this path is exempt from L1.
+    pub fn l1_exempt(&self, rel: &str) -> bool {
+        self.l1_allow.iter().any(|p| prefix_match(p, rel))
+    }
+
+    /// Parsed P1 submission points: `(function name, 0-based closure
+    /// argument index)`. Malformed entries are ignored.
+    pub fn p1_submits(&self) -> Vec<(String, usize)> {
+        self.p1_submit
+            .iter()
+            .filter_map(|entry| {
+                let (name, idx) = entry.split_once(':')?;
+                Some((name.trim().to_string(), idx.trim().parse().ok()?))
+            })
+            .collect()
     }
 }
 

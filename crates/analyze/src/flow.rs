@@ -1,0 +1,1433 @@
+//! Pass 2 of the two-pass engine: dataflow-ish rules over the
+//! [`crate::index::WorkspaceIndex`].
+//!
+//! Three rule families live here, all impossible for the per-line
+//! rules in [`crate::rules`]:
+//!
+//! * **D1X** — cross-file hash-container flow: a `HashMap`-shaped
+//!   field or return value declared in one module and iterated in a
+//!   D1-critical module, followed through field-access and
+//!   method-return chains.
+//! * **L1** — lock-order auditor: every `lock()` / `lock_unpoisoned()`
+//!   acquisition site is resolved to a lock *identity*
+//!   (`OwningStruct.field`, or a function-local name), a static
+//!   "lock A held while acquiring lock B" graph is built across the
+//!   workspace (including through resolved calls), and cycles are
+//!   flagged with both acquisition sites.
+//! * **P1** — no blocking calls (`sleep`, `recv`, lock acquisition,
+//!   socket reads, `join`) inside closures submitted to `jxp-pool`
+//!   executors, generalizing N1 beyond the reactor.
+//!
+//! Like everything in this crate the walkers are heuristics over
+//! `cargo fmt`-canonical code: unresolvable chains degrade to
+//! "unknown" and the rules under-approximate rather than guess, so a
+//! diagnostic that does fire is worth reading — and can always be
+//! silenced with a reasoned pragma.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::Config;
+use crate::index::{self, FileIndex, Tok, WorkspaceIndex, HASH_TYPES};
+use crate::{Diagnostic, RuleId};
+
+/// Iteration-order-observing methods (mirrors the D1 list).
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "intersection",
+    "union",
+    "difference",
+    "symmetric_difference",
+];
+
+/// Free functions whose call is a lock acquisition (first argument is
+/// the lock). Covers the workspace's poison-recovering helpers.
+const FREE_LOCK_FNS: &[&str] = &[
+    "lock",
+    "lock_unpoisoned",
+    "read_unpoisoned",
+    "write_unpoisoned",
+];
+
+/// Postfix adapters that return the value they were called on
+/// (for chain-resolution purposes).
+const PASSTHROUGH_METHODS: &[&str] = &[
+    "clone",
+    "unwrap",
+    "expect",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "as_ref",
+    "as_mut",
+    "borrow",
+    "borrow_mut",
+    "to_owned",
+    "cloned",
+    "copied",
+];
+
+/// Run every pass-2 rule. Diagnostics come back unsorted and
+/// un-suppressed; the caller applies pragmas and ordering.
+pub fn check(files: &[FileIndex], index: &WorkspaceIndex, config: &Config) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    rule_d1x(files, index, config, &mut diags);
+    rule_l1(files, index, config, &mut diags);
+    rule_p1(files, config, &mut diags);
+    diags
+}
+
+// ---------------------------------------------------------------------------
+// Chain resolution
+// ---------------------------------------------------------------------------
+
+/// What a postfix chain (`self.shared.queue`, `snapshot(world).clone()`)
+/// resolved to.
+#[derive(Debug, Clone, Default)]
+struct Resolved {
+    /// Current type head, if known.
+    head: Option<String>,
+    /// Whether the value is a hash-ordered container.
+    hash: bool,
+    /// Declaration site of the value's source (field decl or fn decl).
+    origin: Option<(String, usize)>,
+    /// Last `(owning struct, field)` traversed — the lock identity for
+    /// L1 when the chain ends in a lock-typed field.
+    last_field: Option<(String, String)>,
+}
+
+/// Locals and parameters in scope, by name.
+type Env = BTreeMap<String, Resolved>;
+
+/// Resolve a postfix chain starting at token `i`, not reading past
+/// `end`. Returns the resolution and the index after the chain.
+fn resolve_chain(
+    toks: &[Tok],
+    mut i: usize,
+    end: usize,
+    env: &Env,
+    index: &WorkspaceIndex,
+    file: &str,
+) -> Option<(Resolved, usize)> {
+    // Leading path: ident (:: ident)*.
+    let mut path: Vec<&str> = Vec::new();
+    while i < end && index::is_ident(&toks[i].1) {
+        path.push(toks[i].1.as_str());
+        if i + 1 < end && toks[i + 1].1 == "::" && i + 2 < end && index::is_ident(&toks[i + 2].1) {
+            i += 2;
+        } else {
+            i += 1;
+            break;
+        }
+    }
+    let mut value = if path.is_empty() {
+        return None;
+    } else if i < end && toks[i].1 == "(" {
+        // Call: `free_fn(...)` / `Type::ctor(...)`.
+        let name = *path.last().unwrap();
+        let call_line = toks[i - 1].0;
+        let qualifier = path.len().checked_sub(2).map(|q| path[q]);
+        let resolved = if let Some(q) = qualifier.filter(|q| HASH_TYPES.contains(q)) {
+            // `FxHashMap::default()`-style constructor.
+            Resolved {
+                head: Some(q.to_string()),
+                hash: true,
+                origin: Some((file.to_string(), call_line)),
+                last_field: None,
+            }
+        } else if let Some(f) = index.resolve_free(name, file) {
+            let f = &index.fns[f];
+            Resolved {
+                head: f.ret_head.clone(),
+                hash: f.ret_hash,
+                origin: Some((f.file.clone(), f.line)),
+                last_field: None,
+            }
+        } else {
+            Resolved::default()
+        };
+        i = skip_balanced(toks, i, "(", ")");
+        resolved
+    } else if path.len() == 1 {
+        env.get(path[0]).cloned().unwrap_or_default()
+    } else {
+        // Path-qualified non-call (`module::STATIC`): unknown.
+        Resolved::default()
+    };
+    // Postfix: fields, method calls, indexing.
+    loop {
+        if i < end && toks[i].1 == "[" {
+            // Indexed: element type unknown, but the lock identity of
+            // `self.stripes[s]` is still the `stripes` field.
+            i = skip_balanced(toks, i, "[", "]");
+            value.head = None;
+            value.hash = false;
+            continue;
+        }
+        if i + 1 < end && toks[i].1 == "." && index::is_ident(&toks[i + 1].1) {
+            let name = toks[i + 1].1.as_str();
+            let is_call = i + 2 < end && toks[i + 2].1 == "(";
+            if is_call {
+                if PASSTHROUGH_METHODS.contains(&name) {
+                    // Value flows through unchanged.
+                } else if let Some(f) = value
+                    .head
+                    .as_deref()
+                    .and_then(|h| index.resolve_method(h, name))
+                {
+                    let f = &index.fns[f];
+                    value = Resolved {
+                        head: f.ret_head.clone(),
+                        hash: f.ret_hash,
+                        origin: Some((f.file.clone(), f.line)),
+                        last_field: None,
+                    };
+                } else {
+                    value = Resolved::default();
+                }
+                i = skip_balanced(toks, i + 2, "(", ")");
+            } else {
+                value = match value
+                    .head
+                    .as_deref()
+                    .and_then(|h| index.field_head(h, name))
+                {
+                    Some(field) => {
+                        let owner = value.head.clone().unwrap();
+                        let sfile = index.structs[&owner].file.clone();
+                        Resolved {
+                            head: Some(field.inner_head.clone()),
+                            hash: field.is_hash,
+                            origin: Some((sfile, field.line)),
+                            last_field: Some((owner, field.name.clone())),
+                        }
+                    }
+                    None => Resolved::default(),
+                };
+                i += 2;
+            }
+            continue;
+        }
+        break;
+    }
+    Some((value, i))
+}
+
+/// Index after the balanced region opened by `open` at `i`.
+fn skip_balanced(toks: &[Tok], i: usize, open: &str, close: &str) -> usize {
+    debug_assert_eq!(toks[i].1, open);
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        let t = toks[j].1.as_str();
+        if t == open {
+            depth += 1;
+        } else if t == close {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Start of the postfix chain whose final `.` sits at `dot`: walk left
+/// over `ident`, `::`, `.`, balanced `[...]` / `(...)` groups.
+fn chain_start(toks: &[Tok], dot: usize) -> usize {
+    let mut i = dot;
+    loop {
+        if i == 0 {
+            return 0;
+        }
+        match toks[i - 1].1.as_str() {
+            "]" => i = rewind_balanced(toks, i - 1, "[", "]"),
+            ")" => i = rewind_balanced(toks, i - 1, "(", ")"),
+            t if index::is_ident(t) => {
+                i -= 1;
+                if i > 0 && matches!(toks[i - 1].1.as_str(), "." | "::") {
+                    i -= 1;
+                } else {
+                    return i;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Index of the opener matching the `close` at `at` (walking left).
+fn rewind_balanced(toks: &[Tok], at: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0i32;
+    let mut i = at;
+    loop {
+        let t = toks[i].1.as_str();
+        if t == close {
+            depth += 1;
+        } else if t == open {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        if i == 0 {
+            return 0;
+        }
+        i -= 1;
+    }
+}
+
+/// Seed an environment with a function's parameters.
+fn param_env(f: &index::FnInfo) -> Env {
+    let mut env = Env::new();
+    for (name, head) in &f.params {
+        env.insert(
+            name.clone(),
+            Resolved {
+                head: Some(head.clone()),
+                hash: HASH_TYPES.contains(&head.as_str()),
+                origin: Some((f.file.clone(), f.line)),
+                last_field: None,
+            },
+        );
+    }
+    env
+}
+
+/// Handle a `let` statement at `i`: bind the name in `env` from either
+/// an explicit `: Type` annotation or the right-hand chain. Returns the
+/// index to resume from.
+fn bind_let(
+    toks: &[Tok],
+    i: usize,
+    end: usize,
+    env: &mut Env,
+    index: &WorkspaceIndex,
+    file: &str,
+) -> usize {
+    let mut j = i + 1;
+    if toks.get(j).map(|t| t.1.as_str()) == Some("mut") {
+        j += 1;
+    }
+    let Some(name) = toks.get(j).filter(|t| index::is_ident(&t.1)) else {
+        return i + 1;
+    };
+    let name = name.1.clone();
+    let line = toks[j].0;
+    j += 1;
+    match toks.get(j).map(|t| t.1.as_str()) {
+        Some(":") => {
+            // `let x: Type = ...` — type head up to the `=`.
+            let mut ty = Vec::new();
+            let mut k = j + 1;
+            while k < end && !matches!(toks[k].1.as_str(), "=" | ";") {
+                ty.push(toks[k].1.as_str());
+                k += 1;
+            }
+            if let Some(head) = index::type_head(&ty) {
+                env.insert(
+                    name,
+                    Resolved {
+                        hash: HASH_TYPES.contains(&head.as_str()),
+                        head: Some(head),
+                        origin: Some((file.to_string(), line)),
+                        last_field: None,
+                    },
+                );
+            }
+            k
+        }
+        Some("=") => {
+            let mut k = j + 1;
+            while k < end && matches!(toks[k].1.as_str(), "&" | "mut") {
+                k += 1;
+            }
+            if let Some((value, _)) = resolve_chain(toks, k, end, env, index, file) {
+                if value.head.is_some() || value.last_field.is_some() {
+                    env.insert(name, value);
+                }
+            }
+            j + 1
+        }
+        _ => j,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D1X: cross-file hash-container flow
+// ---------------------------------------------------------------------------
+
+fn rule_d1x(
+    files: &[FileIndex],
+    index: &WorkspaceIndex,
+    config: &Config,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for file in files {
+        if !config.d1x_applies(&file.rel) {
+            continue;
+        }
+        for f in index.fns.iter().filter(|f| f.file == file.rel) {
+            d1x_fn(file, f, index, diags);
+        }
+    }
+}
+
+fn d1x_fn(
+    file: &FileIndex,
+    f: &index::FnInfo,
+    index: &WorkspaceIndex,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let toks = &file.toks;
+    let (start, end) = f.body;
+    let mut env = param_env(f);
+    let mut i = start;
+    while i < end {
+        match toks[i].1.as_str() {
+            "let" => {
+                i = bind_let(toks, i, end, &mut env, index, &file.rel);
+            }
+            "." if toks
+                .get(i + 1)
+                .is_some_and(|t| ITER_METHODS.contains(&t.1.as_str()))
+                && toks.get(i + 2).map(|t| t.1.as_str()) == Some("(") =>
+            {
+                let cs = chain_start(toks, i);
+                if let Some((value, _)) = resolve_chain(toks, cs, i, &env, index, &file.rel) {
+                    flag_cross_file(&value, file, toks, cs, i, toks[i + 1].0, diags);
+                }
+                i += 3;
+            }
+            "for" => {
+                // `for pat in <chain> {` — find `in` at paren depth 0.
+                let mut depth = 0i32;
+                let mut j = i + 1;
+                while j < end {
+                    match toks[j].1.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "in" if depth == 0 => break,
+                        "{" => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if toks.get(j).map(|t| t.1.as_str()) == Some("in") {
+                    let mut k = j + 1;
+                    while k < end && matches!(toks[k].1.as_str(), "&" | "mut") {
+                        k += 1;
+                    }
+                    let body_open = (k..end).find(|&m| toks[m].1 == "{").unwrap_or(end);
+                    if let Some((value, _)) =
+                        resolve_chain(toks, k, body_open, &env, index, &file.rel)
+                    {
+                        flag_cross_file(&value, file, toks, k, body_open, toks[k].0, diags);
+                    }
+                    i = k;
+                } else {
+                    i = j;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Emit a D1X diagnostic when `value` is a hash container declared in
+/// a different file than the iteration site.
+fn flag_cross_file(
+    value: &Resolved,
+    file: &FileIndex,
+    toks: &[Tok],
+    cs: usize,
+    ce: usize,
+    line: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some((ofile, oline)) = &value.origin else {
+        return;
+    };
+    if !value.hash || *ofile == file.rel {
+        return; // same-file iteration is rule D1's business
+    }
+    let chain: String = toks[cs..ce.min(toks.len())]
+        .iter()
+        .map(|t| t.1.as_str())
+        .collect::<Vec<_>>()
+        .join("");
+    diags.push(Diagnostic {
+        rule: RuleId::D1X,
+        file: file.rel.clone(),
+        line,
+        message: format!(
+            "hash-ordered iteration over `{chain}` whose container is declared \
+             at {ofile}:{oline} — a different module; use a BTree container or \
+             sort at the boundary"
+        ),
+    });
+}
+
+// ---------------------------------------------------------------------------
+// L1: lock-order auditor
+// ---------------------------------------------------------------------------
+
+/// A lock currently held during the body walk.
+#[derive(Debug, Clone)]
+struct Held {
+    id: String,
+    line: usize,
+    /// `Some(name)` for `let name = <acq>` guards, `None` for
+    /// statement temporaries.
+    bound: Option<String>,
+    /// Brace depth the guard was bound at (bound guards die when that
+    /// block closes).
+    depth: u32,
+}
+
+/// One "held `from`, acquired `to`" observation.
+#[derive(Debug, Clone)]
+struct LockEdge {
+    from: String,
+    from_line: usize,
+    to: String,
+    to_file: String,
+    to_line: usize,
+    /// Set when the `to` acquisition happens inside a callee rather
+    /// than at the call site itself.
+    via: Option<String>,
+}
+
+/// Per-function lock facts from the body walk.
+#[derive(Debug, Default)]
+struct FnLocks {
+    /// Identities this fn acquires directly (outside closures), with
+    /// the first acquisition site.
+    acquires: BTreeMap<String, usize>,
+    /// Inline held-while-acquiring edges.
+    edges: Vec<LockEdge>,
+    /// Resolved callees (outside closures).
+    calls: BTreeSet<usize>,
+    /// Calls made while holding locks: (held snapshot, callee, line).
+    held_calls: Vec<(Vec<Held>, usize, usize)>,
+}
+
+fn rule_l1(
+    files: &[FileIndex],
+    index: &WorkspaceIndex,
+    config: &Config,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let by_rel: BTreeMap<&str, &FileIndex> = files.iter().map(|f| (f.rel.as_str(), f)).collect();
+    // Walk every function body once.
+    let mut facts: Vec<FnLocks> = Vec::with_capacity(index.fns.len());
+    for f in &index.fns {
+        let Some(file) = by_rel.get(f.file.as_str()) else {
+            facts.push(FnLocks::default());
+            continue;
+        };
+        if config.l1_exempt(&f.file) {
+            facts.push(FnLocks::default());
+            continue;
+        }
+        let mut walk = LockWalk {
+            file,
+            fn_name: &f.name,
+            index,
+            env: param_env(f),
+            out: FnLocks::default(),
+        };
+        walk.walk(f.body.0, f.body.1, Vec::new());
+        facts.push(walk.out);
+    }
+    // Fixpoint: transitive acquire sets (identity → representative site).
+    let mut trans: Vec<BTreeMap<String, (String, usize)>> = index
+        .fns
+        .iter()
+        .zip(&facts)
+        .map(|(f, fl)| {
+            fl.acquires
+                .iter()
+                .map(|(id, line)| (id.clone(), (f.file.clone(), *line)))
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..facts.len() {
+            for &c in &facts[i].calls {
+                if c == i {
+                    continue;
+                }
+                let add: Vec<_> = trans[c]
+                    .iter()
+                    .filter(|(id, _)| !trans[i].contains_key(*id))
+                    .map(|(id, s)| (id.clone(), s.clone()))
+                    .collect();
+                if !add.is_empty() {
+                    trans[i].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Cross-function edges: held at a call → everything the callee
+    // transitively acquires.
+    let mut edges: Vec<LockEdge> = Vec::new();
+    for (i, fl) in facts.iter().enumerate() {
+        edges.extend(fl.edges.iter().cloned());
+        for (held, callee, line) in &fl.held_calls {
+            for (to, (to_file, to_line)) in &trans[*callee] {
+                for h in held {
+                    if h.id != *to {
+                        edges.push(LockEdge {
+                            from: h.id.clone(),
+                            from_line: h.line,
+                            to: to.clone(),
+                            to_file: to_file.clone(),
+                            to_line: *to_line,
+                            via: Some(format!(
+                                "{}:{line} calls `{}`",
+                                index.fns[i].file, index.fns[*callee].name
+                            )),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    report_cycles(&edges, index, &facts, diags);
+}
+
+/// First-edge map and adjacency, then flag every cycle once.
+fn report_cycles(
+    edges: &[LockEdge],
+    index: &WorkspaceIndex,
+    facts: &[FnLocks],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut first: BTreeMap<(&str, &str), &LockEdge> = BTreeMap::new();
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        first.entry((&e.from, &e.to)).or_insert(e);
+        adj.entry(&e.from).or_default().insert(&e.to);
+    }
+    // The file each edge is observed in: the fn walk that produced it.
+    // Inline edges carry their own site via `to_file`; use it directly.
+    let _ = (index, facts);
+    for ((a, b), e) in &first {
+        if !reaches(&adj, b, a) {
+            continue;
+        }
+        // One report per cycle: anchor at its lexicographically
+        // smallest member so A→B→A doesn't double-report.
+        let mut cycle_nodes: BTreeSet<&str> = BTreeSet::new();
+        cycle_nodes.insert(a);
+        collect_cycle_nodes(&adj, b, a, &mut cycle_nodes);
+        if Some(*a) != cycle_nodes.iter().next().copied() {
+            continue;
+        }
+        let back = first.get(&(*b, *a));
+        let reverse = match back {
+            Some(r) => format!(
+                "the reverse acquisition (`{}` while holding `{}`) is at {}:{}{}",
+                r.to,
+                r.from,
+                r.to_file,
+                r.to_line,
+                r.via
+                    .as_deref()
+                    .map(|v| format!(" via {v}"))
+                    .unwrap_or_default()
+            ),
+            None => format!(
+                "the cycle closes back to `{a}` through {} more lock(s)",
+                cycle_nodes.len().saturating_sub(2).max(1)
+            ),
+        };
+        diags.push(Diagnostic {
+            rule: RuleId::L1,
+            file: e.to_file.clone(),
+            line: e.to_line,
+            message: format!(
+                "lock-order cycle: `{}` acquired here while `{}` is held \
+                 (acquired at {}:{}){}; {}",
+                e.to,
+                e.from,
+                e.to_file,
+                e.from_line,
+                e.via
+                    .as_deref()
+                    .map(|v| format!(" via {v}"))
+                    .unwrap_or_default(),
+                reverse
+            ),
+        });
+    }
+}
+
+/// Can `from` reach `to` in the adjacency map?
+fn reaches(adj: &BTreeMap<&str, BTreeSet<&str>>, from: &str, to: &str) -> bool {
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![from];
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if !seen.insert(n.to_string()) {
+            continue;
+        }
+        if let Some(next) = adj.get(n) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}
+
+/// Collect the nodes on some path `from ⇝ to` (the cycle body).
+fn collect_cycle_nodes<'a>(
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    from: &'a str,
+    to: &str,
+    out: &mut BTreeSet<&'a str>,
+) {
+    // BFS with parents, then walk back.
+    let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    let mut found = false;
+    while let Some(n) = queue.pop_front() {
+        if n == to {
+            found = true;
+            break;
+        }
+        if let Some(next) = adj.get(n) {
+            for m in next {
+                if *m != from && !parent.contains_key(m) {
+                    parent.insert(m, n);
+                    queue.push_back(m);
+                }
+            }
+        }
+    }
+    if !found {
+        return;
+    }
+    out.insert(from);
+    let mut cur = to;
+    while let Some(p) = parent.get(cur) {
+        out.insert(p);
+        cur = p;
+    }
+}
+
+/// Token-walking state for one function body.
+struct LockWalk<'a> {
+    file: &'a FileIndex,
+    fn_name: &'a str,
+    index: &'a WorkspaceIndex,
+    env: Env,
+    out: FnLocks,
+}
+
+impl LockWalk<'_> {
+    /// Walk `start..end` with an initial held set (`Vec::new()` for a
+    /// function body; closures also start empty — guards held at
+    /// closure *creation* are not held at closure *execution*).
+    fn walk(&mut self, start: usize, end: usize, mut held: Vec<Held>) {
+        let toks = &self.file.toks;
+        let mut depth = 0u32;
+        let mut i = start;
+        while i < end {
+            let t = toks[i].1.as_str();
+            match t {
+                "{" => {
+                    // Statement temporaries die before a block opens
+                    // (if/while conditions); match-scrutinee extension
+                    // is deliberately under-approximated.
+                    held.retain(|h| h.bound.is_some());
+                    depth += 1;
+                    i += 1;
+                }
+                "}" => {
+                    held.retain(|h| h.bound.is_some() && h.depth < depth);
+                    depth = depth.saturating_sub(1);
+                    i += 1;
+                }
+                ";" => {
+                    held.retain(|h| h.bound.is_some());
+                    i += 1;
+                }
+                "let" => {
+                    i = bind_let(toks, i, end, &mut self.env, self.index, &self.file.rel);
+                }
+                "fn" => {
+                    // Nested fn: indexed separately; skip its body here.
+                    i = skip_nested_fn(toks, i, end);
+                }
+                "|" if closure_position(toks, i) => {
+                    let (bstart, bend, resume) = closure_extent(toks, i, end);
+                    self.walk(bstart, bend, Vec::new());
+                    i = resume;
+                }
+                "drop"
+                    if toks.get(i + 1).map(|t| t.1.as_str()) == Some("(")
+                        && toks.get(i + 3).map(|t| t.1.as_str()) == Some(")") =>
+                {
+                    let name = &toks[i + 2].1;
+                    held.retain(|h| h.bound.as_deref() != Some(name.as_str()));
+                    i += 4;
+                }
+                _ => {
+                    if let Some(next) = self.try_acquisition(i, end, &mut held, depth) {
+                        i = next;
+                    } else if let Some(next) = self.try_call(i, end, &held) {
+                        i = next;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Detect a lock acquisition at `i`; record edges and the new
+    /// guard. Returns the index to resume from.
+    fn try_acquisition(
+        &mut self,
+        i: usize,
+        end: usize,
+        held: &mut Vec<Held>,
+        depth: u32,
+    ) -> Option<usize> {
+        let toks = &self.file.toks;
+        let t = toks[i].1.as_str();
+        let (id, line, resume, bound) = if FREE_LOCK_FNS.contains(&t)
+            && toks.get(i + 1).map(|t| t.1.as_str()) == Some("(")
+            && !matches!(
+                i.checked_sub(1).map(|p| toks[p].1.as_str()),
+                Some(".") | Some("fn")
+            ) {
+            // `lock(&self.shared.queue)` — resolve the first argument.
+            let close = skip_balanced(toks, i + 1, "(", ")");
+            let mut a = i + 2;
+            while a < close && matches!(toks[a].1.as_str(), "&" | "mut") {
+                a += 1;
+            }
+            let id = self.lock_identity(a, close - 1);
+            (id, toks[i].0, i + 2, let_binding(toks, i))
+        } else if t == "."
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| matches!(t.1.as_str(), "lock" | "read" | "write"))
+            && toks.get(i + 2).map(|t| t.1.as_str()) == Some("(")
+            && toks.get(i + 3).map(|t| t.1.as_str()) == Some(")")
+        {
+            // `<chain>.lock()` with empty parens (keeps io::Read::read
+            // and io::Write::write out).
+            let cs = chain_start(toks, i);
+            let id = self.lock_identity(cs, i);
+            (id, toks[i + 1].0, i + 4, let_binding(toks, cs))
+        } else {
+            return None;
+        };
+        let _ = end;
+        for h in held.iter() {
+            if h.id != id {
+                self.out.edges.push(LockEdge {
+                    from: h.id.clone(),
+                    from_line: h.line,
+                    to: id.clone(),
+                    to_file: self.file.rel.clone(),
+                    to_line: line,
+                    via: None,
+                });
+            }
+        }
+        self.out.acquires.entry(id.clone()).or_insert(line);
+        held.push(Held {
+            id,
+            line,
+            bound,
+            depth,
+        });
+        Some(resume)
+    }
+
+    /// Lock identity of the chain `cs..ce`: `Struct.field` when the
+    /// chain resolves to a field, else a function-local name.
+    fn lock_identity(&self, cs: usize, ce: usize) -> String {
+        let toks = &self.file.toks;
+        if let Some((value, _)) = resolve_chain(toks, cs, ce, &self.env, self.index, &self.file.rel)
+        {
+            if let Some((owner, field)) = value.last_field {
+                return format!("{owner}.{field}");
+            }
+        }
+        let text: String = toks[cs..ce.min(toks.len())]
+            .iter()
+            .map(|t| t.1.as_str())
+            .collect::<Vec<_>>()
+            .join("");
+        format!("{}::{}::{text}", self.file.rel, self.fn_name)
+    }
+
+    /// Detect a resolvable call at `i`; record it (and the held set,
+    /// if any). Returns the index to resume from.
+    fn try_call(&mut self, i: usize, end: usize, held: &[Held]) -> Option<usize> {
+        let toks = &self.file.toks;
+        let t = toks[i].1.as_str();
+        let callee = if index::is_ident(t)
+            && toks.get(i + 1).map(|t| t.1.as_str()) == Some("(")
+            && !matches!(
+                t,
+                "if" | "while" | "match" | "for" | "loop" | "return" | "drop"
+            )
+            && i.checked_sub(1)
+                .map(|p| toks[p].1.as_str() != "." && toks[p].1.as_str() != "fn")
+                .unwrap_or(true)
+        {
+            self.index.resolve_free(t, &self.file.rel)
+        } else if t == "."
+            && toks.get(i + 1).is_some_and(|t| index::is_ident(&t.1))
+            && toks.get(i + 2).map(|t| t.1.as_str()) == Some("(")
+        {
+            let name = toks[i + 1].1.clone();
+            let cs = chain_start(toks, i);
+            resolve_chain(toks, cs, i, &self.env, self.index, &self.file.rel)
+                .and_then(|(v, _)| v.head)
+                .and_then(|h| self.index.resolve_method(&h, &name))
+        } else {
+            None
+        };
+        let _ = end;
+        let callee = callee?;
+        let line = toks[i].0;
+        self.out.calls.insert(callee);
+        if !held.is_empty() {
+            self.out.held_calls.push((held.to_vec(), callee, line));
+        }
+        // Resume after the name so the argument list is still walked
+        // (it may contain further acquisitions).
+        Some(if t == "." { i + 2 } else { i + 1 })
+    }
+}
+
+/// `let (mut)? name =` immediately before `start`? Returns the bound
+/// name when the acquisition is the start of a let initializer.
+fn let_binding(toks: &[Tok], start: usize) -> Option<String> {
+    let eq = start.checked_sub(1)?;
+    if toks[eq].1 != "=" {
+        return None;
+    }
+    let name = eq.checked_sub(1)?;
+    if !index::is_ident(&toks[name].1) {
+        return None;
+    }
+    let kw = name.checked_sub(1)?;
+    match toks[kw].1.as_str() {
+        "let" => Some(toks[name].1.clone()),
+        "mut" if kw > 0 && toks[kw - 1].1 == "let" => Some(toks[name].1.clone()),
+        _ => None,
+    }
+}
+
+/// Is the `|` at `i` a closure-parameter opener (vs binary or / match
+/// arm alternation)?
+fn closure_position(toks: &[Tok], i: usize) -> bool {
+    matches!(
+        i.checked_sub(1).map(|p| toks[p].1.as_str()),
+        None | Some("(" | "," | "=" | "{" | ";" | "return" | "move" | "else" | "&")
+    )
+}
+
+/// Extent of the closure starting at the `|` at `i`:
+/// `(body_start, body_end, resume)`.
+fn closure_extent(toks: &[Tok], i: usize, end: usize) -> (usize, usize, usize) {
+    // Parameters: to the matching `|` (params never contain `|`).
+    let mut j = i + 1;
+    if j < end && toks[j].1 == "|" {
+        j += 1; // `||` — empty parameter list
+    } else {
+        while j < end && toks[j].1 != "|" {
+            j += 1;
+        }
+        j += 1;
+    }
+    if j >= end {
+        return (end, end, end);
+    }
+    if toks[j].1 == "{" {
+        let close = skip_balanced(toks, j, "{", "}");
+        return (j + 1, close.saturating_sub(1).min(end), close.min(end));
+    }
+    // Expression body: to a `,` or `)` at relative depth 0, or `;`.
+    let mut depth = 0i32;
+    let mut k = j;
+    while k < end {
+        match toks[k].1.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            "," | ";" if depth == 0 => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    (j, k, k)
+}
+
+/// Skip a nested `fn` declaration (signature + body) inside a body.
+fn skip_nested_fn(toks: &[Tok], i: usize, end: usize) -> usize {
+    let mut j = i;
+    while j < end && !matches!(toks[j].1.as_str(), "{" | ";") {
+        j += 1;
+    }
+    if j < end && toks[j].1 == "{" {
+        skip_balanced(toks, j, "{", "}").min(end)
+    } else {
+        (j + 1).min(end)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// P1: no blocking calls in pool-submitted closures
+// ---------------------------------------------------------------------------
+
+/// Blocking method calls that require an argument list.
+const P1_BLOCKING_WITH_ARGS: &[&str] = &[
+    "recv_timeout",
+    "recv_deadline",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+];
+
+/// Blocking method calls that take no arguments.
+const P1_BLOCKING_NULLARY: &[&str] = &["recv", "join", "accept", "lock"];
+
+fn rule_p1(files: &[FileIndex], config: &Config, diags: &mut Vec<Diagnostic>) {
+    let submits = config.p1_submits();
+    if submits.is_empty() {
+        return;
+    }
+    for file in files {
+        let toks = &file.toks;
+        for i in 0..toks.len() {
+            for (name, arg_idx) in &submits {
+                if toks[i].1 != *name || toks.get(i + 1).map(|t| t.1.as_str()) != Some("(") {
+                    continue;
+                }
+                // A submission is a call, not a declaration.
+                if i > 0 && toks[i - 1].1 == "fn" {
+                    continue;
+                }
+                let Some((astart, aend)) = nth_argument(toks, i + 1, *arg_idx) else {
+                    continue;
+                };
+                // Only closures are inspectable; a function-pointer
+                // argument is out of lexical reach.
+                if !(astart..aend).any(|k| closure_position(toks, k) && toks[k].1 == "|")
+                    && !(astart..aend).any(|k| toks[k].1 == "|")
+                {
+                    continue;
+                }
+                scan_blocking(file, toks, astart, aend, name, diags);
+            }
+        }
+    }
+}
+
+/// Token range of the `n`-th (0-based) argument of the call whose `(`
+/// sits at `open`.
+fn nth_argument(toks: &[Tok], open: usize, n: usize) -> Option<(usize, usize)> {
+    let close = skip_balanced(toks, open, "(", ")").checked_sub(1)?;
+    let mut depth = 0i32;
+    let mut arg = 0usize;
+    let mut start = open + 1;
+    for i in open + 1..close {
+        match toks[i].1.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "|" if depth == 0 => {
+                // A closure's `,`-separated parameters must not split
+                // the argument list: jump to the closing `|`.
+                continue;
+            }
+            "," if depth == 0 && !inside_closure_params(toks, open + 1, i) => {
+                if arg == n {
+                    return Some((start, i));
+                }
+                arg += 1;
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    (arg == n && start < close).then_some((start, close))
+}
+
+/// Is the token at `at` between an opening closure `|` and its closing
+/// `|` (scanning from `from`)? Keeps closure parameter commas from
+/// splitting the argument list.
+fn inside_closure_params(toks: &[Tok], from: usize, at: usize) -> bool {
+    let mut open = false;
+    for i in from..at {
+        if toks[i].1 == "|" {
+            if !open && closure_position(toks, i) {
+                open = true;
+            } else if open {
+                open = false;
+            }
+        }
+    }
+    open
+}
+
+/// Scan one submitted-closure region for lexically blocking calls.
+fn scan_blocking(
+    file: &FileIndex,
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    submit: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut i = start;
+    while i < end {
+        let t = toks[i].1.as_str();
+        let hit: Option<String> =
+            if t == "sleep" && toks.get(i + 1).map(|t| t.1.as_str()) == Some("(") {
+                Some("sleep(..)".to_string())
+            } else if t == "."
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|t| P1_BLOCKING_NULLARY.contains(&t.1.as_str()))
+                && toks.get(i + 2).map(|t| t.1.as_str()) == Some("(")
+                && toks.get(i + 3).map(|t| t.1.as_str()) == Some(")")
+            {
+                Some(format!(".{}()", toks[i + 1].1))
+            } else if t == "."
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|t| P1_BLOCKING_WITH_ARGS.contains(&t.1.as_str()))
+                && toks.get(i + 2).map(|t| t.1.as_str()) == Some("(")
+            {
+                Some(format!(".{}(..)", toks[i + 1].1))
+            } else if FREE_LOCK_FNS.contains(&t)
+                && toks.get(i + 1).map(|t| t.1.as_str()) == Some("(")
+                && i.checked_sub(1).map(|p| toks[p].1.as_str()) != Some(".")
+            {
+                Some(format!("{t}(..)"))
+            } else {
+                None
+            };
+        if let Some(what) = hit {
+            diags.push(Diagnostic {
+                rule: RuleId::P1,
+                file: file.rel.clone(),
+                line: toks[i].0,
+                message: format!(
+                    "blocking `{what}` inside a closure submitted to `{submit}`: \
+                     a parked pool worker can deadlock the round (the PR 8 \
+                     caller-panic hang class); move the blocking work outside \
+                     the task or restructure with try_lock/channels drained \
+                     after the round"
+                ),
+            });
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{analyze_sources, Config, RuleId};
+
+    fn rules_of(diags: &[crate::Diagnostic]) -> Vec<RuleId> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn d1x_flags_cross_file_field_iteration() {
+        let world = "\
+pub struct World {
+    pub entries: FxHashMap<u64, f64>,
+}
+";
+        let user = "\
+pub fn total(world: &World) -> f64 {
+    world.entries.values().sum()
+}
+";
+        let diags = analyze_sources(
+            &[
+                ("crates/node/src/world.rs", world),
+                ("crates/core/src/sum.rs", user),
+            ],
+            &Config::default(),
+        );
+        assert_eq!(rules_of(&diags), vec![RuleId::D1X]);
+        assert_eq!(diags[0].file, "crates/core/src/sum.rs");
+        assert_eq!(diags[0].line, 2);
+        assert!(diags[0].message.contains("crates/node/src/world.rs:2"));
+    }
+
+    #[test]
+    fn d1x_follows_method_return_chains() {
+        let provider = "\
+pub struct Snapshots;
+impl Snapshots {
+    pub fn scores(&self) -> FxHashMap<u64, f64> {
+        todo!()
+    }
+}
+";
+        let user = "\
+pub fn consume(s: &Snapshots) {
+    for (k, v) in s.scores().iter() {
+        let _ = (k, v);
+    }
+    let m = s.scores();
+    for x in &m {
+        let _ = x;
+    }
+}
+";
+        let diags = analyze_sources(
+            &[
+                ("crates/serve/src/snap.rs", provider),
+                ("crates/pagerank/src/use.rs", user),
+            ],
+            &Config::default(),
+        );
+        assert_eq!(rules_of(&diags), vec![RuleId::D1X, RuleId::D1X]);
+        assert_eq!(diags[0].line, 2);
+        assert_eq!(diags[1].line, 6);
+    }
+
+    #[test]
+    fn d1x_silent_on_same_file_and_btree() {
+        // Same-file declaration + iteration is D1's business; BTreeMap
+        // is ordered and never flagged.
+        let provider = "\
+pub struct Tree {
+    pub entries: BTreeMap<u64, f64>,
+}
+";
+        let user = "\
+pub fn total(t: &Tree) -> f64 {
+    t.entries.values().sum()
+}
+";
+        let diags = analyze_sources(
+            &[
+                ("crates/node/src/tree.rs", provider),
+                ("crates/core/src/sum.rs", user),
+            ],
+            &Config::default(),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn d1x_not_enforced_outside_critical_paths() {
+        let world = "pub struct W { pub m: FxHashMap<u64, f64> }\n";
+        let user = "pub fn f(w: &W) -> f64 { w.m.values().sum() }\n";
+        let diags = analyze_sources(
+            &[
+                ("crates/core/src/w.rs", world),
+                ("crates/serve/src/f.rs", user),
+            ],
+            &Config::default(),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn l1_flags_two_lock_cycle_with_both_sites() {
+        // The PR 8 pool-deadlock shape, split across two files: one
+        // path holds `queue` and takes `handles`, the other holds
+        // `handles` and (through a call) takes `queue`.
+        let shared = "\
+pub struct Shared {
+    pub queue: Mutex<Vec<u64>>,
+    pub handles: Mutex<Vec<u64>>,
+}
+pub fn drain(shared: &Shared) {
+    let q = lock_unpoisoned(&shared.queue);
+    reap(shared);
+    let _ = q;
+}
+pub fn reap(shared: &Shared) {
+    let h = lock_unpoisoned(&shared.handles);
+    let _ = h;
+}
+";
+        let other = "\
+pub fn shutdown(shared: &Shared) {
+    let h = lock_unpoisoned(&shared.handles);
+    let q = lock_unpoisoned(&shared.queue);
+    let _ = (h, q);
+}
+";
+        let diags = analyze_sources(
+            &[
+                ("crates/pool/src/shared.rs", shared),
+                ("crates/pool/src/shutdown.rs", other),
+            ],
+            &Config::default(),
+        );
+        assert_eq!(rules_of(&diags), vec![RuleId::L1], "{diags:?}");
+        let d = &diags[0];
+        assert!(d.message.contains("Shared.queue") && d.message.contains("Shared.handles"));
+        // Both acquisition sites are named as file:line pairs.
+        assert!(
+            d.message.contains("crates/pool/src/shutdown.rs:3")
+                || d.file == "crates/pool/src/shutdown.rs",
+            "{d:?}"
+        );
+        assert!(d.message.contains(':'), "{d:?}");
+    }
+
+    #[test]
+    fn l1_silent_on_consistent_order_and_scoped_release() {
+        let src = "\
+pub struct Shared {
+    pub queue: Mutex<Vec<u64>>,
+    pub handles: Mutex<Vec<u64>>,
+}
+pub fn a(shared: &Shared) {
+    let q = lock_unpoisoned(&shared.queue);
+    let h = lock_unpoisoned(&shared.handles);
+    let _ = (q, h);
+}
+pub fn b(shared: &Shared) {
+    {
+        let q = lock_unpoisoned(&shared.queue);
+        let _ = q;
+    }
+    let h = lock_unpoisoned(&shared.handles);
+    let q2 = lock_unpoisoned(&shared.queue);
+    let _ = (h, q2);
+}
+";
+        // a: queue→handles. b: drops queue before handles, then takes
+        // handles→queue… which *is* a cycle with a. Use a clean twin:
+        let clean = "\
+pub struct Shared {
+    pub queue: Mutex<Vec<u64>>,
+    pub handles: Mutex<Vec<u64>>,
+}
+pub fn a(shared: &Shared) {
+    let q = lock_unpoisoned(&shared.queue);
+    let h = lock_unpoisoned(&shared.handles);
+    let _ = (q, h);
+}
+pub fn b(shared: &Shared) {
+    {
+        let q = lock_unpoisoned(&shared.queue);
+        let _ = q;
+    }
+    let h = lock_unpoisoned(&shared.handles);
+    let _ = h;
+}
+";
+        let diags = analyze_sources(&[("crates/pool/src/x.rs", clean)], &Config::default());
+        assert!(diags.is_empty(), "{diags:?}");
+        // And the dirty version above does fire (reverse order held).
+        let diags = analyze_sources(&[("crates/pool/src/x.rs", src)], &Config::default());
+        assert_eq!(rules_of(&diags), vec![RuleId::L1]);
+    }
+
+    #[test]
+    fn l1_ignores_locks_acquired_in_spawned_closures() {
+        // Guards held at closure creation are not held at execution:
+        // spawning a worker while holding `handles` must not create a
+        // handles→queue edge (the jxp-pool ensure_workers shape).
+        let src = "\
+pub struct Shared {
+    pub queue: Mutex<Vec<u64>>,
+    pub handles: Mutex<Vec<u64>>,
+}
+pub fn worker(shared: &Shared) {
+    let q = lock_unpoisoned(&shared.queue);
+    let _ = q;
+}
+pub fn ensure(shared: &Shared) {
+    let h = lock_unpoisoned(&shared.handles);
+    let t = std::thread::spawn(move || worker(shared));
+    let _ = (h, t);
+}
+pub fn elsewhere(shared: &Shared) {
+    let q = lock_unpoisoned(&shared.queue);
+    reap(shared);
+    let _ = q;
+}
+pub fn reap(shared: &Shared) {
+    let h = lock_unpoisoned(&shared.handles);
+    let _ = h;
+}
+";
+        // queue→handles exists (elsewhere→reap); if the closure also
+        // produced handles→queue, this would be a false cycle.
+        let diags = analyze_sources(&[("crates/pool/src/x.rs", src)], &Config::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn p1_flags_blocking_calls_in_submitted_closures() {
+        let src = "\
+pub fn round(tasks: Vec<u64>) {
+    jxp_pool::global().run_dealt(4, tasks, |t| {
+        std::thread::sleep(std::time::Duration::from_millis(t));
+    });
+}
+";
+        let diags = analyze_sources(&[("crates/node/src/x.rs", src)], &Config::default());
+        assert_eq!(rules_of(&diags), vec![RuleId::P1]);
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn p1_flags_lock_and_recv_but_not_clean_closures() {
+        let dirty = "\
+pub fn round(tasks: Vec<u64>, rx: Receiver<u64>) {
+    jxp_pool::global().run_with(4, tasks, |t| {
+        let g = lock_unpoisoned(&GLOBAL_STATE);
+        let v = rx.recv();
+        let _ = (g, v, t);
+    }, || ());
+}
+";
+        let diags = analyze_sources(&[("crates/node/src/x.rs", dirty)], &Config::default());
+        assert_eq!(rules_of(&diags), vec![RuleId::P1, RuleId::P1]);
+        let clean = "\
+pub fn round(tasks: Vec<u64>) {
+    jxp_pool::global().run_dealt(4, tasks, |(a, b, slot)| {
+        *slot = Some(a + b);
+    });
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}
+";
+        let diags = analyze_sources(&[("crates/node/src/x.rs", clean)], &Config::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,781 @@
+//! Pass 1 of the two-pass engine: a workspace-wide symbol index.
+//!
+//! The single-file rules in [`crate::rules`] cannot see a hash map that
+//! is *declared* in one module and *iterated* in another, or a pair of
+//! mutexes acquired in opposite orders by two different files. This
+//! module closes that gap with a lightweight token-tree reader layered
+//! on the [`crate::scan`] stripper (no `syn`, no crates.io parsers): it
+//! walks every scanned file once and records
+//!
+//! * **struct fields** with the head identifier of their type (wrapper
+//!   types like `Arc`/`Rc`/`Box` unwrapped), flagging hash-ordered
+//!   containers;
+//! * **function signatures** — name, enclosing `impl` type, parameter
+//!   names with their type heads, return-type head — plus the token
+//!   range of the body;
+//! * lookup tables that let pass 2 ([`crate::flow`]) resolve `self.a.b`
+//!   chains, method receivers, and call targets across files.
+//!
+//! The reader is a heuristic over `cargo fmt`-canonical code, exactly
+//! like the line rules: unresolvable constructs degrade to "unknown"
+//! (pass 2 then under-approximates rather than guessing), and every
+//! resulting diagnostic can carry a reasoned pragma.
+
+use std::collections::BTreeMap;
+
+use crate::scan::{self, Prepared};
+
+/// Container types whose iteration order is hash-dependent.
+pub const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Smart-pointer heads that are transparent for field-chain resolution
+/// (`Arc<PoolShared>` behaves like `PoolShared` for `.field` access).
+const TRANSPARENT_WRAPPERS: &[&str] = &["Arc", "Rc", "Box"];
+
+/// One token with the 1-based source line it came from.
+pub type Tok = (usize, String);
+
+/// A named struct field and the resolved head of its type.
+#[derive(Debug, Clone)]
+pub struct FieldInfo {
+    /// Field name.
+    pub name: String,
+    /// 1-based declaration line.
+    pub line: usize,
+    /// Head identifier of the field type after unwrapping transparent
+    /// wrappers (`Arc<Mutex<Queue>>` → `Mutex`).
+    pub type_head: String,
+    /// Head identifier *inside* one `Mutex`/`RwLock`/wrapper layer, for
+    /// chain resolution through lock fields (`Arc<PoolShared>` → the
+    /// same as `type_head`; `Mutex<Queue>` → `Queue`).
+    pub inner_head: String,
+    /// Whether the (unwrapped) type is a hash-ordered container.
+    pub is_hash: bool,
+}
+
+/// A struct declaration and its named fields.
+#[derive(Debug, Clone)]
+pub struct StructInfo {
+    /// Struct name.
+    pub name: String,
+    /// Workspace-relative file declaring it.
+    pub file: String,
+    /// 1-based declaration line.
+    pub line: usize,
+    /// Named fields (tuple structs record none).
+    pub fields: Vec<FieldInfo>,
+}
+
+/// A function (or method) signature plus its body's token range.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Function name.
+    pub name: String,
+    /// Workspace-relative file declaring it.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Enclosing `impl` type, if any (`Self` resolves to this).
+    pub impl_type: Option<String>,
+    /// Parameter names with their resolved type heads (`self` included,
+    /// typed as the impl type).
+    pub params: Vec<(String, String)>,
+    /// Head identifier of the return type, if one was declared.
+    pub ret_head: Option<String>,
+    /// Whether the return type's head is a hash-ordered container.
+    pub ret_hash: bool,
+    /// Token range of the body in the file's token stream
+    /// (`start..end`, exclusive; `start == end` for bodyless decls).
+    pub body: (usize, usize),
+}
+
+/// One scanned file: its prepared source and flat token stream.
+#[derive(Debug)]
+pub struct FileIndex {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Preprocessed source (code-only lines + pragmas).
+    pub prepared: Prepared,
+    /// Flat `(line, token)` stream over every code line.
+    pub toks: Vec<Tok>,
+}
+
+impl FileIndex {
+    /// Tokenize one prepared file into a flat line-tagged stream.
+    pub fn build(rel: &str, prepared: Prepared) -> FileIndex {
+        let mut toks = Vec::new();
+        for line in &prepared.lines {
+            for t in scan::tokenize(&line.code) {
+                toks.push((line.number, t));
+            }
+        }
+        FileIndex {
+            rel: rel.to_string(),
+            prepared,
+            toks,
+        }
+    }
+}
+
+/// The workspace-wide symbol index produced by pass 1.
+#[derive(Debug, Default)]
+pub struct WorkspaceIndex {
+    /// Structs by name. Duplicate names across files keep the first
+    /// occurrence (resolution then under-approximates — acceptable for
+    /// a lint, and this workspace has none).
+    pub structs: BTreeMap<String, StructInfo>,
+    /// Every indexed function, in file-then-token order.
+    pub fns: Vec<FnInfo>,
+    /// Function indexes by bare name.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Method indexes by `(impl type, name)`.
+    pub by_method: BTreeMap<(String, String), usize>,
+}
+
+impl WorkspaceIndex {
+    /// Build the index over every scanned file.
+    pub fn build(files: &[FileIndex]) -> WorkspaceIndex {
+        let mut index = WorkspaceIndex::default();
+        for (file_no, file) in files.iter().enumerate() {
+            index_file(&mut index, file, file_no);
+        }
+        for (i, f) in index.fns.iter().enumerate() {
+            index.by_name.entry(f.name.clone()).or_default().push(i);
+            if let Some(t) = &f.impl_type {
+                index
+                    .by_method
+                    .entry((t.clone(), f.name.clone()))
+                    .or_insert(i);
+            }
+        }
+        index
+    }
+
+    /// Resolve a free or path-qualified call by name: prefer a function
+    /// in `file`, else accept a workspace-unique name, else give up.
+    pub fn resolve_free(&self, name: &str, file: &str) -> Option<usize> {
+        let candidates = self.by_name.get(name)?;
+        if let Some(&i) = candidates.iter().find(|&&i| self.fns[i].file == file) {
+            return Some(i);
+        }
+        match candidates.as_slice() {
+            [single] => Some(*single),
+            _ => None,
+        }
+    }
+
+    /// Resolve a method call on a receiver whose type head is known.
+    pub fn resolve_method(&self, type_head: &str, name: &str) -> Option<usize> {
+        self.by_method
+            .get(&(type_head.to_string(), name.to_string()))
+            .copied()
+    }
+
+    /// The head type of field `field` on struct `type_head`, following
+    /// transparent wrappers (for walking `a.b.c` chains).
+    pub fn field_head(&self, type_head: &str, field: &str) -> Option<&FieldInfo> {
+        self.structs
+            .get(type_head)?
+            .fields
+            .iter()
+            .find(|f| f.name == field)
+    }
+}
+
+/// Walk one file's token stream, recording structs, impls, and fns.
+fn index_file(index: &mut WorkspaceIndex, file: &FileIndex, _file_no: usize) {
+    let toks = &file.toks;
+    // `impl` contexts as (brace depth of their body, type name).
+    let mut impls: Vec<(u32, String)> = Vec::new();
+    let mut depth: u32 = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        match toks[i].1.as_str() {
+            "{" => {
+                depth += 1;
+                i += 1;
+            }
+            "}" => {
+                depth = depth.saturating_sub(1);
+                while impls.last().is_some_and(|(d, _)| *d > depth) {
+                    impls.pop();
+                }
+                i += 1;
+            }
+            "struct" => {
+                i = index_struct(index, file, i);
+            }
+            "impl" => {
+                if let Some((name, body_start)) = parse_impl_header(toks, i) {
+                    impls.push((depth + 1, name));
+                    depth += 1;
+                    i = body_start + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            "fn" => {
+                let impl_type = impls.last().map(|(_, n)| n.clone());
+                i = index_fn(index, file, i, impl_type);
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Parse `impl<G> Type {` / `impl<G> Trait for Type where … {`,
+/// returning the implemented type name and the index of the body `{`.
+fn parse_impl_header(toks: &[Tok], at: usize) -> Option<(String, usize)> {
+    let mut i = at + 1;
+    i = skip_generics(toks, i);
+    // First path (either the type, or the trait before `for`).
+    let (first, mut i) = read_path_last(toks, i)?;
+    let mut name = first;
+    if toks.get(i).map(|t| t.1.as_str()) == Some("for") {
+        i += 1;
+        while matches!(toks.get(i).map(|t| t.1.as_str()), Some("&") | Some("mut")) {
+            i += 1;
+        }
+        let (second, j) = read_path_last(toks, i)?;
+        name = second;
+        i = j;
+    }
+    // Skip a where clause (no braces can occur before the body `{`).
+    while i < toks.len() && toks[i].1 != "{" {
+        if toks[i].1 == ";" {
+            return None; // `impl Trait for Type;`-like degenerate
+        }
+        i += 1;
+    }
+    (i < toks.len()).then_some((name, i))
+}
+
+/// Skip a balanced `<...>` generic list if one starts at `i`.
+fn skip_generics(toks: &[Tok], mut i: usize) -> usize {
+    if toks.get(i).map(|t| t.1.as_str()) != Some("<") {
+        return i;
+    }
+    let mut angle = 0i32;
+    while i < toks.len() {
+        match toks[i].1.as_str() {
+            "<" => angle += 1,
+            ">" => {
+                angle -= 1;
+                if angle == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Read a type path (`a::b::Name<G>`), returning the last identifier
+/// and the index after the whole path (generics skipped).
+fn read_path_last(toks: &[Tok], mut i: usize) -> Option<(String, usize)> {
+    let mut last: Option<String> = None;
+    loop {
+        let t = toks.get(i)?;
+        if is_ident(&t.1) {
+            last = Some(t.1.clone());
+            i += 1;
+            i = skip_generics(toks, i);
+            if toks.get(i).map(|t| t.1.as_str()) == Some("::") {
+                i += 1;
+                continue;
+            }
+            break;
+        }
+        break;
+    }
+    last.map(|l| (l, i))
+}
+
+/// Index a `struct` declaration starting at token `at` (the keyword).
+/// Returns the index to resume scanning from.
+fn index_struct(index: &mut WorkspaceIndex, file: &FileIndex, at: usize) -> usize {
+    let toks = &file.toks;
+    let Some(name_tok) = toks.get(at + 1) else {
+        return at + 1;
+    };
+    if !is_ident(&name_tok.1) {
+        return at + 1;
+    }
+    let name = name_tok.1.clone();
+    let line = name_tok.0;
+    let mut i = skip_generics(toks, at + 2);
+    // Tuple struct / unit struct / where clause: only brace bodies have
+    // named fields. Scan to `{` or `;` (a `(` means a tuple struct).
+    while i < toks.len() && !matches!(toks[i].1.as_str(), "{" | ";" | "(") {
+        i += 1;
+    }
+    if toks.get(i).map(|t| t.1.as_str()) != Some("{") {
+        // Tuple / unit struct: record it (fields unnamed → none).
+        index.structs.entry(name.clone()).or_insert(StructInfo {
+            name,
+            file: file.rel.clone(),
+            line,
+            fields: Vec::new(),
+        });
+        return i;
+    }
+    let mut fields = Vec::new();
+    let mut j = i + 1;
+    let mut brace = 1u32;
+    while j < toks.len() && brace > 0 {
+        match toks[j].1.as_str() {
+            "{" => {
+                brace += 1;
+                j += 1;
+            }
+            "}" => {
+                brace -= 1;
+                j += 1;
+            }
+            "#" => {
+                // Attribute: skip the balanced `[...]`.
+                j += 1;
+                if toks.get(j).map(|t| t.1.as_str()) == Some("[") {
+                    let mut sq = 0i32;
+                    while j < toks.len() {
+                        match toks[j].1.as_str() {
+                            "[" => sq += 1,
+                            "]" => {
+                                sq -= 1;
+                                if sq == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            "pub" => {
+                j += 1;
+                if toks.get(j).map(|t| t.1.as_str()) == Some("(") {
+                    // pub(crate) / pub(super)
+                    let mut par = 0i32;
+                    while j < toks.len() {
+                        match toks[j].1.as_str() {
+                            "(" => par += 1,
+                            ")" => {
+                                par -= 1;
+                                if par == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            t if brace == 1
+                && is_ident(t)
+                && toks.get(j + 1).map(|t| t.1.as_str()) == Some(":") =>
+            {
+                let fname = toks[j].1.clone();
+                let fline = toks[j].0;
+                let (ty, next) = read_type_tokens(toks, j + 2, &[",", "}"]);
+                if let Some(info) = field_info(&fname, fline, &ty) {
+                    fields.push(info);
+                }
+                j = next;
+            }
+            _ => j += 1,
+        }
+    }
+    index.structs.entry(name.clone()).or_insert(StructInfo {
+        name,
+        file: file.rel.clone(),
+        line,
+        fields,
+    });
+    j
+}
+
+/// Collect the tokens of one type up to a terminator at nesting depth 0.
+/// Returns the type tokens and the index after the terminator (commas
+/// are consumed, a closing brace is left for the caller).
+fn read_type_tokens<'t>(toks: &'t [Tok], mut i: usize, stop: &[&str]) -> (Vec<&'t str>, usize) {
+    let mut out = Vec::new();
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    let mut square = 0i32;
+    while i < toks.len() {
+        let t = toks[i].1.as_str();
+        if angle == 0 && paren == 0 && square == 0 && stop.contains(&t) {
+            return (out, if t == "," { i + 1 } else { i });
+        }
+        match t {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "(" => paren += 1,
+            ")" => {
+                if paren == 0 {
+                    return (out, i);
+                }
+                paren -= 1;
+            }
+            "[" => square += 1,
+            "]" => square -= 1,
+            _ => {}
+        }
+        out.push(t);
+        i += 1;
+    }
+    (out, i)
+}
+
+/// Head identifier of a type token run: skip `&`/`mut`/`dyn`/`impl`
+/// and a lifetime identifier, unwrap transparent wrappers, take the
+/// last segment of the leading path.
+pub fn type_head(ty: &[&str]) -> Option<String> {
+    let mut i = 0;
+    loop {
+        match ty.get(i)? {
+            &"&" | &"mut" | &"dyn" | &"impl" => i += 1,
+            // The scanner drops lifetime ticks but keeps the ident:
+            // `&'static str` tokenizes as `& static str`. A lowercase
+            // ident directly followed by another ident (or `mut`) in
+            // head position is such an orphaned lifetime.
+            t if is_ident(t)
+                && t.chars().next().is_some_and(|c| c.is_lowercase())
+                && ty
+                    .get(i + 1)
+                    .is_some_and(|n| is_ident(n) || *n == "mut" || *n == "&") =>
+            {
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    // Leading path: a::b::Head — walk `ident :: ident` pairs.
+    let mut head = None;
+    while let Some(t) = ty.get(i) {
+        if !is_ident(t) {
+            break;
+        }
+        head = Some(t.to_string());
+        if ty.get(i + 1) == Some(&"::") {
+            i += 2;
+        } else {
+            i += 1;
+            break;
+        }
+    }
+    let head = head?;
+    if TRANSPARENT_WRAPPERS.contains(&head.as_str()) && ty.get(i) == Some(&"<") {
+        return type_head(&ty[i + 1..]);
+    }
+    Some(head)
+}
+
+/// The head one generic layer *inside* the outermost type, when the
+/// outer head is a cell the code dereferences through (`Mutex<Queue>` →
+/// `Queue`); otherwise the head itself.
+fn inner_head(ty: &[&str], outer: &str) -> String {
+    if matches!(outer, "Mutex" | "RwLock" | "RefCell" | "Cell" | "OnceLock") {
+        if let Some(pos) = ty.iter().position(|t| *t == "<") {
+            if let Some(inner) = type_head(&ty[pos + 1..]) {
+                return inner;
+            }
+        }
+    }
+    outer.to_string()
+}
+
+/// Build the [`FieldInfo`] for one declared field, if its type has a
+/// resolvable head.
+fn field_info(name: &str, line: usize, ty: &[&str]) -> Option<FieldInfo> {
+    let head = type_head(ty)?;
+    Some(FieldInfo {
+        name: name.to_string(),
+        line,
+        inner_head: inner_head(ty, &head),
+        is_hash: HASH_TYPES.contains(&head.as_str()),
+        type_head: head,
+    })
+}
+
+/// Index a `fn` starting at token `at`. Returns the index of the first
+/// token after the *signature* (the body is walked by pass 2; nested
+/// fns are found because scanning continues inside bodies).
+fn index_fn(
+    index: &mut WorkspaceIndex,
+    file: &FileIndex,
+    at: usize,
+    impl_type: Option<String>,
+) -> usize {
+    let toks = &file.toks;
+    let Some(name_tok) = toks.get(at + 1) else {
+        return at + 1;
+    };
+    if !is_ident(&name_tok.1) {
+        return at + 1;
+    }
+    let name = name_tok.1.clone();
+    let line = toks[at].0;
+    let i = skip_generics(toks, at + 2);
+    if toks.get(i).map(|t| t.1.as_str()) != Some("(") {
+        return at + 1;
+    }
+    // Parameters: split the balanced paren region at depth-1 commas.
+    let mut params = Vec::new();
+    let mut paren = 1i32;
+    let mut j = i + 1;
+    let mut part_start = j;
+    let close;
+    loop {
+        let Some(t) = toks.get(j) else {
+            return j; // malformed: bail without a body
+        };
+        match t.1.as_str() {
+            "(" | "[" | "{" => paren += 1,
+            ")" | "]" | "}" => {
+                paren -= 1;
+                if paren == 0 {
+                    if j > part_start {
+                        push_param(&mut params, &toks[part_start..j], impl_type.as_deref());
+                    }
+                    close = j;
+                    break;
+                }
+            }
+            "," if paren == 1 => {
+                push_param(&mut params, &toks[part_start..j], impl_type.as_deref());
+                part_start = j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    // Return type.
+    let mut k = close + 1;
+    let mut ret_head = None;
+    let mut ret_hash = false;
+    if toks.get(k).map(|t| t.1.as_str()) == Some("-")
+        && toks.get(k + 1).map(|t| t.1.as_str()) == Some(">")
+    {
+        let (ty, next) = read_type_tokens(toks, k + 2, &["{", ";", "where"]);
+        ret_head = type_head(&ty);
+        ret_hash = ret_head.as_deref().is_some_and(|h| HASH_TYPES.contains(&h));
+        k = next;
+    }
+    // Skip a where clause to the body `{` (or a decl-terminating `;`).
+    let mut body = (k, k);
+    while let Some(t) = toks.get(k) {
+        match t.1.as_str() {
+            "{" => {
+                // Matching close brace bounds the body.
+                let mut brace = 1u32;
+                let mut e = k + 1;
+                while e < toks.len() && brace > 0 {
+                    match toks[e].1.as_str() {
+                        "{" => brace += 1,
+                        "}" => brace -= 1,
+                        _ => {}
+                    }
+                    e += 1;
+                }
+                body = (k + 1, e.saturating_sub(1));
+                break;
+            }
+            ";" => {
+                body = (k, k);
+                break;
+            }
+            _ => k += 1,
+        }
+    }
+    index.fns.push(FnInfo {
+        name,
+        file: file.rel.clone(),
+        line,
+        impl_type,
+        params,
+        ret_head,
+        ret_hash,
+        body,
+    });
+    // Resume right after the signature so nested fns inside the body
+    // are indexed too.
+    close + 1
+}
+
+/// Record one parameter's `(name, type head)` if it has the plain
+/// `name: Type` shape (destructuring patterns are skipped).
+fn push_param(params: &mut Vec<(String, String)>, part: &[Tok], impl_type: Option<&str>) {
+    let toks: Vec<&str> = part.iter().map(|t| t.1.as_str()).collect();
+    // `self` / `&self` / `&mut self` / `mut self`.
+    if let Some(pos) = toks.iter().position(|t| *t == "self") {
+        if toks[..pos]
+            .iter()
+            .all(|t| matches!(*t, "&" | "mut") || is_lifetime_ish(t))
+        {
+            if let Some(t) = impl_type {
+                params.push(("self".to_string(), t.to_string()));
+            }
+            return;
+        }
+    }
+    let mut i = 0;
+    if toks.get(i) == Some(&"mut") {
+        i += 1;
+    }
+    let Some(name) = toks.get(i) else { return };
+    if !is_ident(name) || toks.get(i + 1) != Some(&":") {
+        return;
+    }
+    if let Some(head) = type_head(&toks[i + 2..]) {
+        params.push((name.to_string(), head));
+    }
+}
+
+/// Whether a token is an identifier-shaped word.
+pub fn is_ident(t: &str) -> bool {
+    t.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+/// A lowercase single word in lifetime position (`& a mut self`).
+fn is_lifetime_ish(t: &str) -> bool {
+    is_ident(t) && t.chars().next().is_some_and(|c| c.is_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::preprocess;
+
+    fn index_of(files: &[(&str, &str)]) -> (Vec<FileIndex>, WorkspaceIndex) {
+        let files: Vec<FileIndex> = files
+            .iter()
+            .map(|(rel, src)| FileIndex::build(rel, preprocess(src)))
+            .collect();
+        let index = WorkspaceIndex::build(&files);
+        (files, index)
+    }
+
+    #[test]
+    fn indexes_struct_fields_with_wrappers_and_hash_flags() {
+        let src = "\
+pub struct PoolShared {
+    pub queue: Mutex<Queue>,
+    available: Condvar,
+}
+pub struct World {
+    entries: FxHashMap<u64, f64>,
+    shared: Arc<PoolShared>,
+}
+";
+        let (_, idx) = index_of(&[("crates/x/src/a.rs", src)]);
+        let pool = &idx.structs["PoolShared"];
+        assert_eq!(pool.fields.len(), 2);
+        assert_eq!(pool.fields[0].type_head, "Mutex");
+        assert_eq!(pool.fields[0].inner_head, "Queue");
+        let world = &idx.structs["World"];
+        assert!(world.fields[0].is_hash);
+        assert_eq!(world.fields[1].type_head, "PoolShared", "Arc unwraps");
+    }
+
+    #[test]
+    fn indexes_fn_signatures_methods_and_returns() {
+        let src = "\
+impl WorkerPool {
+    pub fn ensure_workers(&self, n: usize) {
+        let x = 1;
+    }
+}
+pub fn snapshot(world: &World) -> FxHashMap<u64, f64> {
+    todo!()
+}
+fn helper() -> &'static WorkerPool {
+    todo!()
+}
+";
+        let (_, idx) = index_of(&[("crates/x/src/a.rs", src)]);
+        assert_eq!(idx.fns.len(), 3);
+        let ensure = &idx.fns[idx.by_method[&("WorkerPool".into(), "ensure_workers".into())]];
+        assert_eq!(
+            ensure.params,
+            vec![
+                ("self".to_string(), "WorkerPool".to_string()),
+                ("n".to_string(), "usize".to_string()),
+            ]
+        );
+        let snap = &idx.fns[idx.by_name["snapshot"][0]];
+        assert!(snap.ret_hash);
+        assert_eq!(snap.params[0], ("world".to_string(), "World".to_string()));
+        let helper = &idx.fns[idx.by_name["helper"][0]];
+        assert_eq!(
+            helper.ret_head.as_deref(),
+            Some("WorkerPool"),
+            "lifetime skipped"
+        );
+        assert!(!helper.ret_hash);
+    }
+
+    #[test]
+    fn impl_trait_for_type_resolves_to_the_type() {
+        let src = "\
+impl Drop for WorkerPool {
+    fn drop(&mut self) {}
+}
+impl<T: Send> StripeRun for RoundState<T> {
+    fn run(&self, stripe: usize) {}
+}
+";
+        let (_, idx) = index_of(&[("crates/x/src/a.rs", src)]);
+        assert!(idx
+            .by_method
+            .contains_key(&("WorkerPool".into(), "drop".into())));
+        assert!(idx
+            .by_method
+            .contains_key(&("RoundState".into(), "run".into())));
+    }
+
+    #[test]
+    fn free_call_resolution_prefers_same_file_then_unique() {
+        let a = "fn lock() {}\nfn only_here() {}\n";
+        let b = "fn lock() {}\n";
+        let (_, idx) = index_of(&[("crates/x/src/a.rs", a), ("crates/y/src/b.rs", b)]);
+        let r = idx.resolve_free("lock", "crates/y/src/b.rs").unwrap();
+        assert_eq!(idx.fns[r].file, "crates/y/src/b.rs");
+        assert!(
+            idx.resolve_free("lock", "crates/z/src/c.rs").is_none(),
+            "ambiguous"
+        );
+        assert!(idx.resolve_free("only_here", "crates/z/src/c.rs").is_some());
+    }
+
+    #[test]
+    fn body_ranges_cover_fn_bodies() {
+        let src = "fn f() { inner(); }\nfn g() {}\n";
+        let (files, idx) = index_of(&[("crates/x/src/a.rs", src)]);
+        let f = &idx.fns[0];
+        let toks: Vec<&str> = files[0].toks[f.body.0..f.body.1]
+            .iter()
+            .map(|t| t.1.as_str())
+            .collect();
+        assert_eq!(toks, vec!["inner", "(", ")", ";"]);
+        let g = &idx.fns[1];
+        assert_eq!(g.body.0, g.body.1);
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_are_tolerated() {
+        let src = "struct A(u32, Mutex<u64>);\nstruct B;\nstruct C { x: u8 }\n";
+        let (_, idx) = index_of(&[("crates/x/src/a.rs", src)]);
+        assert!(idx.structs["A"].fields.is_empty());
+        assert!(idx.structs["B"].fields.is_empty());
+        assert_eq!(idx.structs["C"].fields.len(), 1);
+    }
+}

@@ -15,6 +15,15 @@
 //! | `C3` | unbounded `mpsc::channel()` in runtime modules (use `sync_channel`) |
 //! | `C4` | detached `thread::spawn` whose `JoinHandle` is discarded |
 //! | `N1` | blocking socket calls (`read_exact`, `connect_timeout`, `set_nonblocking(false)`) inside the reactor |
+//! | `D1X` | cross-file hash-container flow into a determinism-critical iteration site |
+//! | `L1` | lock-order cycles (lock A held while acquiring B, B held while acquiring A) |
+//! | `P1` | blocking calls inside closures submitted to `jxp-pool` executors |
+//!
+//! The engine runs in two passes. Pass 1 ([`index`]) builds a
+//! workspace-wide symbol index — struct fields, function signatures,
+//! impl contexts — with a token-tree reader layered on the [`scan`]
+//! stripper. Pass 2 runs the per-line rules ([`rules`]) file by file
+//! and the cross-file dataflow rules ([`flow`]) against the index.
 //!
 //! Findings can be suppressed inline with
 //! `// jxp-analyze: allow(D2, reason = "...")` (same line or the line
@@ -29,6 +38,8 @@
 #![deny(missing_docs)]
 
 pub mod config;
+pub mod flow;
+pub mod index;
 pub mod rules;
 pub mod scan;
 
@@ -54,6 +65,12 @@ pub enum RuleId {
     C4,
     /// Blocking socket call inside the non-blocking reactor.
     N1,
+    /// Cross-file hash-container flow into a critical iteration site.
+    D1X,
+    /// Lock-order cycle across the workspace lock graph.
+    L1,
+    /// Blocking call inside a pool-submitted closure.
+    P1,
     /// Malformed suppression pragma.
     Pragma,
 }
@@ -69,6 +86,9 @@ impl RuleId {
             "C3" => Some(RuleId::C3),
             "C4" => Some(RuleId::C4),
             "N1" => Some(RuleId::N1),
+            "D1X" => Some(RuleId::D1X),
+            "L1" => Some(RuleId::L1),
+            "P1" => Some(RuleId::P1),
             _ => None,
         }
     }
@@ -106,6 +126,21 @@ impl RuleId {
                  connect_timeout, or set_nonblocking(false) stalls every \
                  in-flight meeting behind one peer"
             }
+            RuleId::D1X => {
+                "no hash-ordered iteration over containers declared in another \
+                 module (fields or returned values followed across files); \
+                 sort or convert to BTree at the module boundary"
+            }
+            RuleId::L1 => {
+                "no lock-order cycles: if any code path acquires lock B while \
+                 holding lock A, no path may acquire A while holding B \
+                 (directly or through calls)"
+            }
+            RuleId::P1 => {
+                "no blocking calls (sleep, recv, lock acquisition, socket \
+                 reads, join) inside closures submitted to jxp-pool — a \
+                 parked worker can deadlock the round"
+            }
             RuleId::Pragma => "suppression pragmas must name known rules and give a reason",
         }
     }
@@ -121,6 +156,9 @@ impl fmt::Display for RuleId {
             RuleId::C3 => write!(f, "C3"),
             RuleId::C4 => write!(f, "C4"),
             RuleId::N1 => write!(f, "N1"),
+            RuleId::D1X => write!(f, "D1X"),
+            RuleId::L1 => write!(f, "L1"),
+            RuleId::P1 => write!(f, "P1"),
             RuleId::Pragma => write!(f, "pragma"),
         }
     }
@@ -149,21 +187,79 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// One diagnostic plus its pragma disposition. Suppressed findings
+/// stay visible to `--format json` (pragma-status auditing) while the
+/// human-facing report and the exit code only count active ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// The underlying diagnostic.
+    pub diag: Diagnostic,
+    /// `true` when a reasoned pragma suppresses it.
+    pub suppressed: bool,
+}
+
 /// Analyze one source string as if it lived at `rel_path` (workspace
-/// relative — rule applicability is path-dependent).
+/// relative — rule applicability is path-dependent). Runs both passes
+/// over the single file; cross-file rules see only this file's symbols.
 pub fn analyze_source(rel_path: &str, source: &str, config: &Config) -> Vec<Diagnostic> {
-    let prepared = scan::preprocess(source);
-    rules::check_file(rel_path, &prepared, config)
+    analyze_sources(&[(rel_path, source)], config)
+}
+
+/// Analyze a set of in-memory sources as one workspace: per-line rules
+/// on each file, then the pass-2 dataflow rules (D1X/L1/P1) over the
+/// combined symbol index. Returns active (non-suppressed) diagnostics
+/// sorted by `(file, line, rule)`.
+pub fn analyze_sources(sources: &[(&str, &str)], config: &Config) -> Vec<Diagnostic> {
+    analyze_sources_report(sources, config)
+        .into_iter()
+        .filter(|f| !f.suppressed)
+        .map(|f| f.diag)
+        .collect()
+}
+
+/// [`analyze_sources`], but keeping suppressed findings (tagged) for
+/// pragma-status reporting.
+pub fn analyze_sources_report(sources: &[(&str, &str)], config: &Config) -> Vec<Finding> {
+    let files: Vec<index::FileIndex> = sources
+        .iter()
+        .map(|(rel, src)| index::FileIndex::build(rel, scan::preprocess(src)))
+        .collect();
+    let mut findings = Vec::new();
+    for file in &files {
+        findings.extend(rules::check_file_report(&file.rel, &file.prepared, config));
+    }
+    let symbols = index::WorkspaceIndex::build(&files);
+    for diag in flow::check(&files, &symbols, config) {
+        let suppressed = files
+            .iter()
+            .find(|f| f.rel == diag.file)
+            .is_some_and(|f| f.prepared.is_allowed(diag.rule, diag.line));
+        findings.push(Finding { diag, suppressed });
+    }
+    findings.sort_by(|a, b| {
+        (&a.diag.file, a.diag.line, a.diag.rule).cmp(&(&b.diag.file, b.diag.line, b.diag.rule))
+    });
+    findings
 }
 
 /// Walk the workspace at `root` and analyze every `.rs` file under the
-/// configured include patterns. Returns diagnostics sorted by
+/// configured include patterns. Returns active diagnostics sorted by
 /// `(file, line, rule)`; I/O problems surface as `Err`.
 pub fn check_workspace(root: &Path, config: &Config) -> Result<Vec<Diagnostic>, String> {
+    Ok(check_workspace_report(root, config)?
+        .into_iter()
+        .filter(|f| !f.suppressed)
+        .map(|f| f.diag)
+        .collect())
+}
+
+/// [`check_workspace`], but keeping suppressed findings (tagged) for
+/// `--format json` pragma-status records.
+pub fn check_workspace_report(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
     let mut files: Vec<PathBuf> = Vec::new();
     collect_rs_files(root, root, config, &mut files)?;
     files.sort();
-    let mut diags = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -172,10 +268,13 @@ pub fn check_workspace(root: &Path, config: &Config) -> Result<Vec<Diagnostic>, 
             .replace('\\', "/");
         let source =
             std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        diags.extend(analyze_source(&rel, &source, config));
+        sources.push((rel, source));
     }
-    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(diags)
+    let borrowed: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(r, s)| (r.as_str(), s.as_str()))
+        .collect();
+    Ok(analyze_sources_report(&borrowed, config))
 }
 
 fn collect_rs_files(
@@ -241,6 +340,9 @@ mod tests {
             RuleId::C3,
             RuleId::C4,
             RuleId::N1,
+            RuleId::D1X,
+            RuleId::L1,
+            RuleId::P1,
         ] {
             assert_eq!(RuleId::parse(&id.to_string()), Some(id));
         }

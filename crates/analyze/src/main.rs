@@ -4,19 +4,25 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use jxp_analyze::{check_workspace, Config, RuleId};
+use jxp_analyze::{check_workspace_report, Config, Finding, RuleId};
 
 const USAGE: &str = "\
 jxp-analyze: determinism & concurrency static analysis for the JXP workspace
 
 USAGE:
-    jxp-analyze check [--root DIR] [--config FILE]
+    jxp-analyze check [--root DIR] [--config FILE] [--format text|json]
     jxp-analyze rules
 
 SUBCOMMANDS:
     check    scan workspace sources, print file:line diagnostics,
              exit 1 if any rule fires (2 on usage/IO errors)
     rules    print the rule catalog and pragma syntax
+
+FLAGS:
+    --format json    emit one JSON record per finding — file, line,
+                     rule, message, pragma status — including findings
+                     suppressed by reasoned pragmas (pragma: \"suppressed\").
+                     The exit code still counts only active findings.
 
 By default the workspace root is found by walking up from the current
 directory to the nearest analyze.toml.";
@@ -40,9 +46,17 @@ fn main() -> ExitCode {
     }
 }
 
+/// Output format for `check`.
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
 fn run_check(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
+    let mut format = Format::Text;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -53,6 +67,14 @@ fn run_check(args: &[String]) -> ExitCode {
             "--config" => match it.next() {
                 Some(v) => config_path = Some(PathBuf::from(v)),
                 None => return usage_error("--config needs a value"),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some(other) => {
+                    return usage_error(&format!("unknown format {other:?} (text|json)"))
+                }
+                None => return usage_error("--format needs a value (text|json)"),
             },
             other => return usage_error(&format!("unknown argument {other:?}")),
         }
@@ -84,23 +106,69 @@ fn run_check(args: &[String]) -> ExitCode {
         Config::default()
     };
 
-    match check_workspace(&root, &config) {
-        Ok(diags) if diags.is_empty() => {
-            println!("jxp-analyze: clean (rules D1 D2 C1 C2 C3 C4 N1)");
-            ExitCode::SUCCESS
-        }
-        Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
+    match check_workspace_report(&root, &config) {
+        Ok(findings) => {
+            let active = findings.iter().filter(|f| !f.suppressed).count();
+            match format {
+                Format::Json => print_json(&findings),
+                Format::Text => {
+                    for f in findings.iter().filter(|f| !f.suppressed) {
+                        println!("{}", f.diag);
+                    }
+                    if active == 0 {
+                        println!("jxp-analyze: clean (rules D1 D1X D2 C1 C2 C3 C4 N1 L1 P1)");
+                    } else {
+                        println!("jxp-analyze: {active} violation(s)");
+                    }
+                }
             }
-            println!("jxp-analyze: {} violation(s)", diags.len());
-            ExitCode::FAILURE
+            if active == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("jxp-analyze: {e}");
             ExitCode::from(2)
         }
     }
+}
+
+/// Emit findings as a JSON array of records. Hand-rolled (this crate
+/// takes no dependencies); the only dynamic strings are escaped.
+fn print_json(findings: &[Finding]) {
+    println!("[");
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 < findings.len() { "," } else { "" };
+        println!(
+            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+             \"message\": \"{}\", \"pragma\": \"{}\"}}{comma}",
+            json_escape(&f.diag.file),
+            f.diag.line,
+            f.diag.rule,
+            json_escape(&f.diag.message),
+            if f.suppressed { "suppressed" } else { "active" },
+        );
+    }
+    println!("]");
+}
+
+/// Escape a string for a JSON double-quoted literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -125,12 +193,15 @@ fn print_rules() {
     println!("jxp-analyze rule catalog:\n");
     for id in [
         RuleId::D1,
+        RuleId::D1X,
         RuleId::D2,
         RuleId::C1,
         RuleId::C2,
         RuleId::C3,
         RuleId::C4,
         RuleId::N1,
+        RuleId::L1,
+        RuleId::P1,
         RuleId::Pragma,
     ] {
         println!("  {:<7} {}", id.to_string(), id.describe());
@@ -140,10 +211,12 @@ fn print_rules() {
          \n\
          \x20   code(); // jxp-analyze: allow(D2, reason = \"UI-only timer\")\n\
          \x20   // jxp-analyze: allow(C1, reason = \"...\")   <- applies to next line\n\
+         \x20   // jxp-analyze: allow(D1, C2, reason = \"...\")  <- several rules, one reason\n\
          \x20   // jxp-analyze: allow-file(C2, reason = \"pure counters\")\n\
          \n\
          Path-level scoping lives in analyze.toml ([rules.D1] critical,\n\
-         [rules.D2] allow, [rules.C2] allow, [rules.C3] critical,\n\
-         [rules.C4] allow, [rules.N1] critical)."
+         [rules.D1X] critical, [rules.D2] allow, [rules.C2] allow,\n\
+         [rules.C3] critical, [rules.C4] allow, [rules.N1] critical,\n\
+         [rules.L1] allow, [rules.P1] submit)."
     );
 }

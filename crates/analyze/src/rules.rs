@@ -9,7 +9,7 @@
 
 use crate::config::Config;
 use crate::scan::{self, Prepared};
-use crate::{Diagnostic, RuleId};
+use crate::{Diagnostic, Finding, RuleId};
 
 /// Hash-container type names whose iteration order is nondeterministic
 /// (or deterministic-but-hash-ordered, which is just as bad for float
@@ -32,8 +32,19 @@ const ITER_METHODS: &[&str] = &[
     "symmetric_difference",
 ];
 
-/// Run every applicable rule over one file's prepared source.
+/// Run every applicable rule over one file's prepared source,
+/// returning only active (non-suppressed) diagnostics.
 pub fn check_file(rel_path: &str, prepared: &Prepared, config: &Config) -> Vec<Diagnostic> {
+    check_file_report(rel_path, prepared, config)
+        .into_iter()
+        .filter(|f| !f.suppressed)
+        .map(|f| f.diag)
+        .collect()
+}
+
+/// [`check_file`], but keeping pragma-suppressed findings (tagged) so
+/// `--format json` can report pragma status.
+pub fn check_file_report(rel_path: &str, prepared: &Prepared, config: &Config) -> Vec<Finding> {
     let mut diags = Vec::new();
     for (line, problem) in &prepared.pragma_errors {
         diags.push(Diagnostic {
@@ -62,9 +73,17 @@ pub fn check_file(rel_path: &str, prepared: &Prepared, config: &Config) -> Vec<D
     if config.n1_applies(rel_path) {
         rule_n1(rel_path, prepared, &mut diags);
     }
-    diags.retain(|d| d.rule == RuleId::Pragma || !prepared.is_allowed(d.rule, d.line));
     diags.sort_by_key(|a| (a.line, a.rule));
     diags
+        .into_iter()
+        .map(|d| {
+            let suppressed = d.rule != RuleId::Pragma && prepared.is_allowed(d.rule, d.line);
+            Finding {
+                diag: d,
+                suppressed,
+            }
+        })
+        .collect()
 }
 
 /// D1: no hash-map/set iteration in determinism-critical modules.
@@ -382,6 +401,93 @@ fn rule_c4(rel_path: &str, prepared: &Prepared, diags: &mut Vec<Diagnostic>) {
             }
         }
     }
+    rule_c4_builder(rel_path, prepared, diags);
+}
+
+/// C4 (builder form): `thread::Builder::new()…spawn(...)` whose
+/// `JoinHandle` is discarded via `let _ = …` or `….ok()` — the tcp.rs
+/// acceptor leak pattern. Builder chains are normally formatted across
+/// lines, so this sub-pass matches over the flat token stream.
+fn rule_c4_builder(rel_path: &str, prepared: &Prepared, diags: &mut Vec<Diagnostic>) {
+    let mut toks: Vec<(usize, String)> = Vec::new();
+    for line in &prepared.lines {
+        for t in scan::tokenize(&line.code) {
+            toks.push((line.number, t));
+        }
+    }
+    let at = |i: usize| toks.get(i).map(|t| t.1.as_str());
+    for i in 0..toks.len() {
+        if toks[i].1 != "Builder"
+            || at(i + 1) != Some("::")
+            || at(i + 2) != Some("new")
+            || at(i + 3) != Some("(")
+            || at(i + 4) != Some(")")
+        {
+            continue;
+        }
+        // Walk the postfix chain forward to a `.spawn(` link.
+        let mut j = i + 5;
+        let mut spawn_line = None;
+        while at(j) == Some(".") {
+            let name = at(j + 1);
+            if at(j + 2) != Some("(") {
+                break;
+            }
+            let close = balanced_end(&toks, j + 2);
+            if name == Some("spawn") {
+                spawn_line = Some(toks[j + 1].0);
+                j = close;
+                break;
+            }
+            j = close;
+        }
+        let Some(spawn_line) = spawn_line else {
+            continue;
+        };
+        // Discarded backward: `let _ = std::thread::Builder…`.
+        let mut b = i;
+        while b >= 2 && toks[b - 1].1 == "::" {
+            b -= 2;
+        }
+        let let_discard =
+            b >= 3 && toks[b - 1].1 == "=" && toks[b - 2].1 == "_" && toks[b - 3].1 == "let";
+        // Discarded forward: `…spawn(...).ok()`.
+        let ok_discard = at(j) == Some(".")
+            && at(j + 1) == Some("ok")
+            && at(j + 2) == Some("(")
+            && at(j + 3) == Some(")");
+        if let_discard || ok_discard {
+            diags.push(Diagnostic {
+                rule: RuleId::C4,
+                file: rel_path.to_string(),
+                line: spawn_line,
+                message: "`Builder::new()…spawn()` handle discarded (the tcp.rs \
+                          leak pattern): bind the JoinHandle and join it on \
+                          shutdown instead of `let _ =` / `.ok()`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Index after the balanced paren group opening at `open`.
+fn balanced_end(toks: &[(usize, String)], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].1.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
 }
 
 /// N1: no blocking socket calls inside the reactor. Its contract is

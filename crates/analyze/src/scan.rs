@@ -250,15 +250,30 @@ fn strip_line(raw: &str, region: &mut Region) -> (String, Vec<String>) {
                 code.push(' ');
             }
             Region::RawStr(hashes) => {
-                let closer: String = std::iter::once('"')
-                    .chain((0..*hashes).map(|_| '#'))
-                    .collect();
-                let rest: String = bytes[i..].iter().collect();
-                if let Some(pos) = rest.find(&closer) {
-                    i += pos + closer.len();
-                    *region = Region::Code;
-                } else {
-                    i = bytes.len();
+                // Scan for `"` followed by exactly the opener's hash
+                // count, walking *chars*. (An earlier version searched a
+                // re-collected String and mixed the byte offset it got
+                // back into the char index `i`: any multibyte content
+                // before the closer made `i` overshoot, silently eating
+                // the code after the literal — and when the overshoot
+                // swallowed the opening quote of a following string,
+                // that string's body leaked into the code stream.)
+                let want = *hashes as usize;
+                let close = (i..bytes.len()).find(|&j| {
+                    bytes[j] == '"'
+                        && bytes[j + 1..]
+                            .iter()
+                            .take(want)
+                            .filter(|c| **c == '#')
+                            .count()
+                            == want
+                });
+                match close {
+                    Some(j) => {
+                        i = j + 1 + want;
+                        *region = Region::Code;
+                    }
+                    None => i = bytes.len(),
                 }
                 code.push(' ');
             }
@@ -280,6 +295,27 @@ fn strip_line(raw: &str, region: &mut Region) -> (String, Vec<String>) {
                     let hashes = raw_string_hashes(&bytes, i).unwrap();
                     *region = Region::RawStr(hashes);
                     i += 1 + hashes as usize + 1; // r, #*, "
+                } else if (c == 'b' || c == 'c')
+                    && !prev_is_ident(&bytes, i)
+                    && bytes.get(i + 1) == Some(&'"')
+                {
+                    // Byte/C string `b"..."` / `c"..."`: same escape
+                    // rules as a normal string.
+                    *region = Region::Str;
+                    i += 2;
+                } else if (c == 'b' || c == 'c')
+                    && !prev_is_ident(&bytes, i)
+                    && bytes.get(i + 1) == Some(&'r')
+                    && raw_string_hashes(&bytes, i + 1).is_some()
+                {
+                    // Raw byte/C string `br#"..."#`: without this arm the
+                    // `b` prefix hid the raw opener, so the literal was
+                    // scanned as a normal string whose `\` "escapes"
+                    // desynchronized the closer — leaking literal text
+                    // (and stray `#`) into the code stream.
+                    let hashes = raw_string_hashes(&bytes, i + 1).unwrap();
+                    *region = Region::RawStr(hashes);
+                    i += 2 + hashes as usize + 1; // b, r, #*, "
                 } else if c == '\'' {
                     // Char literal vs lifetime: a literal closes within a
                     // few characters; a lifetime has no closing quote.
@@ -386,6 +422,67 @@ mod tests {
         assert_eq!(p.lines[0].code.trim(), "a");
         assert_eq!(p.lines[1].number, 3);
         assert_eq!(p.lines[1].code.trim(), "b");
+    }
+
+    #[test]
+    fn raw_string_multibyte_content_does_not_leak_following_text() {
+        // Regression: the closer search used to return a *byte* offset
+        // that was added to a *char* index, so multibyte content inside
+        // a raw string overshot the closer. Here the overshoot used to
+        // swallow `;` and the opening quote of the next string, leaking
+        // its body (`Instant::now() // junk`) into the code stream —
+        // an unbalanced quote followed by `//`, exactly the text the
+        // rules must never see.
+        let src = "let s = r#\"h\u{e9}\u{e9}\"#;\"Instant::now() // junk\";ok();\n";
+        let p = preprocess(src);
+        let code = &p.lines[0].code;
+        assert!(!code.contains("Instant"), "leaked literal text: {code:?}");
+        assert!(
+            code.contains("ok()"),
+            "code after the literal lost: {code:?}"
+        );
+        // The same shape with multibyte content spanning to a comment.
+        let src2 = "let s = r#\"\u{e9} \" \u{e9}\u{e9}\"#; keep(); // tail\n";
+        let p2 = preprocess(src2);
+        assert!(
+            p2.lines[0].code.contains("keep()"),
+            "{:?}",
+            p2.lines[0].code
+        );
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_stripped() {
+        // `br#"..."#` used to be scanned as code `b` + `r` + `#` plus a
+        // *normal* string, so backslashes inside desynchronized the
+        // closer and stray `#` tokens leaked into the code stream.
+        let src = "let b = br#\"a \\\" // thread_rng\"#; ok();\n";
+        let p = preprocess(src);
+        let code = &p.lines[0].code;
+        assert!(!code.contains("thread_rng"), "{code:?}");
+        assert!(!code.contains('#'), "raw-byte closer leaked: {code:?}");
+        assert!(code.contains("ok()"), "{code:?}");
+        let p2 = preprocess("let v = b\"Instant::now\"; ok();\n");
+        assert!(
+            !p2.lines[0].code.contains("Instant"),
+            "{:?}",
+            p2.lines[0].code
+        );
+    }
+
+    #[test]
+    fn raw_string_unbalanced_quote_then_comment_stays_contained() {
+        // An unbalanced `"` followed by `//` inside the literal must not
+        // leak: the closer is the quote-then-hashes pair, nothing else.
+        let src = "let s = r#\"foo \" bar // thread_rng\"#; ok();\n";
+        let p = preprocess(src);
+        assert!(!p.lines[0].code.contains("thread_rng"));
+        assert!(p.lines[0].code.contains("ok()"));
+        // With two hashes, a lesser `"#` inside the literal is content.
+        let src2 = "let s = r##\"x \"# y // thread_rng\"##; ok();\n";
+        let p2 = preprocess(src2);
+        assert!(!p2.lines[0].code.contains("thread_rng"));
+        assert!(p2.lines[0].code.contains("ok()"));
     }
 
     #[test]

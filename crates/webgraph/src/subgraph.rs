@@ -147,8 +147,10 @@ impl Subgraph {
     }
 
     /// Set of all successors of all local pages (the paper's
-    /// `successors(A)` synopsis input), deduplicated.
-    pub fn successor_set(&self) -> FxHashSet<PageId> {
+    /// `successors(A)` synopsis input), deduplicated. Returned as a
+    /// `BTreeSet` so consumers iterate in a deterministic (sorted)
+    /// order regardless of insertion history.
+    pub fn successor_set(&self) -> std::collections::BTreeSet<PageId> {
         self.succ.iter().copied().collect()
     }
 
