@@ -446,6 +446,104 @@ pub fn checkpoint(action: &str, args: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// `jxp-cli graph build|inspect|verify` — manage disk-backed segmented
+/// webgraphs (the out-of-core format behind `jxp-segstore`). `build`
+/// converts a stored `.jxpg` graph (or a freshly generated dataset)
+/// into a segment directory; `inspect` prints the manifest and the
+/// per-segment layout; `verify` decodes every container — full CRC and
+/// codec validation — and fails with a nonzero exit when any segment
+/// is corrupt, mirroring `checkpoint verify`.
+pub fn graph_cmd(action: &str, args: &ParsedArgs) -> Result<(), String> {
+    use jxp_segstore::{verify_dir, write_segments, SegmentedGraph};
+    use jxp_webgraph::GraphSource;
+
+    match action {
+        "build" => {
+            let out = args.require("out")?;
+            let segment_nodes: usize = args.get_or("segment-nodes", 4096)?;
+            let g = match args.get("graph") {
+                Some(path) => {
+                    io::load_binary(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?
+                }
+                None => generate_graph(args)?.graph,
+            };
+            let manifest = write_segments(&g, Path::new(out), segment_nodes)
+                .map_err(|e| format!("building {out}: {e}"))?;
+            println!(
+                "wrote {out}: {} nodes, {} edges in {} segments of up to {} nodes \
+                 ({} encoded bytes)",
+                manifest.num_nodes,
+                manifest.num_edges,
+                manifest.segments.len(),
+                manifest.nodes_per_segment,
+                manifest.total_encoded_bytes()
+            );
+            Ok(())
+        }
+        "inspect" => {
+            let dir = args.require("dir")?;
+            let sg =
+                SegmentedGraph::open(Path::new(dir)).map_err(|e| format!("opening {dir}: {e}"))?;
+            let m = sg.manifest();
+            println!(
+                "{dir}: {} nodes, {} edges, {} segments of up to {} nodes, \
+                 {} encoded bytes",
+                m.num_nodes,
+                m.num_edges,
+                m.segments.len(),
+                m.nodes_per_segment,
+                m.total_encoded_bytes()
+            );
+            println!(
+                "{:>7} {:>12} {:>10} {:>10} {:>12}",
+                "segment", "first node", "nodes", "out-links", "bytes"
+            );
+            for (i, e) in m.segments.iter().enumerate() {
+                println!(
+                    "{:>7} {:>12} {:>10} {:>10} {:>12}",
+                    i,
+                    m.segment_start(i),
+                    e.nodes,
+                    e.fwd_edges,
+                    e.encoded_len
+                );
+            }
+            println!("dangling pages: {}", sg.dangling().len());
+            Ok(())
+        }
+        "verify" => {
+            let dir = args.require("dir")?;
+            let report = verify_dir(Path::new(dir)).map_err(|e| format!("verifying {dir}: {e}"))?;
+            for s in &report.segments {
+                match &s.error {
+                    Some(e) => println!("segment {}: CORRUPT ({e})", s.index),
+                    None => println!(
+                        "segment {}: ok ({} nodes, {} bytes)",
+                        s.index, s.nodes, s.encoded_len
+                    ),
+                }
+            }
+            let broken = report.broken();
+            if broken > 0 {
+                return Err(format!(
+                    "{broken} of {} segment(s) corrupt",
+                    report.segments.len()
+                ));
+            }
+            println!(
+                "all {} segment(s) verified ({} nodes, {} edges)",
+                report.segments.len(),
+                report.manifest.num_nodes,
+                report.manifest.num_edges
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "graph: unknown action {other:?} (expected build|inspect|verify)"
+        )),
+    }
+}
+
 /// `jxp-cli metrics` — render a saved telemetry snapshot.
 pub fn metrics_cmd(args: &ParsedArgs) -> Result<(), String> {
     let path = args.require("in")?;

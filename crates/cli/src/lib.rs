@@ -49,6 +49,14 @@ commands:
              --state-dir DIR (durable checkpoints + WAL; reruns resume),
              --checkpoint-every N (8), --round-delay-ms MS (0),
              --metrics-listen ADDR (Prometheus scrape endpoint)
+  graph      build, inspect or CRC-verify a disk-backed segmented
+             webgraph directory (the out-of-core jxp-segstore format)
+             graph build   --out DIR [--graph FILE.jxpg |
+                           --dataset amazon|web --scale S --seed N]
+                           [--segment-nodes N (4096)]
+             graph inspect --dir DIR
+             graph verify  --dir DIR
+             (verify exits nonzero when any segment is corrupt)
   checkpoint inspect or verify a --state-dir written by cluster
              checkpoint inspect --state-dir DIR [--node N|--key KEY]
              checkpoint verify  --state-dir DIR [--node N|--key KEY]
@@ -84,6 +92,14 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             .ok_or("checkpoint: missing action (inspect|verify)")?;
         let parsed = ParsedArgs::parse(rest)?;
         return commands::checkpoint(action, &parsed);
+    }
+    if command == "graph" {
+        // Like checkpoint: an action word before the flags.
+        let (action, rest) = rest
+            .split_first()
+            .ok_or("graph: missing action (build|inspect|verify)")?;
+        let parsed = ParsedArgs::parse(rest)?;
+        return commands::graph_cmd(action, &parsed);
     }
     let parsed = ParsedArgs::parse(rest)?;
     match command.as_str() {
@@ -268,6 +284,58 @@ mod tests {
             .unwrap();
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn graph_build_inspect_verify_roundtrip_and_corruption_detection() {
+        let dir = std::env::temp_dir().join(format!("jxp_cli_graph_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let jxpg = dir.join("tiny.jxpg");
+        run(&argv(&format!(
+            "generate --dataset amazon --scale 0.02 --out {}",
+            jxpg.display()
+        )))
+        .unwrap();
+        let segs = dir.join("segments");
+        run(&argv(&format!(
+            "graph build --graph {} --out {} --segment-nodes 128",
+            jxpg.display(),
+            segs.display()
+        )))
+        .unwrap();
+        run(&argv(&format!("graph inspect --dir {}", segs.display()))).unwrap();
+        run(&argv(&format!("graph verify --dir {}", segs.display()))).unwrap();
+        // Flip one byte in a segment container: verify must now fail.
+        let seg0 = segs.join("seg-000000.jxps");
+        let mut bytes = std::fs::read(&seg0).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&seg0, &bytes).unwrap();
+        assert!(run(&argv(&format!("graph verify --dir {}", segs.display()))).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn graph_build_from_generated_dataset() {
+        let dir = std::env::temp_dir().join(format!("jxp_cli_graph_gen_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        run(&argv(&format!(
+            "graph build --dataset amazon --scale 0.02 --out {} --segment-nodes 256",
+            dir.display()
+        )))
+        .unwrap();
+        run(&argv(&format!("graph verify --dir {}", dir.display()))).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn graph_command_rejects_bad_input() {
+        assert!(run(&argv("graph")).is_err()); // missing action
+        assert!(run(&argv("graph build")).is_err()); // missing --out
+        assert!(run(&argv("graph frob --dir /tmp/nope")).is_err());
+        assert!(run(&argv("graph inspect --dir /nonexistent/segments")).is_err());
+        assert!(run(&argv("graph verify --dir /nonexistent/segments")).is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::config::{CombineMode, JxpConfig, MergeMode};
 use crate::local_pr::{extended_pagerank, LocalTopology, PrOutcome};
 use crate::payload::MeetingPayload;
 use crate::world::WorldNode;
-use jxp_webgraph::{FxHashMap, PageId, Subgraph};
+use jxp_webgraph::{FxHashMap, GraphSource, PageId, Subgraph};
 
 /// Running statistics of one peer, used by the experiments.
 #[derive(Debug, Clone, Default)]
@@ -67,6 +67,26 @@ impl JxpPeer {
         };
         peer.recompute();
         peer
+    }
+
+    /// Create a peer whose fragment is cut directly out of any
+    /// [`GraphSource`] — in particular `jxp-segstore`'s disk-backed
+    /// `SegmentedGraph`, so peers can be stood up against a global
+    /// graph that never fits in memory. Equivalent to
+    /// `JxpPeer::new(Subgraph::from_source(global, pages), ..)`; the
+    /// extended-graph PageRank it runs is bit-identical to the
+    /// in-memory path because fragment extraction yields the same
+    /// successor lists in the same order.
+    ///
+    /// # Panics
+    /// As [`JxpPeer::new`].
+    pub fn from_source<G: GraphSource + ?Sized>(
+        global: &G,
+        pages: impl IntoIterator<Item = PageId>,
+        n_total: u64,
+        config: JxpConfig,
+    ) -> Self {
+        JxpPeer::new(Subgraph::from_source(global, pages), n_total, config)
     }
 
     /// The local fragment.

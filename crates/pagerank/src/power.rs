@@ -16,7 +16,7 @@
 //! apples-to-apples (see DESIGN.md §5).
 
 use jxp_telemetry::{Event, TelemetryHub};
-use jxp_webgraph::{CsrGraph, PageId};
+use jxp_webgraph::{GraphSource, PageId};
 
 /// Configuration for the power iteration.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,9 +120,14 @@ impl PageRankResult {
 /// iterates until the L1 change is below `config.tolerance` or
 /// `config.max_iterations` is hit.
 ///
+/// Generic over [`GraphSource`], so the same iteration runs against an
+/// in-memory `CsrGraph` or a disk-backed `jxp-segstore` graph — with
+/// bit-identical scores, because every backend serves the same
+/// adjacency in the same (ascending) order.
+///
 /// # Panics
 /// Panics if the graph is empty or the config is invalid.
-pub fn pagerank(g: &CsrGraph, config: &PageRankConfig) -> PageRankResult {
+pub fn pagerank<G: GraphSource + ?Sized>(g: &G, config: &PageRankConfig) -> PageRankResult {
     pagerank_with_telemetry(g, config, None)
 }
 
@@ -135,8 +140,8 @@ pub fn pagerank(g: &CsrGraph, config: &PageRankConfig) -> PageRankResult {
 ///
 /// # Panics
 /// Panics if the graph is empty or the config is invalid.
-pub fn pagerank_with_telemetry(
-    g: &CsrGraph,
+pub fn pagerank_with_telemetry<G: GraphSource + ?Sized>(
+    g: &G,
     config: &PageRankConfig,
     telemetry: Option<&TelemetryHub>,
 ) -> PageRankResult {
@@ -166,7 +171,7 @@ pub fn pagerank_with_telemetry(
             }
         })
         .collect();
-    let dangling: Vec<u32> = g.dangling_nodes().map(|p| p.0).collect();
+    let dangling: Vec<u32> = g.dangling().iter().map(|p| p.0).collect();
 
     let mut iterations = 0;
     let mut converged = false;
@@ -185,9 +190,9 @@ pub fn pagerank_with_telemetry(
             for (k, out) in chunk.iter_mut().enumerate() {
                 let q = start + k;
                 let mut sum = 0.0;
-                for p in g.predecessors(PageId(q as u32)) {
+                g.for_each_predecessor(PageId(q as u32), |p| {
                     sum += curr_ref[p.index()] * inv_out[p.index()];
-                }
+                });
                 *out = base + eps * sum;
                 delta += (curr_ref[q] - *out).abs();
             }
@@ -218,7 +223,7 @@ pub fn pagerank_with_telemetry(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jxp_webgraph::GraphBuilder;
+    use jxp_webgraph::{CsrGraph, GraphBuilder};
 
     fn graph(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
         let mut b = GraphBuilder::new();

@@ -1,0 +1,188 @@
+//! Varint and delta-varint encoding of adjacency lists.
+//!
+//! Degrees and adjacency are stored as LEB128 varints. An adjacency
+//! list (strictly increasing node ids, the invariant every sorted
+//! deduplicated CSR list satisfies) is delta-encoded: the first id is
+//! written verbatim, every later id as the gap to its predecessor
+//! (always ≥ 1). Web-graph successor lists cluster around their source
+//! node, so gaps are small and most ids cost one byte instead of four.
+//!
+//! Decoding validates everything it touches: overlong varints, values
+//! that do not fit `u32`, zero gaps and truncated input are all
+//! [`SegStoreError::Corrupt`] — never a panic — so a flipped byte that
+//! survives CRC by luck still cannot produce an out-of-contract list.
+
+use crate::SegStoreError;
+
+/// Append `v` as a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read one LEB128 varint at `*pos`, advancing it.
+pub fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, SegStoreError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes
+            .get(*pos)
+            .ok_or_else(|| SegStoreError::corrupt("truncated varint"))?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(SegStoreError::corrupt("varint overflows u64"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(SegStoreError::corrupt("varint too long"));
+        }
+    }
+}
+
+/// Append a strictly-increasing id list as first-value + gaps.
+///
+/// # Panics
+/// Debug-asserts the strict-increase invariant; the callers (segment
+/// encoder) always sort and deduplicate first.
+pub fn put_adjacency(out: &mut Vec<u8>, list: &[u32]) {
+    debug_assert!(
+        list.windows(2).all(|w| w[0] < w[1]),
+        "adjacency not strictly increasing"
+    );
+    let mut prev = 0u32;
+    for (i, &id) in list.iter().enumerate() {
+        if i == 0 {
+            put_varint(out, u64::from(id));
+        } else {
+            put_varint(out, u64::from(id - prev));
+        }
+        prev = id;
+    }
+}
+
+/// Decode `len` ids written by [`put_adjacency`] into `out`,
+/// re-validating the strict-increase invariant.
+pub fn get_adjacency(
+    bytes: &[u8],
+    pos: &mut usize,
+    len: usize,
+    out: &mut Vec<u32>,
+) -> Result<(), SegStoreError> {
+    let mut prev: u32 = 0;
+    for i in 0..len {
+        let raw = get_varint(bytes, pos)?;
+        let id = if i == 0 {
+            u32::try_from(raw).map_err(|_| SegStoreError::corrupt("adjacency id exceeds u32"))?
+        } else {
+            if raw == 0 {
+                return Err(SegStoreError::corrupt("zero gap in adjacency list"));
+            }
+            let id = u64::from(prev) + raw;
+            u32::try_from(id).map_err(|_| SegStoreError::corrupt("adjacency id exceeds u32"))?
+        };
+        out.push(id);
+        prev = id;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_one(v: u64) {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            roundtrip_one(v);
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        assert!(get_varint(&[], &mut 0).is_err());
+        assert!(get_varint(&[0x80], &mut 0).is_err());
+        assert!(get_varint(&[0x80; 9], &mut 0).is_err());
+        // 10 bytes with a final byte > 1 overflows u64.
+        let mut overlong = vec![0xffu8; 9];
+        overlong.push(0x02);
+        assert!(get_varint(&overlong, &mut 0).is_err());
+    }
+
+    #[test]
+    fn adjacency_round_trips() {
+        for list in [
+            vec![],
+            vec![0],
+            vec![7],
+            vec![0, 1, 2, 3],
+            vec![5, 1000, 1001, 1_000_000, u32::MAX],
+        ] {
+            let mut buf = Vec::new();
+            put_adjacency(&mut buf, &list);
+            let mut pos = 0;
+            let mut back = Vec::new();
+            get_adjacency(&buf, &mut pos, list.len(), &mut back).unwrap();
+            assert_eq!(back, list);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn adjacency_rejects_zero_gap_and_overflow() {
+        // Hand-encode [3, 3]: first 3, gap 0.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 3);
+        put_varint(&mut buf, 0);
+        let mut out = Vec::new();
+        assert!(get_adjacency(&buf, &mut 0, 2, &mut out).is_err());
+        // First value above u32.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::from(u32::MAX) + 1);
+        let mut out = Vec::new();
+        assert!(get_adjacency(&buf, &mut 0, 1, &mut out).is_err());
+        // Gap pushing past u32.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::from(u32::MAX));
+        put_varint(&mut buf, 1);
+        let mut out = Vec::new();
+        assert!(get_adjacency(&buf, &mut 0, 2, &mut out).is_err());
+    }
+
+    #[test]
+    fn nearby_ids_compress_to_single_bytes() {
+        let list: Vec<u32> = (1_000_000..1_000_100).collect();
+        let mut buf = Vec::new();
+        put_adjacency(&mut buf, &list);
+        // First id costs a few bytes, every gap of 1 costs exactly one.
+        assert!(buf.len() <= 4 + (list.len() - 1), "len {}", buf.len());
+    }
+}

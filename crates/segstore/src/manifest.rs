@@ -1,0 +1,239 @@
+//! The `JXPM` directory manifest: what a segment directory contains.
+//!
+//! One manifest file ties a directory of `JXPS` segments together:
+//!
+//! ```text
+//! magic "JXPM" | version u32 | num_nodes u64 | num_edges u64
+//! | nodes_per_segment u64 | num_segments u32
+//! | per segment: nodes u64 | fwd_edges u64 | rev_edges u64 | encoded_len u64
+//! | crc32 u32 (over everything before it)
+//! ```
+//!
+//! Segment `i` covers global nodes `i * nodes_per_segment ..` and lives
+//! in [`segment_file_name`]`(i)`. The manifest is written last, with the
+//! same atomic install as the segments, so a directory with a readable
+//! manifest always names fully-installed segments.
+
+use crate::SegStoreError;
+use jxp_store::{crc32, crc32_finish, crc32_update, CRC32_INIT};
+
+/// Manifest file name inside a segment directory.
+pub const MANIFEST_FILE: &str = "manifest.jxpm";
+/// Magic bytes of the manifest.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"JXPM";
+/// Manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+/// Hard cap on the segment count, checked before allocating.
+pub const MAX_SEGMENTS: usize = 1 << 20;
+
+/// File name of segment `i` inside its directory.
+pub fn segment_file_name(i: usize) -> String {
+    format!("seg-{i:06}.jxps")
+}
+
+/// Per-segment sizes recorded in the manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// Nodes covered by this segment.
+    pub nodes: u64,
+    /// Forward (successor) edges stored.
+    pub fwd_edges: u64,
+    /// Reverse (predecessor) edges stored.
+    pub rev_edges: u64,
+    /// Size of the segment container file in bytes.
+    pub encoded_len: u64,
+}
+
+/// A decoded segment-directory manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Total nodes in the graph (dense ids `0..num_nodes`).
+    pub num_nodes: u64,
+    /// Total directed edges.
+    pub num_edges: u64,
+    /// Nodes per segment (every segment but the last covers exactly
+    /// this many).
+    pub nodes_per_segment: u64,
+    /// Per-segment sizes, in segment order.
+    pub segments: Vec<SegmentEntry>,
+}
+
+impl Manifest {
+    /// First global node id of segment `i`.
+    pub fn segment_start(&self, i: usize) -> u64 {
+        i as u64 * self.nodes_per_segment
+    }
+
+    /// Which segment holds node `v`.
+    pub fn segment_of(&self, v: u64) -> usize {
+        (v / self.nodes_per_segment) as usize
+    }
+
+    /// Total encoded (on-disk) size of all segments in bytes.
+    pub fn total_encoded_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.encoded_len).sum()
+    }
+}
+
+/// Serialize a manifest.
+pub fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    assert!(m.segments.len() <= MAX_SEGMENTS);
+    let mut out = Vec::with_capacity(32 + m.segments.len() * 32 + 4);
+    out.extend_from_slice(&MANIFEST_MAGIC);
+    out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    out.extend_from_slice(&m.num_nodes.to_le_bytes());
+    out.extend_from_slice(&m.num_edges.to_le_bytes());
+    out.extend_from_slice(&m.nodes_per_segment.to_le_bytes());
+    out.extend_from_slice(&(m.segments.len() as u32).to_le_bytes());
+    for s in &m.segments {
+        out.extend_from_slice(&s.nodes.to_le_bytes());
+        out.extend_from_slice(&s.fwd_edges.to_le_bytes());
+        out.extend_from_slice(&s.rev_edges.to_le_bytes());
+        out.extend_from_slice(&s.encoded_len.to_le_bytes());
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn get_u32(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap())
+}
+
+fn get_u64(bytes: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap())
+}
+
+/// Decode and validate a manifest.
+pub fn decode_manifest(bytes: &[u8]) -> Result<Manifest, SegStoreError> {
+    const FIXED: usize = 4 + 4 + 8 + 8 + 8 + 4;
+    if bytes.len() < FIXED + 4 {
+        return Err(SegStoreError::corrupt("truncated manifest"));
+    }
+    if bytes[0..4] != MANIFEST_MAGIC {
+        return Err(SegStoreError::corrupt("bad manifest magic"));
+    }
+    if get_u32(bytes, 4) != MANIFEST_VERSION {
+        return Err(SegStoreError::corrupt("unsupported manifest version"));
+    }
+    let num_nodes = get_u64(bytes, 8);
+    let num_edges = get_u64(bytes, 16);
+    let nodes_per_segment = get_u64(bytes, 24);
+    let num_segments = get_u32(bytes, 32) as usize;
+    if num_segments > MAX_SEGMENTS {
+        return Err(SegStoreError::corrupt("manifest segment count exceeds cap"));
+    }
+    if bytes.len() != FIXED + num_segments * 32 + 4 {
+        return Err(SegStoreError::corrupt("manifest length mismatch"));
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let crc = get_u32(bytes, bytes.len() - 4);
+    if crc32_finish(crc32_update(CRC32_INIT, body)) != crc {
+        return Err(SegStoreError::corrupt("manifest CRC mismatch"));
+    }
+    if nodes_per_segment == 0 && num_nodes > 0 {
+        return Err(SegStoreError::corrupt(
+            "manifest has zero nodes_per_segment",
+        ));
+    }
+    let mut segments = Vec::with_capacity(num_segments);
+    let mut covered: u64 = 0;
+    let mut fwd_total: u64 = 0;
+    for i in 0..num_segments {
+        let off = FIXED + i * 32;
+        let e = SegmentEntry {
+            nodes: get_u64(bytes, off),
+            fwd_edges: get_u64(bytes, off + 8),
+            rev_edges: get_u64(bytes, off + 16),
+            encoded_len: get_u64(bytes, off + 24),
+        };
+        covered += e.nodes;
+        fwd_total += e.fwd_edges;
+        segments.push(e);
+    }
+    if covered != num_nodes {
+        return Err(SegStoreError::corrupt("manifest node counts inconsistent"));
+    }
+    if fwd_total != num_edges {
+        return Err(SegStoreError::corrupt("manifest edge counts inconsistent"));
+    }
+    Ok(Manifest {
+        num_nodes,
+        num_edges,
+        nodes_per_segment,
+        segments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            num_nodes: 10,
+            num_edges: 7,
+            nodes_per_segment: 4,
+            segments: vec![
+                SegmentEntry {
+                    nodes: 4,
+                    fwd_edges: 3,
+                    rev_edges: 2,
+                    encoded_len: 100,
+                },
+                SegmentEntry {
+                    nodes: 4,
+                    fwd_edges: 4,
+                    rev_edges: 5,
+                    encoded_len: 120,
+                },
+                SegmentEntry {
+                    nodes: 2,
+                    fwd_edges: 0,
+                    rev_edges: 0,
+                    encoded_len: 60,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let m = sample();
+        let bytes = encode_manifest(&m);
+        assert_eq!(decode_manifest(&bytes).unwrap(), m);
+        assert_eq!(m.total_encoded_bytes(), 280);
+        assert_eq!(m.segment_of(0), 0);
+        assert_eq!(m.segment_of(7), 1);
+        assert_eq!(m.segment_of(9), 2);
+        assert_eq!(m.segment_start(2), 8);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let good = encode_manifest(&sample());
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                decode_manifest(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let good = encode_manifest(&sample());
+        for cut in [0, 4, good.len() - 1] {
+            assert!(decode_manifest(&good[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn segment_file_names_sort_in_segment_order() {
+        assert_eq!(segment_file_name(0), "seg-000000.jxps");
+        assert_eq!(segment_file_name(42), "seg-000042.jxps");
+        assert!(segment_file_name(9) < segment_file_name(10));
+    }
+}

@@ -1,0 +1,353 @@
+//! The `JXPS` segment container: one contiguous node range of the
+//! graph, forward and reverse adjacency, CRC-checked.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "JXPS" | version u32 | seg_index u32 | start_node u64
+//! | num_nodes u64 | fwd_edges u64 | rev_edges u64
+//! | payload_len u32 | crc32 u32 | payload
+//! ```
+//!
+//! The CRC (same polynomial/table as `jxp-store`'s checkpoints, via
+//! `jxp_store`'s incremental crc32) covers **everything before it** —
+//! the 48 header bytes — plus the payload, so a flip of any single
+//! byte in the container is caught at decode time. The payload is four
+//! varint sections:
+//!
+//! ```text
+//! fwd degree per node | fwd adjacency per node (delta-varint)
+//! | rev degree per node | rev adjacency per node (delta-varint)
+//! ```
+//!
+//! Forward lists hold the successors of nodes in `start .. start+n`
+//! (targets anywhere in the graph); reverse lists hold their
+//! predecessors. Storing both directions per node range is what lets
+//! pull-based PageRank (which walks predecessors) touch only the
+//! segments of the nodes it is updating.
+//!
+//! Like `jxp-store`'s format module, every length is bounded **before**
+//! any allocation, so a corrupt header cannot request gigabytes.
+
+use crate::codec;
+use crate::SegStoreError;
+use jxp_store::{crc32_finish, crc32_update, CRC32_INIT};
+
+/// CRC over the 48 header bytes before the crc field plus the payload.
+fn container_crc(header_prefix: &[u8], payload: &[u8]) -> u32 {
+    crc32_finish(crc32_update(
+        crc32_update(CRC32_INIT, header_prefix),
+        payload,
+    ))
+}
+
+/// Magic bytes of a segment container.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"JXPS";
+/// Container format version.
+pub const SEGMENT_VERSION: u32 = 1;
+/// Fixed header length in bytes.
+pub const SEGMENT_HEADER_LEN: usize = 4 + 4 + 4 + 8 + 8 + 8 + 8 + 4 + 4;
+/// Hard cap on nodes per segment, checked before allocating.
+pub const MAX_SEGMENT_NODES: usize = 1 << 24;
+/// Hard cap on one segment's encoded payload (matches the spirit of
+/// `jxp_store::MAX_PAYLOAD_LEN`), checked before allocating.
+pub const MAX_SEGMENT_PAYLOAD: usize = 256 << 20;
+
+/// A segment decoded into a mini-CSR over its node range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedSegment {
+    /// Index of this segment in the directory.
+    pub index: u32,
+    /// First global node id covered.
+    pub start: u64,
+    /// `fwd_off[i]..fwd_off[i+1]` indexes `fwd_adj` with the successors
+    /// of global node `start + i` (ascending global ids).
+    pub fwd_off: Vec<u32>,
+    /// Successor ids, concatenated.
+    pub fwd_adj: Vec<u32>,
+    /// As `fwd_off`, for predecessors.
+    pub rev_off: Vec<u32>,
+    /// Predecessor ids, concatenated.
+    pub rev_adj: Vec<u32>,
+    /// Size of the container this was decoded from, for cache
+    /// accounting of on-disk (encoded) bytes.
+    pub encoded_len: usize,
+}
+
+impl DecodedSegment {
+    /// Nodes covered by this segment.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.fwd_off.len() - 1
+    }
+
+    /// Approximate resident heap size of the decoded form.
+    pub fn resident_bytes(&self) -> usize {
+        4 * (self.fwd_off.len() + self.fwd_adj.len() + self.rev_off.len() + self.rev_adj.len())
+    }
+
+    /// Successors of the `i`-th covered node (ascending).
+    #[inline]
+    pub fn successors_at(&self, i: usize) -> &[u32] {
+        &self.fwd_adj[self.fwd_off[i] as usize..self.fwd_off[i + 1] as usize]
+    }
+
+    /// Predecessors of the `i`-th covered node (ascending).
+    #[inline]
+    pub fn predecessors_at(&self, i: usize) -> &[u32] {
+        &self.rev_adj[self.rev_off[i] as usize..self.rev_off[i + 1] as usize]
+    }
+}
+
+/// Encode one segment from per-range mini-CSR arrays.
+///
+/// `fwd_off`/`fwd_adj` (and the `rev` pair) describe nodes
+/// `start .. start + (fwd_off.len() - 1)` exactly as in
+/// [`DecodedSegment`]; every adjacency list must be sorted and
+/// deduplicated.
+///
+/// # Panics
+/// Panics if the arrays are inconsistent or exceed the format caps —
+/// encoding is only reachable from the writer, which sizes segments.
+pub fn encode_segment(
+    index: u32,
+    start: u64,
+    fwd_off: &[u32],
+    fwd_adj: &[u32],
+    rev_off: &[u32],
+    rev_adj: &[u32],
+) -> Vec<u8> {
+    assert!(!fwd_off.is_empty() && fwd_off.len() == rev_off.len());
+    let n = fwd_off.len() - 1;
+    assert!(n <= MAX_SEGMENT_NODES, "segment too large: {n} nodes");
+    assert_eq!(*fwd_off.last().unwrap() as usize, fwd_adj.len());
+    assert_eq!(*rev_off.last().unwrap() as usize, rev_adj.len());
+
+    let mut payload = Vec::with_capacity(n + fwd_adj.len() * 2 + rev_adj.len() * 2);
+    for i in 0..n {
+        codec::put_varint(&mut payload, u64::from(fwd_off[i + 1] - fwd_off[i]));
+    }
+    for i in 0..n {
+        codec::put_adjacency(
+            &mut payload,
+            &fwd_adj[fwd_off[i] as usize..fwd_off[i + 1] as usize],
+        );
+    }
+    for i in 0..n {
+        codec::put_varint(&mut payload, u64::from(rev_off[i + 1] - rev_off[i]));
+    }
+    for i in 0..n {
+        codec::put_adjacency(
+            &mut payload,
+            &rev_adj[rev_off[i] as usize..rev_off[i + 1] as usize],
+        );
+    }
+    assert!(
+        payload.len() <= MAX_SEGMENT_PAYLOAD,
+        "segment payload {} exceeds cap",
+        payload.len()
+    );
+
+    let mut out = Vec::with_capacity(SEGMENT_HEADER_LEN + payload.len());
+    out.extend_from_slice(&SEGMENT_MAGIC);
+    out.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    out.extend_from_slice(&index.to_le_bytes());
+    out.extend_from_slice(&start.to_le_bytes());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&(fwd_adj.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(rev_adj.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let crc = container_crc(&out, &payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn get_u32(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap())
+}
+
+fn get_u64(bytes: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap())
+}
+
+/// Decode and fully validate one segment container.
+///
+/// Checks, in order: header framing, magic/version, node/edge/payload
+/// bounds (before allocating), payload length, CRC, then the varint
+/// payload itself (degree sums must match the header's edge counts and
+/// every adjacency list must be strictly increasing).
+pub fn decode_segment(bytes: &[u8]) -> Result<DecodedSegment, SegStoreError> {
+    if bytes.len() < SEGMENT_HEADER_LEN {
+        return Err(SegStoreError::corrupt("truncated segment header"));
+    }
+    if bytes[0..4] != SEGMENT_MAGIC {
+        return Err(SegStoreError::corrupt("bad segment magic"));
+    }
+    if get_u32(bytes, 4) != SEGMENT_VERSION {
+        return Err(SegStoreError::corrupt("unsupported segment version"));
+    }
+    let index = get_u32(bytes, 8);
+    let start = get_u64(bytes, 12);
+    let n64 = get_u64(bytes, 20);
+    let fwd_edges = get_u64(bytes, 28);
+    let rev_edges = get_u64(bytes, 36);
+    let payload_len = get_u32(bytes, 44) as usize;
+    let crc = get_u32(bytes, 48);
+
+    if n64 > MAX_SEGMENT_NODES as u64 {
+        return Err(SegStoreError::corrupt("segment node count exceeds cap"));
+    }
+    let n = n64 as usize;
+    if payload_len > MAX_SEGMENT_PAYLOAD {
+        return Err(SegStoreError::corrupt("segment payload exceeds cap"));
+    }
+    if bytes.len() != SEGMENT_HEADER_LEN + payload_len {
+        return Err(SegStoreError::corrupt("segment payload length mismatch"));
+    }
+    // Every edge endpoint costs at least one payload byte, so the edge
+    // counts are bounded by the payload before we allocate for them.
+    if fwd_edges > payload_len as u64 || rev_edges > payload_len as u64 {
+        return Err(SegStoreError::corrupt("segment edge count exceeds payload"));
+    }
+    let payload = &bytes[SEGMENT_HEADER_LEN..];
+    if container_crc(&bytes[..SEGMENT_HEADER_LEN - 4], payload) != crc {
+        return Err(SegStoreError::corrupt("segment CRC mismatch"));
+    }
+
+    let mut pos = 0usize;
+    let mut fwd_off = Vec::with_capacity(n + 1);
+    fwd_off.push(0u32);
+    let mut total: u64 = 0;
+    for _ in 0..n {
+        total += codec::get_varint(payload, &mut pos)?;
+        if total > fwd_edges {
+            return Err(SegStoreError::corrupt("fwd degree sum exceeds header"));
+        }
+        fwd_off.push(total as u32);
+    }
+    if total != fwd_edges {
+        return Err(SegStoreError::corrupt("fwd degree sum below header"));
+    }
+    let mut fwd_adj = Vec::with_capacity(fwd_edges as usize);
+    for i in 0..n {
+        let deg = (fwd_off[i + 1] - fwd_off[i]) as usize;
+        codec::get_adjacency(payload, &mut pos, deg, &mut fwd_adj)?;
+    }
+
+    let mut rev_off = Vec::with_capacity(n + 1);
+    rev_off.push(0u32);
+    let mut total: u64 = 0;
+    for _ in 0..n {
+        total += codec::get_varint(payload, &mut pos)?;
+        if total > rev_edges {
+            return Err(SegStoreError::corrupt("rev degree sum exceeds header"));
+        }
+        rev_off.push(total as u32);
+    }
+    if total != rev_edges {
+        return Err(SegStoreError::corrupt("rev degree sum below header"));
+    }
+    let mut rev_adj = Vec::with_capacity(rev_edges as usize);
+    for i in 0..n {
+        let deg = (rev_off[i + 1] - rev_off[i]) as usize;
+        codec::get_adjacency(payload, &mut pos, deg, &mut rev_adj)?;
+    }
+
+    if pos != payload.len() {
+        return Err(SegStoreError::corrupt("trailing bytes in segment payload"));
+    }
+
+    Ok(DecodedSegment {
+        index,
+        start,
+        fwd_off,
+        fwd_adj,
+        rev_off,
+        rev_adj,
+        encoded_len: bytes.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3 nodes starting at global id 10: 10→{11,500}, 11→{}, 12→{10}.
+    /// Reverse lists within the range: preds(10)={12}, preds(11)={10},
+    /// preds(12)={}.
+    fn sample() -> Vec<u8> {
+        encode_segment(
+            2,
+            10,
+            &[0, 2, 2, 3],
+            &[11, 500, 10],
+            &[0, 1, 2, 2],
+            &[12, 10],
+        )
+    }
+
+    #[test]
+    fn round_trips() {
+        let bytes = sample();
+        let seg = decode_segment(&bytes).unwrap();
+        assert_eq!(seg.index, 2);
+        assert_eq!(seg.start, 10);
+        assert_eq!(seg.num_nodes(), 3);
+        assert_eq!(seg.successors_at(0), &[11, 500]);
+        assert_eq!(seg.successors_at(1), &[] as &[u32]);
+        assert_eq!(seg.successors_at(2), &[10]);
+        assert_eq!(seg.predecessors_at(0), &[12]);
+        assert_eq!(seg.predecessors_at(1), &[10]);
+        assert_eq!(seg.encoded_len, bytes.len());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let good = sample();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                decode_segment(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_padding_are_detected() {
+        let good = sample();
+        for cut in [0, 1, SEGMENT_HEADER_LEN - 1, good.len() - 1] {
+            assert!(decode_segment(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(decode_segment(&padded).is_err());
+    }
+
+    #[test]
+    fn huge_header_counts_are_rejected_before_allocation() {
+        let mut bad = sample();
+        // Claim u64::MAX nodes.
+        bad[20..28].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_segment(&bad).is_err());
+        let mut bad = sample();
+        // Claim u64::MAX forward edges.
+        bad[28..36].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_segment(&bad).is_err());
+        let mut bad = sample();
+        // Claim a payload length far past the actual buffer.
+        bad[44..48].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_segment(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_segment_round_trips() {
+        let bytes = encode_segment(0, 0, &[0, 0, 0], &[], &[0, 0, 0], &[]);
+        let seg = decode_segment(&bytes).unwrap();
+        assert_eq!(seg.num_nodes(), 2);
+        assert_eq!(seg.successors_at(0), &[] as &[u32]);
+        assert_eq!(seg.resident_bytes(), 4 * 6);
+    }
+}

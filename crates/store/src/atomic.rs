@@ -1,0 +1,88 @@
+//! Atomic, durable file installation.
+//!
+//! The write-to-temp → `fsync` → rename → `fsync`-directory sequence
+//! that makes checkpoint rotation crash-safe is useful beyond
+//! checkpoints — `jxp-segstore` installs graph segments and manifests
+//! with the same guarantees — so the primitives live here as plain
+//! `io::Result` functions for any crate to reuse.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Write `bytes` to `path` and `fsync` the file before returning.
+pub fn write_durable(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// `fsync` a directory so a rename inside it is durable.
+///
+/// Some platforms refuse to open directories for writing; opening
+/// read-only is enough for fsync on the ones we target.
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    let f = File::open(dir)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Atomically install `bytes` at `path`: write a sibling temp file
+/// durably, rename it into place, and `fsync` the parent directory.
+/// A crash at any point leaves either the old content of `path` (or
+/// its absence) or the complete new content — never a torn file.
+///
+/// The temp file is `path` with an extra `.tmp` extension, so callers
+/// must not use names where that would collide.
+pub fn install(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "install path has no file name")
+        })?
+        .to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    write_durable(&tmp, bytes)?;
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("jxp_atomic_{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn install_writes_content_and_removes_temp() {
+        let dir = tmp_dir("install");
+        let path = dir.join("data.bin");
+        install(&path, b"hello").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"hello");
+        assert!(!path.with_file_name("data.bin.tmp").exists());
+    }
+
+    #[test]
+    fn install_replaces_existing_file() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("data.bin");
+        install(&path, b"old").unwrap();
+        install(&path, b"new content").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"new content");
+    }
+
+    #[test]
+    fn install_rejects_bare_root() {
+        assert!(install(Path::new("/"), b"x").is_err());
+    }
+}

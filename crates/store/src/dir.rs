@@ -18,7 +18,7 @@
 //
 // jxp-analyze: allow-file(D2, reason = "Instant::now feeds duration histograms only; persistence timing never influences scores or scheduling")
 
-use std::fs::{self, File, OpenOptions};
+use std::fs::{self, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -128,19 +128,11 @@ fn read_opt(path: &Path) -> Result<Option<Vec<u8>>, StoreError> {
 }
 
 fn write_durable(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
-    let mut f = File::create(path)?;
-    f.write_all(bytes)?;
-    f.sync_all()?;
-    Ok(())
+    Ok(crate::atomic::write_durable(path, bytes)?)
 }
 
 fn sync_dir(dir: &Path) -> Result<(), StoreError> {
-    // Durable renames need the directory entry flushed too. Some
-    // platforms refuse to open directories for writing; opening
-    // read-only is enough for fsync on the ones we target.
-    let f = File::open(dir)?;
-    f.sync_all()?;
-    Ok(())
+    Ok(crate::atomic::sync_dir(dir)?)
 }
 
 impl StateStore for DirStore {

@@ -68,10 +68,25 @@ static CRC_TABLE: [u32; 256] = build_crc_table();
 /// IEEE CRC-32 (the zlib/PNG polynomial), implemented locally so the
 /// store adds no dependencies.
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
+    crc32_finish(crc32_update(CRC32_INIT, data))
+}
+
+/// Initial state for the incremental form of [`crc32`]: fold any number
+/// of byte slices with [`crc32_update`], then [`crc32_finish`]. Lets
+/// callers checksum a header and a payload that live in separate
+/// buffers without concatenating them (used by `jxp-segstore`).
+pub const CRC32_INIT: u32 = 0xFFFF_FFFF;
+
+/// Fold `data` into an incremental CRC state.
+pub fn crc32_update(mut c: u32, data: &[u8]) -> u32 {
     for &b in data {
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
+    c
+}
+
+/// Finalize an incremental CRC state into the checksum value.
+pub fn crc32_finish(c: u32) -> u32 {
     c ^ 0xFFFF_FFFF
 }
 

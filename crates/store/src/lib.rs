@@ -23,6 +23,7 @@
 //! layout on disk) and [`MemStore`] (an in-memory test double with
 //! corruption hooks).
 
+pub mod atomic;
 mod dir;
 mod format;
 mod mem;
@@ -30,9 +31,9 @@ mod metrics;
 
 pub use dir::{DirStore, RawKeyState};
 pub use format::{
-    crc32, decode_checkpoint, encode_checkpoint, encode_wal_record, scan_wal, Checkpoint, WalKind,
-    WalRecord, WalScan, CHECKPOINT_HEADER_LEN, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
-    MAX_PAYLOAD_LEN, WAL_HEADER_LEN,
+    crc32, crc32_finish, crc32_update, decode_checkpoint, encode_checkpoint, encode_wal_record,
+    scan_wal, Checkpoint, WalKind, WalRecord, WalScan, CHECKPOINT_HEADER_LEN, CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION, CRC32_INIT, MAX_PAYLOAD_LEN, WAL_HEADER_LEN,
 };
 pub use mem::MemStore;
 pub use metrics::StoreMetrics;

@@ -790,6 +790,91 @@ mod tests {
             .contains("peer"));
     }
 
+    /// The metric family `jxp-segstore` registers (telemetry cannot
+    /// depend on that crate, so the names are mirrored here; the
+    /// segstore side pins them from its own tests). The exporters must
+    /// render the whole family — counters, gauges and the decode
+    /// histogram — through every output format.
+    fn segstore_sample() -> TelemetrySnapshot {
+        let hub = TelemetryHub::new();
+        hub.registry().counter("jxp_segstore_hits_total").add(120);
+        hub.registry().counter("jxp_segstore_misses_total").add(30);
+        hub.registry()
+            .counter("jxp_segstore_evictions_total")
+            .add(22);
+        hub.registry()
+            .counter("jxp_segstore_read_bytes_total")
+            .add(7_340_032);
+        hub.registry()
+            .gauge("jxp_segstore_resident_bytes")
+            .set(524_288.0);
+        hub.registry()
+            .gauge("jxp_segstore_resident_segments")
+            .set(8.0);
+        let h = hub
+            .registry()
+            .histogram("jxp_segstore_decode_seconds", &[0.001, 0.01, 0.1]);
+        h.observe(0.0004);
+        h.observe(0.003);
+        h.observe(0.25);
+        hub.snapshot()
+    }
+
+    #[test]
+    fn segstore_metrics_render_as_table_and_prometheus() {
+        let snap = segstore_sample();
+        let table = snap.render_table();
+        for name in [
+            "jxp_segstore_hits_total",
+            "jxp_segstore_misses_total",
+            "jxp_segstore_evictions_total",
+            "jxp_segstore_read_bytes_total",
+            "jxp_segstore_resident_bytes",
+            "jxp_segstore_resident_segments",
+            "jxp_segstore_decode_seconds",
+        ] {
+            assert!(table.contains(name), "{name} missing from table");
+        }
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE jxp_segstore_hits_total counter"));
+        assert!(prom.contains("jxp_segstore_hits_total 120"));
+        assert!(prom.contains("# TYPE jxp_segstore_resident_bytes gauge"));
+        assert!(prom.contains("jxp_segstore_resident_bytes 524288"));
+        assert!(prom.contains("# TYPE jxp_segstore_decode_seconds histogram"));
+        assert!(prom.contains("jxp_segstore_decode_seconds_bucket{le=\"0.001\"} 1"));
+        assert!(prom.contains("jxp_segstore_decode_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(prom.contains("jxp_segstore_decode_seconds_count 3"));
+    }
+
+    #[test]
+    fn segstore_metrics_roundtrip_through_json() {
+        let snap = segstore_sample();
+        let back = TelemetrySnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.metrics.counters["jxp_segstore_hits_total"], 120);
+        assert_eq!(back.metrics.gauges["jxp_segstore_resident_segments"], 8.0);
+        assert_eq!(
+            back.metrics.histograms["jxp_segstore_decode_seconds"].count(),
+            3
+        );
+        // Tolerance: a snapshot written by a newer segstore with extra
+        // series (or extra histogram fields) still parses — the reader
+        // takes the series it knows about and keeps unknown ones as
+        // plain entries.
+        let future = "{\"counters\": {\"jxp_segstore_hits_total\": 5, \
+                      \"jxp_segstore_prefetches_total\": 2}, \"gauges\": {}, \
+                      \"histograms\": {\"jxp_segstore_decode_seconds\": \
+                      {\"bounds\": [0.01], \"counts\": [1, 0], \"sum\": 0.002, \
+                      \"p50\": 0.002, \"p999\": 0.01}}, \"events\": []}";
+        let parsed = TelemetrySnapshot::from_json(future).unwrap();
+        assert_eq!(parsed.metrics.counters["jxp_segstore_hits_total"], 5);
+        assert_eq!(parsed.metrics.counters["jxp_segstore_prefetches_total"], 2);
+        assert_eq!(
+            parsed.metrics.histograms["jxp_segstore_decode_seconds"].sum,
+            0.002
+        );
+    }
+
     #[test]
     fn from_json_rejects_wrongly_typed_known_fields() {
         let bad_counter =

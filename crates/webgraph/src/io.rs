@@ -14,6 +14,16 @@ use std::io::{self, BufRead, Write};
 const MAGIC: [u8; 4] = *b"JXPG";
 const VERSION: u32 = 1;
 
+/// Upper bound on the node count accepted from a binary header.
+///
+/// The header is read before any allocation, so a corrupt or hostile
+/// file could otherwise request a multi-gigabyte offset table from 24
+/// bytes of input. 2³⁰ nodes is far beyond any dataset this in-memory
+/// format is used for (larger graphs go through `jxp-segstore`), while
+/// still leaving the id space (`u32`) the binding constraint for real
+/// data.
+pub const MAX_BIN_NODES: usize = 1 << 30;
+
 /// Write `g` as a text edge list: a header line `# nodes <n>` followed by
 /// one `src dst` pair per line.
 pub fn write_edge_list(g: &CsrGraph, w: &mut impl Write) -> io::Result<()> {
@@ -88,10 +98,23 @@ pub fn from_bytes(mut buf: impl Buf) -> io::Result<CsrGraph> {
     if buf.get_u32_le() != VERSION {
         return Err(err("unsupported version"));
     }
-    let n = buf.get_u64_le() as usize;
-    let m = buf.get_u64_le() as usize;
-    if buf.remaining() < m * 8 {
+    // Bound both counts BEFORE allocating anything: a 24-byte header
+    // can claim arbitrary u64 values, and `m * 8` on an unchecked
+    // `usize` cast would wrap for huge edge counts, sneaking past a
+    // naive truncation check into an allocation (or a panic) sized by
+    // attacker-controlled data.
+    let n64 = buf.get_u64_le();
+    let m64 = buf.get_u64_le();
+    if n64 > MAX_BIN_NODES as u64 {
+        return Err(err("header node count exceeds limit"));
+    }
+    let n = n64 as usize;
+    if m64 > (buf.remaining() / 8) as u64 {
         return Err(err("truncated edge section"));
+    }
+    let m = m64 as usize;
+    if buf.remaining() != m * 8 {
+        return Err(err("oversized edge section"));
     }
     let mut b = GraphBuilder::with_capacity(m);
     b.ensure_nodes(n);
@@ -185,6 +208,68 @@ mod tests {
         let off = 24;
         bytes[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(from_bytes(&bytes[..]).is_err());
+    }
+
+    /// A 24-byte header claiming `n` nodes and `m` edges with no edge
+    /// payload at all.
+    fn bare_header(n: u64, m: u64) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&n.to_le_bytes());
+        bytes.extend_from_slice(&m.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn binary_rejects_huge_node_count_before_allocating() {
+        // Must error out, not attempt a u64::MAX-sized offset table.
+        for n in [u64::MAX, MAX_BIN_NODES as u64 + 1] {
+            let e = from_bytes(&bare_header(n, 0)[..]).unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "n = {n}");
+        }
+        // Edge-free graphs below the bound still decode (isolated
+        // nodes are legal; only absurd counts are rejected).
+        let g = from_bytes(&bare_header(1000, 0)[..]).unwrap();
+        assert_eq!(g.num_nodes(), 1000);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn binary_rejects_overflowing_edge_count() {
+        // m * 8 wraps to 0 for m = 2^61 on 64-bit, which slipped past
+        // the old `remaining() < m * 8` truncation check and panicked
+        // reading edges from an empty buffer. Must be a clean error.
+        for m in [u64::MAX, 1u64 << 61, (1u64 << 61) + 1] {
+            let e = from_bytes(&bare_header(4, m)[..]).unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn binary_rejects_trailing_garbage() {
+        let mut bytes = to_bytes(&sample()).to_vec();
+        bytes.extend_from_slice(&[0u8; 5]);
+        assert!(from_bytes(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_header_shrunk_edge_count() {
+        // A header corrupted to claim fewer edges than the payload
+        // carries must not silently drop the tail.
+        let g = sample();
+        let mut bytes = to_bytes(&g).to_vec();
+        bytes[16..24].copy_from_slice(&(g.num_edges() as u64 - 1).to_le_bytes());
+        assert!(from_bytes(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn load_binary_rejects_corrupt_file_on_disk() {
+        let dir = std::env::temp_dir().join("jxp_io_test_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.jxpg");
+        std::fs::write(&path, bare_header(u64::MAX, u64::MAX)).unwrap();
+        assert!(load_binary(&path).is_err());
     }
 
     #[test]

@@ -36,10 +36,12 @@ pub mod generators;
 pub mod hash;
 pub mod id;
 pub mod io;
+pub mod source;
 pub mod subgraph;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use hash::{FxHashMap, FxHashSet};
 pub use id::PageId;
+pub use source::GraphSource;
 pub use subgraph::Subgraph;

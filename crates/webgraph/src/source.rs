@@ -1,0 +1,165 @@
+//! Backing-agnostic read access to a directed graph.
+//!
+//! [`GraphSource`] abstracts *where* a graph's adjacency lives: fully in
+//! memory ([`CsrGraph`]) or on disk in demand-paged segments
+//! (`jxp-segstore`'s `SegmentedGraph`). Everything downstream that only
+//! *reads* a graph — fragment extraction, pull-based power iteration —
+//! is generic over this trait, which is what lets per-peer
+//! extended-graph PageRank run out-of-core.
+//!
+//! The trait's iteration methods take a closure instead of returning an
+//! iterator so that implementations backed by a segment cache can hand
+//! out adjacency from a guarded, transient buffer without lifetime
+//! gymnastics, while `CsrGraph` keeps a plain inlined slice walk.
+//!
+//! # Ordering contract
+//!
+//! Implementations **must** visit successors and predecessors in
+//! strictly ascending id order with no duplicates. The repo-wide
+//! bit-identical determinism guarantee (same scores at 1/2/8 threads,
+//! in memory or out of core) rests on every backend producing the same
+//! adjacency in the same order, so the same float operations run in the
+//! same sequence.
+
+use crate::csr::CsrGraph;
+use crate::id::PageId;
+
+/// Read-only access to a directed graph with dense ids `0..num_nodes`.
+///
+/// `Sync` is a supertrait because graph reads happen concurrently from
+/// the chunked power-iteration workers.
+pub trait GraphSource: Sync {
+    /// Number of nodes; ids are dense `0..num_nodes`.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of directed edges.
+    fn num_edges(&self) -> usize;
+
+    /// Out-degree of `v`.
+    fn out_degree(&self, v: PageId) -> usize;
+
+    /// Visit the successors of `v` in ascending id order.
+    fn for_each_successor<F: FnMut(PageId)>(&self, v: PageId, f: F);
+
+    /// Visit the predecessors of `v` in ascending id order.
+    fn for_each_predecessor<F: FnMut(PageId)>(&self, v: PageId, f: F);
+
+    /// Successor list of `v`, ascending (allocating convenience).
+    ///
+    /// Note: `CsrGraph` has an inherent `successors` returning a
+    /// borrowed iterator; on a concrete `CsrGraph` that method shadows
+    /// this one, which only differs in allocating.
+    fn successors(&self, v: PageId) -> Vec<PageId> {
+        let mut out = Vec::with_capacity(self.out_degree(v));
+        self.for_each_successor(v, |u| out.push(u));
+        out
+    }
+
+    /// Nodes with zero out-degree, in ascending id order — the exact
+    /// sequence `CsrGraph::dangling_nodes` yields, so dangling-mass
+    /// accumulation sums in the same order on every backend.
+    fn dangling(&self) -> Vec<PageId> {
+        (0..self.num_nodes())
+            .map(PageId::from_index)
+            .filter(|&v| self.out_degree(v) == 0)
+            .collect()
+    }
+}
+
+impl GraphSource for CsrGraph {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        CsrGraph::num_nodes(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        CsrGraph::num_edges(self)
+    }
+
+    #[inline]
+    fn out_degree(&self, v: PageId) -> usize {
+        CsrGraph::out_degree(self, v)
+    }
+
+    #[inline]
+    fn for_each_successor<F: FnMut(PageId)>(&self, v: PageId, mut f: F) {
+        for u in CsrGraph::successors(self, v) {
+            f(u);
+        }
+    }
+
+    #[inline]
+    fn for_each_predecessor<F: FnMut(PageId)>(&self, v: PageId, mut f: F) {
+        for u in CsrGraph::predecessors(self, v) {
+            f(u);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn diamond() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for (s, d) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            b.add_edge(PageId(s), PageId(d));
+        }
+        b.build()
+    }
+
+    // A generic consumer, so the assertions below go through the trait
+    // (not CsrGraph's shadowing inherent methods).
+    fn collect_via_source<G: GraphSource>(g: &G) -> (usize, usize, Vec<Vec<u32>>, Vec<Vec<u32>>) {
+        let mut succ = Vec::new();
+        let mut pred = Vec::new();
+        for v in 0..g.num_nodes() {
+            let mut s = Vec::new();
+            g.for_each_successor(PageId::from_index(v), |u| s.push(u.0));
+            succ.push(s);
+            let mut p = Vec::new();
+            g.for_each_predecessor(PageId::from_index(v), |u| p.push(u.0));
+            pred.push(p);
+        }
+        (g.num_nodes(), g.num_edges(), succ, pred)
+    }
+
+    #[test]
+    fn csr_impl_matches_inherent_accessors() {
+        let g = diamond();
+        let (n, m, succ, pred) = collect_via_source(&g);
+        assert_eq!(n, 4);
+        assert_eq!(m, 4);
+        for v in 0..n {
+            let inherent: Vec<u32> = g.successors(PageId(v as u32)).map(|p| p.0).collect();
+            assert_eq!(succ[v], inherent);
+            let inherent: Vec<u32> = g.predecessors(PageId(v as u32)).map(|p| p.0).collect();
+            assert_eq!(pred[v], inherent);
+            assert_eq!(
+                GraphSource::out_degree(&g, PageId(v as u32)),
+                g.out_degree(PageId(v as u32))
+            );
+        }
+    }
+
+    #[test]
+    fn provided_successors_allocates_sorted_list() {
+        let g = diamond();
+        assert_eq!(
+            GraphSource::successors(&g, PageId(0)),
+            vec![PageId(1), PageId(2)]
+        );
+        assert!(GraphSource::successors(&g, PageId(3)).is_empty());
+    }
+
+    #[test]
+    fn provided_dangling_matches_dangling_nodes() {
+        let g = diamond();
+        assert_eq!(
+            GraphSource::dangling(&g),
+            g.dangling_nodes().collect::<Vec<_>>()
+        );
+    }
+}

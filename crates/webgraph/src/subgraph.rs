@@ -13,6 +13,7 @@
 use crate::csr::CsrGraph;
 use crate::hash::{FxHashMap, FxHashSet};
 use crate::id::PageId;
+use crate::source::GraphSource;
 
 /// A peer's local fragment of the global graph.
 ///
@@ -37,6 +38,19 @@ impl Subgraph {
     /// Extract the fragment of `global` induced by `pages` (keeping all
     /// out-links, including those leaving the fragment).
     pub fn from_pages(global: &CsrGraph, pages: impl IntoIterator<Item = PageId>) -> Self {
+        Subgraph::from_source(global, pages)
+    }
+
+    /// [`from_pages`](Subgraph::from_pages), but over any
+    /// [`GraphSource`] — in particular a disk-backed `SegmentedGraph`,
+    /// so a peer's fragment can be cut out of a graph that never fits
+    /// in memory. Successor lists come out identical to the in-memory
+    /// path (the trait's ordering contract), so everything built on the
+    /// fragment stays bit-identical.
+    pub fn from_source<G: GraphSource + ?Sized>(
+        global: &G,
+        pages: impl IntoIterator<Item = PageId>,
+    ) -> Self {
         let mut pages: Vec<PageId> = pages.into_iter().collect();
         pages.sort_unstable();
         pages.dedup();
@@ -48,7 +62,7 @@ impl Subgraph {
         succ_off.push(0u32);
         let mut succ = Vec::new();
         for &p in &pages {
-            succ.extend(global.successors(p));
+            global.for_each_successor(p, |u| succ.push(u));
             succ_off.push(succ.len() as u32);
         }
         Subgraph {
